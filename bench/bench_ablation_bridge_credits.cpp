@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Ablation: inter-node bridge credit-window depth. The credit-based flow
+ * control (section 3.1) guarantees deadlock freedom; the window depth
+ * trades receive-buffer area against sustained throughput (shallow
+ * windows stall the sender while credits ride back over PCIe). Runs the
+ * packet-level bridge + fabric model.
+ */
+
+#include <cstdio>
+
+#include "bridge/inter_node_bridge.hpp"
+#include "pcie/pcie_fabric.hpp"
+
+using namespace smappic;
+
+namespace
+{
+
+/** Streams @p packets 10-flit packets through a 2-bridge fabric;
+ *  returns cycles until full delivery. */
+Cycles
+streamWith(std::uint32_t credits, int packets)
+{
+    sim::EventQueue eq;
+    sim::StatRegistry stats;
+    pcie::PcieFabric fabric(eq, 63, 16.0, &stats);
+    bridge::BridgeConfig cfg;
+    cfg.creditsPerNoc = credits;
+    cfg.creditPollInterval = 32;
+    bridge::InterNodeBridge b0(0, 0, 0x0, eq, fabric, cfg, &stats);
+    bridge::InterNodeBridge b1(1, 1, 0x1000000, eq, fabric, cfg, &stats);
+    b0.addPeer(1, b1.windowBase());
+    b1.addPeer(0, b0.windowBase());
+    int delivered = 0;
+    b1.setDeliverFn([&](const noc::Packet &) { ++delivered; });
+
+    for (int i = 0; i < packets; ++i) {
+        noc::Packet p;
+        p.srcNode = 0;
+        p.srcTile = 1;
+        p.dstNode = 1;
+        p.dstTile = 2;
+        p.type = noc::MsgType::kDataResp;
+        p.addr = 0x1000 + static_cast<Addr>(i) * 64;
+        p.payload.assign(8, 0xabcdef);
+        b0.sendPacket(p);
+    }
+    eq.run();
+    if (delivered != packets)
+        return 0;
+    return eq.now();
+}
+
+} // namespace
+
+int
+main()
+{
+    const std::uint32_t credit_depths[] = {2, 4, 8, 16, 32, 64, 128};
+    const int kPackets = 200;
+
+    std::printf("=== Ablation: bridge credit-window depth (200 x 10-flit "
+                "packets, one direction) ===\n\n");
+    std::printf("%10s %14s %18s\n", "Credits", "cycles",
+                "flits/100 cycles");
+    Cycles first = 0;
+    Cycles last = 0;
+    for (std::uint32_t c : credit_depths) {
+        Cycles cycles = streamWith(c, kPackets);
+        if (first == 0)
+            first = cycles;
+        last = cycles;
+        double rate = 100.0 * kPackets * 10 /
+                      static_cast<double>(cycles);
+        std::printf("%10u %14llu %17.1f\n", c,
+                    static_cast<unsigned long long>(cycles), rate);
+    }
+
+    std::printf("\nexpected: shallow windows stall on credit-return round "
+                "trips; throughput saturates once the window covers the "
+                "PCIe RTT (bandwidth-delay product)\n");
+    std::printf("shape check (deep window at least 3x faster than "
+                "2-credit window): %s\n",
+                (last * 3 <= first) ? "PASS" : "FAIL");
+    return 0;
+}

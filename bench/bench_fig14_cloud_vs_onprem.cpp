@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Regenerates Fig 14: the cost of FPGA modeling in the cloud vs a
+ * purchased on-premises setup, as a function of continuous modeling days.
+ * Paper: the cloud is more cost-efficient for up to ~200 days.
+ */
+
+#include <cstdio>
+
+#include "cost/cost_model.hpp"
+
+using namespace smappic;
+
+int
+main()
+{
+    std::printf("=== Fig 14: cloud vs on-premises FPGA modeling cost "
+                "===\n\n");
+    std::printf("%8s %12s %14s\n", "Days", "Cloud ($)", "On-prem ($)");
+    for (int days = 0; days <= 350; days += 25) {
+        std::printf("%8d %12.0f %14.0f\n", days,
+                    cost::cloudCostDollars(days),
+                    cost::onPremCostDollars(days));
+    }
+
+    double crossover = cost::crossoverDays();
+    std::printf("\nmeasured crossover: %.0f days of continuous modeling\n",
+                crossover);
+    std::printf("paper: cloud cheaper for up to ~200 days\n");
+    std::printf("shape check (crossover in [180, 220]): %s\n",
+                (crossover >= 180 && crossover <= 220) ? "PASS" : "FAIL");
+    return 0;
+}

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Regenerates Fig 7: the 48x48 inter-core round-trip latency heatmap of
+ * the 4x1x12 prototype. Paper: four clearly visible NUMA domains,
+ * ~100-cycle round trips inside a node, ~250 cycles (2.5x) across nodes.
+ */
+
+#include <cstdio>
+
+#include "platform/prototype.hpp"
+
+using namespace smappic;
+
+int
+main()
+{
+    platform::Prototype proto(platform::PrototypeConfig::parse("4x1x12"));
+    const std::uint32_t n = proto.config().totalTiles();
+
+    std::vector<std::vector<Cycles>> lat(n, std::vector<Cycles>(n, 0));
+    double intra_sum = 0;
+    double inter_sum = 0;
+    std::uint64_t intra_n = 0;
+    std::uint64_t inter_n = 0;
+
+    for (GlobalTileId s = 0; s < n; ++s) {
+        for (GlobalTileId r = 0; r < n; ++r) {
+            if (s == r)
+                continue;
+            Cycles c = proto.measureRoundTrip(s, r);
+            lat[s][r] = c;
+            bool same_node = s / proto.config().tilesPerNode ==
+                             r / proto.config().tilesPerNode;
+            if (same_node) {
+                intra_sum += static_cast<double>(c);
+                ++intra_n;
+            } else {
+                inter_sum += static_cast<double>(c);
+                ++inter_n;
+            }
+        }
+    }
+
+    std::printf("=== Fig 7: inter-core round-trip latency heatmap "
+                "(cycles), 4x1x12 ===\n");
+    std::printf("rows = sender core, cols = receiver core\n");
+    for (GlobalTileId s = 0; s < n; ++s) {
+        for (GlobalTileId r = 0; r < n; ++r)
+            std::printf("%4llu%s",
+                        static_cast<unsigned long long>(lat[s][r]),
+                        r + 1 == n ? "" : " ");
+        std::printf("\n");
+    }
+
+    double intra = intra_sum / static_cast<double>(intra_n);
+    double inter = inter_sum / static_cast<double>(inter_n);
+    std::printf("\nmeasured: intra-node mean %.1f cycles, inter-node mean "
+                "%.1f cycles, ratio %.2fx\n",
+                intra, inter, inter / intra);
+    std::printf("paper:    intra-node ~100 cycles, inter-node ~250 cycles,"
+                " ratio ~2.5x\n");
+    std::printf("shape check: four NUMA domains visible, ratio in "
+                "[2.0, 3.0]: %s\n",
+                (inter / intra >= 2.0 && inter / intra <= 3.0) ? "PASS"
+                                                               : "FAIL");
+    return 0;
+}

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Regenerates Fig 9: the thread-allocation study. 12 threads are pinned
+ * (taskset-style) to 1, 2, 3 or 4 active nodes of the 4x1x12 prototype.
+ * Paper: with NUMA mode on, spreading threads over more nodes increases
+ * memory latency and runtime slightly; with NUMA mode off the trend
+ * reverses (spreading relieves the single node's inter-node links).
+ */
+
+#include <cstdio>
+
+#include "platform/prototype.hpp"
+#include "workload/intsort.hpp"
+
+using namespace smappic;
+using namespace smappic::workload;
+
+namespace
+{
+
+std::vector<GlobalTileId>
+pinTo(std::uint32_t threads, std::uint32_t active_nodes,
+      std::uint32_t tiles_per_node)
+{
+    std::vector<GlobalTileId> v;
+    for (std::uint32_t i = 0; i < threads; ++i) {
+        std::uint32_t node = i % active_nodes;
+        std::uint32_t tile = i / active_nodes;
+        v.push_back(node * tiles_per_node + tile);
+    }
+    return v;
+}
+
+} // namespace
+
+int
+main()
+{
+    IntSortConfig cfg;
+    cfg.keys = 1 << 19;
+    cfg.buckets = 1 << 13; // NPB IS ranks over a large key range: the
+                           // rank/histogram arrays stream like the keys.
+    const std::uint32_t kThreads = 12;
+
+    // Scaling: NPB class C's 500 MB working set exceeds per-node LLC by
+    // ~170x, so cache capacity plays no role in the paper's trends. The
+    // scaled-down key count would not preserve that regime with Table 2
+    // LLC sizes, so the LLC is scaled with the working set (per-node
+    // ws:LLC stays >> 1 under every thread placement); latencies are
+    // unchanged.
+    platform::PrototypeConfig base =
+        platform::PrototypeConfig::parse("4x1x12");
+    base.llcSliceBytes = 8 << 10;
+
+    std::printf("=== Fig 9: thread allocation, 12 threads on 1-4 active "
+                "nodes (4x1x12) ===\n\n");
+    std::printf("%14s %16s %16s\n", "Active nodes", "NUMA on (cyc)",
+                "NUMA off (cyc)");
+
+    Cycles on[5] = {};
+    Cycles off[5] = {};
+    for (std::uint32_t nodes = 1; nodes <= 4; ++nodes) {
+        auto tiles = pinTo(kThreads, nodes, 12);
+        platform::Prototype p_on(base);
+        auto g_on = p_on.makeGuest(os::NumaMode::kOn);
+        on[nodes] = runIntSort(*g_on, tiles, cfg).cycles;
+
+        platform::Prototype p_off(base);
+        auto g_off = p_off.makeGuest(os::NumaMode::kOff);
+        off[nodes] = runIntSort(*g_off, tiles, cfg).cycles;
+
+        std::printf("%14u %16llu %16llu\n", nodes,
+                    static_cast<unsigned long long>(on[nodes]),
+                    static_cast<unsigned long long>(off[nodes]));
+    }
+
+    bool on_degrades = on[4] > on[1];
+    bool off_improves = off[4] < off[1];
+    std::printf("\npaper: NUMA on degrades with more active nodes; NUMA "
+                "off slightly improves\n");
+    std::printf("measured: NUMA on 4-node/1-node = %.2fx (>1 expected), "
+                "NUMA off 4-node/1-node = %.2fx (<1 expected)\n",
+                static_cast<double>(on[4]) / static_cast<double>(on[1]),
+                static_cast<double>(off[4]) /
+                    static_cast<double>(off[1]));
+    std::printf("shape check: %s\n",
+                (on_degrades && off_improves) ? "PASS" : "FAIL");
+    return 0;
+}

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Regenerates the paper's static tables:
+ *   Table 1 - available F1 instances (specs, prices, hardware cost),
+ *   Table 2 - prototyped system parameters,
+ *   Table 3 - host requirements and cheapest suitable instances per tool.
+ */
+
+#include <cstdio>
+
+#include "cache/coherent_system.hpp"
+#include "cost/cost_model.hpp"
+#include "platform/prototype.hpp"
+
+using namespace smappic;
+
+int
+main()
+{
+    std::printf("=== Table 1: Available AWS EC2 F1 instances ===\n");
+    std::printf("%-14s %7s %9s %9s %7s %9s %10s %10s\n", "Instance",
+                "#vCPUs", "HostMem", "Storage", "#FPGAs", "FPGA Mem",
+                "Price/hr", "HW price");
+    for (const auto &i : cost::instanceCatalog()) {
+        if (i.fpgas == 0)
+            continue;
+        std::printf("%-14s %7u %7.0fGB %7.0fGB %7u %7.0fGB %9.2f$ %9.0f$\n",
+                    i.name.c_str(), i.vcpus, i.memGb, i.storageGb, i.fpgas,
+                    i.fpgaMemGb, i.pricePerHour, i.hardwarePrice);
+    }
+    std::printf("paper check: $1.65 per FPGA-hour across the family\n\n");
+
+    std::printf("=== Table 2: Prototyped system parameters ===\n");
+    cache::Geometry geo;
+    cache::TimingParams timing;
+    std::printf("%-34s %s\n", "Instruction set", "RISC-V 64-bit (RV64IMA)");
+    std::printf("%-34s %s\n", "Core", "Ariane (in-order, 6 stages)");
+    std::printf("%-34s %s\n", "Frequency", "100 MHz");
+    std::printf("%-34s %u\n", "Branch history table entries", 128);
+    std::printf("%-34s %u / %u\n", "ITLB / DTLB entries", 16, 16);
+    std::printf("%-34s %llu KB, %u ways\n", "L1D cache",
+                static_cast<unsigned long long>(geo.l1dBytes >> 10),
+                geo.l1dWays);
+    std::printf("%-34s %llu KB, %u ways\n", "L1I cache",
+                static_cast<unsigned long long>(geo.l1iBytes >> 10),
+                geo.l1iWays);
+    std::printf("%-34s %llu KB, %u ways\n", "BPC cache",
+                static_cast<unsigned long long>(geo.bpcBytes >> 10),
+                geo.bpcWays);
+    std::printf("%-34s %llu KB, %u ways\n", "LLC cache slice",
+                static_cast<unsigned long long>(geo.llcSliceBytes >> 10),
+                geo.llcWays);
+    std::printf("%-34s %llu cycles\n", "DRAM latency",
+                static_cast<unsigned long long>(timing.dramLatency));
+    std::printf("%-34s %llu cycles\n", "Inter-node round-trip latency",
+                static_cast<unsigned long long>(timing.pcieRtt));
+    std::printf("\n");
+
+    std::printf("=== Table 3: Tool requirements -> cheapest instance ===\n");
+    std::printf("%-22s %7s %8s %6s %-14s %9s\n", "Tool", "#vCPUs",
+                "Memory", "FPGAs", "Instance", "Price/hr");
+    for (const auto &t : cost::toolCatalog()) {
+        const auto &inst = cost::cheapestInstanceFor(
+            t.vcpusNeeded, t.memGbNeeded, t.fpgasNeeded);
+        std::printf("%-22s %7u %6.0fGB %6u %-14s %8.3f$\n",
+                    t.name.c_str(), t.vcpusNeeded, t.memGbNeeded,
+                    t.fpgasNeeded, inst.name.c_str(), inst.pricePerHour);
+    }
+    std::printf("paper check: Sniper/Verilator -> t3 class, gem5 -> r5.2xl,"
+                " SMAPPIC/FireSim -> f1.2xl\n");
+    return 0;
+}

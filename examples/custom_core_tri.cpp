@@ -1,0 +1,131 @@
+/**
+ * @file
+ * "Bring your own core" via TRI (paper section 2.2): integrates a custom
+ * compute unit — a streaming vector-add engine — against the Transaction
+ * Response Interface, without touching the cache subsystem. The same
+ * computation also runs as RISC-V code on the Ariane tile, and the demo
+ * compares the two: the workflow a researcher follows when evaluating a
+ * custom design inside a SMAPPIC prototype.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "platform/prototype.hpp"
+#include "platform/tri.hpp"
+
+using namespace smappic;
+using namespace smappic::platform;
+
+namespace
+{
+
+/** The custom unit: c[i] = a[i] + b[i] with double-word streaming. */
+class VectorAddUnit : public TriClient
+{
+  public:
+    VectorAddUnit(Addr a, Addr b, Addr c, std::uint64_t n)
+        : a_(a), b_(b), c_(c), n_(n)
+    {
+    }
+
+    Cycles
+    run(TriPort &port, Cycles start) override
+    {
+        Cycles now = start;
+        for (std::uint64_t i = 0; i < n_; ++i) {
+            TriResponse ra = port.request(
+                TriRequest{TriOp::kLoad, a_ + i * 8, 8, 0}, now);
+            now += ra.latency;
+            TriResponse rb = port.request(
+                TriRequest{TriOp::kLoad, b_ + i * 8, 8, 0}, now);
+            now += rb.latency;
+            now += 1; // Single-cycle adder.
+            TriResponse rc = port.request(
+                TriRequest{TriOp::kStore, c_ + i * 8, 8,
+                           ra.data + rb.data},
+                now);
+            now += rc.latency;
+        }
+        return now;
+    }
+
+    std::string name() const override { return "vector-add unit"; }
+
+  private:
+    Addr a_, b_, c_;
+    std::uint64_t n_;
+};
+
+} // namespace
+
+int
+main()
+{
+    const std::uint64_t kN = 512;
+    const Addr kA = kDramBase + 0x100000;
+    const Addr kB = kDramBase + 0x120000;
+    const Addr kC = kDramBase + 0x140000;
+
+    Prototype proto(PrototypeConfig::parse("1x1x2"));
+    for (std::uint64_t i = 0; i < kN; ++i) {
+        proto.memory().store(kA + i * 8, 8, i * 3);
+        proto.memory().store(kB + i * 8, 8, i * 4);
+    }
+
+    // --- the custom unit on tile 1 via TRI ---
+    TriPort port(proto.memorySystem(), 1);
+    VectorAddUnit unit(kA, kB, kC, kN);
+    Cycles unit_cycles = unit.run(port, 0);
+    bool ok = true;
+    for (std::uint64_t i = 0; i < kN; ++i)
+        ok = ok && proto.memory().load(kC + i * 8, 8) == i * 7;
+    std::printf("%s: %llu elements in %llu cycles (%.1f cyc/elem), "
+                "results %s\n",
+                unit.name().c_str(),
+                static_cast<unsigned long long>(kN),
+                static_cast<unsigned long long>(unit_cycles),
+                static_cast<double>(unit_cycles) / kN,
+                ok ? "correct" : "WRONG");
+
+    // --- the same kernel as guest RISC-V code on tile 0 ---
+    proto.loadSource(R"(
+_start:
+    li t0, 0x80100000    # a
+    li t1, 0x80120000    # b
+    li t2, 0x80160000    # c' (separate output)
+    li t3, 512
+loop:
+    ld t4, 0(t0)
+    ld t5, 0(t1)
+    add t4, t4, t5
+    sd t4, 0(t2)
+    addi t0, t0, 8
+    addi t1, t1, 8
+    addi t2, t2, 8
+    addi t3, t3, -1
+    bnez t3, loop
+    li a0, 0
+    li a7, 93
+    ecall
+)");
+    proto.runCore(0);
+    bool sw_ok = true;
+    for (std::uint64_t i = 0; i < kN; ++i)
+        sw_ok = sw_ok &&
+                proto.memory().load(kDramBase + 0x160000 + i * 8, 8) ==
+                    i * 7;
+    Cycles sw_cycles = proto.core(0).cycles();
+    std::printf("Ariane software loop: %llu cycles (%.1f cyc/elem), "
+                "results %s\n",
+                static_cast<unsigned long long>(sw_cycles),
+                static_cast<double>(sw_cycles) / kN,
+                sw_ok ? "correct" : "WRONG");
+
+    std::printf("custom unit vs software: %.2fx\n",
+                static_cast<double>(sw_cycles) /
+                    static_cast<double>(unit_cycles));
+    std::printf("TRI transactions issued by the unit: %llu\n",
+                static_cast<unsigned long long>(port.transactions()));
+    return ok && sw_ok ? 0 : 1;
+}

@@ -1,0 +1,68 @@
+#include "accel/gng.hpp"
+
+namespace smappic::accel
+{
+
+TauswortheGenerator::TauswortheGenerator(std::uint32_t seed)
+{
+    // Seeds must satisfy the generators' minimum-value constraints.
+    s1_ = seed | 0x100;
+    s2_ = (seed * 0x9e3779b9u) | 0x1000;
+    s3_ = (seed * 0x85ebca6bu) | 0x10000;
+}
+
+std::uint32_t
+TauswortheGenerator::next()
+{
+    // taus88 (Tausworthe, L'Ecuyer 1996).
+    s1_ = ((s1_ & 0xfffffffeu) << 12) ^ (((s1_ << 13) ^ s1_) >> 19);
+    s2_ = ((s2_ & 0xfffffff8u) << 4) ^ (((s2_ << 2) ^ s2_) >> 25);
+    s3_ = ((s3_ & 0xfffffff0u) << 17) ^ (((s3_ << 3) ^ s3_) >> 11);
+    return s1_ ^ s2_ ^ s3_;
+}
+
+std::int16_t
+GngAccelerator::nextSample()
+{
+    // Central-limit stage: sum of 8 uniform 16-bit lanes approximates a
+    // Gaussian; normalize to unit variance in s4.11 fixed point.
+    // Var(sum of 8 uniforms over [0,65535]) = 8 * (2^32-1)/12.
+    std::int64_t acc = 0;
+    for (int i = 0; i < 4; ++i) {
+        std::uint32_t u = uniform_.next();
+        acc += static_cast<std::int64_t>(u & 0xffff) - 32768;
+        acc += static_cast<std::int64_t>(u >> 16) - 32768;
+    }
+    // sigma of acc = sqrt(8 * 65536^2 / 12) ~= 53510.
+    // sample = acc / sigma in s4.11: acc * 2048 / 53510 ~= acc * 313 / 8192.
+    std::int64_t fixed = acc * 313 / 8192;
+    if (fixed > 32767)
+        fixed = 32767;
+    if (fixed < -32768)
+        fixed = -32768;
+    ++served_;
+    return static_cast<std::int16_t>(fixed);
+}
+
+std::uint64_t
+GngAccelerator::ncLoad(Addr, std::uint32_t bytes, Cycles, Cycles &service)
+{
+    // One pipelined sample per cycle after a small fixed access time.
+    std::uint32_t samples = bytes >= 8 ? 4 : (bytes >= 4 ? 2 : 1);
+    service = 4 + samples;
+    std::uint64_t packed = 0;
+    for (std::uint32_t i = 0; i < samples; ++i) {
+        auto s = static_cast<std::uint16_t>(nextSample());
+        packed |= static_cast<std::uint64_t>(s) << (16 * i);
+    }
+    return packed;
+}
+
+void
+GngAccelerator::ncStore(Addr, std::uint32_t, std::uint64_t, Cycles,
+                        Cycles &service)
+{
+    service = 4; // Configuration writes are accepted and ignored.
+}
+
+} // namespace smappic::accel

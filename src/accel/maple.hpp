@@ -1,0 +1,108 @@
+/**
+ * @file
+ * MAPLE decoupled-access engine (paper section 4.3; Orenes-Vera et al.,
+ * ISCA'22).
+ *
+ * MAPLE occupies a tile and is programmed before execution to fetch data
+ * asynchronously from memory and supply it to the Execute core exactly
+ * when needed (Decoupled Access/Execute). The engine issues non-blocking
+ * loads through the coherent memory system from its own tile and fills a
+ * bounded supply queue; the consumer core pops entries with non-cacheable
+ * loads and only stalls when the engine has not run far enough ahead —
+ * which is how the engine tolerates irregular-access latency.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "cache/coherent_system.hpp"
+#include "sim/types.hpp"
+
+namespace smappic::accel
+{
+
+/** Tunables of one MAPLE engine. */
+struct MapleConfig
+{
+    std::uint32_t queueDepth = 32; ///< Supply-queue entries.
+    Cycles issueInterval = 2;      ///< Engine load-issue cadence.
+    Cycles popLatency = 24;        ///< Queue-pop cost when data is ready
+                                   ///< (non-cacheable load on the core).
+};
+
+/** One MAPLE engine instance attached to a tile. */
+class MapleEngine : public cache::NcDevice
+{
+  public:
+    MapleEngine(cache::CoherentSystem &cs, GlobalTileId tile,
+                const MapleConfig &cfg = {});
+
+    /**
+     * Programs an access pattern: the engine will fetch the given
+     * addresses in order, starting at time @p now. Clears any previous
+     * program.
+     */
+    void program(const std::vector<Addr> &pattern, Cycles now);
+
+    /**
+     * Programs an indirect pattern base[index[i]] (SPMV-style gathers):
+     * the engine first fetches index words, then the dependent elements,
+     * modeling the two-level decoupling MAPLE performs in hardware.
+     *
+     * @param values_per_index Queue entries supplied per gathered row
+     *        (SPMM consumes each dense column separately); all entries of
+     *        a row become ready when its single row fetch completes.
+     */
+    void programIndirect(Addr index_base, std::uint64_t count,
+                         Addr data_base, std::uint32_t elem_bytes,
+                         Cycles now, std::uint32_t values_per_index = 1);
+
+    /**
+     * Consumer pop: returns the next value and its latency as seen from
+     * @p consumer at time @p now.
+     * @param streaming Back-to-back pop that pipelines with the previous
+     *        one (e.g. the remaining dense columns of an SPMM row): it
+     *        pays queue occupancy but not another NoC round trip.
+     */
+    std::uint64_t consume(GlobalTileId consumer, Cycles now, Cycles &lat,
+                          bool streaming = false);
+
+    /** Entries not yet consumed. */
+    std::size_t pending() const { return queue_.size() - consumed_; }
+    bool exhausted() const { return consumed_ >= queue_.size(); }
+
+    /** Total cycles consumers spent stalled on an empty queue. */
+    Cycles consumerStallCycles() const { return stall_; }
+
+    GlobalTileId tile() const { return tile_; }
+
+    // cache::NcDevice: pops via MMIO load (guest-program interface).
+    std::uint64_t ncLoad(Addr offset, std::uint32_t bytes, Cycles now,
+                         Cycles &service) override;
+    void ncStore(Addr offset, std::uint32_t bytes, std::uint64_t value,
+                 Cycles now, Cycles &service) override;
+
+  private:
+    struct Entry
+    {
+        std::uint64_t value = 0;
+        Cycles ready = 0;
+    };
+
+    void fetchElement(Addr addr, std::uint32_t bytes, Cycles issue_floor,
+                      std::uint32_t copies);
+
+    cache::CoherentSystem &cs_;
+    GlobalTileId tile_;
+    MapleConfig cfg_;
+
+    std::vector<Entry> queue_;
+    std::size_t consumed_ = 0;
+    Cycles engineClock_ = 0;
+    Cycles stall_ = 0;
+};
+
+} // namespace smappic::accel

@@ -1,0 +1,100 @@
+#include "axi/crossbar.hpp"
+
+#include "sim/log.hpp"
+
+namespace smappic::axi
+{
+
+void
+Crossbar::addWindow(Addr base, std::uint64_t size, Target *target,
+                    std::string name)
+{
+    fatalIf(size == 0, "crossbar window '" + name + "' has zero size");
+    fatalIf(target == nullptr, "crossbar window '" + name + "' has no target");
+    for (const auto &w : windows_) {
+        bool disjoint = base + size <= w.base || w.base + w.size <= base;
+        fatalIf(!disjoint, "crossbar windows '" + name + "' and '" + w.name +
+                               "' overlap");
+    }
+    windows_.push_back(Window{base, size, target, std::move(name)});
+}
+
+const Window *
+Crossbar::decode(Addr addr) const
+{
+    for (const auto &w : windows_) {
+        if (w.contains(addr))
+            return &w;
+    }
+    return nullptr;
+}
+
+WriteResp
+Crossbar::write(const WriteReq &req)
+{
+    const Window *w = decode(req.addr);
+    if (!w) {
+        ++decodeErrors_;
+        return WriteResp{Resp::kDecErr, req.id};
+    }
+    ++routedWrites_;
+    return w->target->write(req);
+}
+
+ReadResp
+Crossbar::read(const ReadReq &req)
+{
+    const Window *w = decode(req.addr);
+    if (!w) {
+        ++decodeErrors_;
+        return ReadResp{Resp::kDecErr, {}, req.id};
+    }
+    ++routedReads_;
+    return w->target->read(req);
+}
+
+void
+LiteCrossbar::addWindow(Addr base, std::uint64_t size, LiteTarget *target,
+                        std::string name)
+{
+    fatalIf(size == 0, "lite window '" + name + "' has zero size");
+    fatalIf(target == nullptr, "lite window '" + name + "' has no target");
+    for (const auto &w : windows_) {
+        bool disjoint = base + size <= w.base || w.base + w.size <= base;
+        fatalIf(!disjoint,
+                "lite windows '" + name + "' and '" + w.name + "' overlap");
+    }
+    windows_.push_back(LiteWindow{base, size, target, std::move(name)});
+}
+
+const LiteCrossbar::LiteWindow *
+LiteCrossbar::decode(Addr addr) const
+{
+    for (const auto &w : windows_) {
+        if (addr >= w.base && addr - w.base < w.size)
+            return &w;
+    }
+    return nullptr;
+}
+
+Resp
+LiteCrossbar::writeReg(const LiteWrite &req)
+{
+    const LiteWindow *w = decode(req.addr);
+    if (!w)
+        return Resp::kDecErr;
+    LiteWrite relative = req;
+    relative.addr = req.addr - w->base;
+    return w->target->writeReg(relative);
+}
+
+Resp
+LiteCrossbar::readReg(Addr addr, std::uint32_t &data)
+{
+    const LiteWindow *w = decode(addr);
+    if (!w)
+        return Resp::kDecErr;
+    return w->target->readReg(addr - w->base, data);
+}
+
+} // namespace smappic::axi

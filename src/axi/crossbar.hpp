@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Address-windowed AXI4 and AXI-Lite crossbars.
+ *
+ * The hard shell and the custom logic both use crossbars to steer
+ * transactions: the HS routes outbound AXI4 requests to peer FPGAs or the
+ * host by address window, and the CL routes inbound requests to per-node
+ * bridges, memory controllers and device tunnels.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "axi/axi.hpp"
+#include "sim/stats.hpp"
+
+namespace smappic::axi
+{
+
+/** One address window of a crossbar. */
+struct Window
+{
+    Addr base = 0;
+    std::uint64_t size = 0;
+    Target *target = nullptr;
+    std::string name;
+
+    bool
+    contains(Addr addr) const
+    {
+        return addr >= base && addr - base < size;
+    }
+};
+
+/**
+ * AXI4 crossbar. Routes each transaction to the unique window containing
+ * its address; unmapped addresses complete with DECERR, mirroring real AXI
+ * interconnect behaviour.
+ */
+class Crossbar : public Target
+{
+  public:
+    /**
+     * Adds an address window. Windows must not overlap.
+     * @throws FatalError on overlap.
+     */
+    void addWindow(Addr base, std::uint64_t size, Target *target,
+                   std::string name);
+
+    /** Returns the window containing @p addr, or nullptr. */
+    const Window *decode(Addr addr) const;
+
+    WriteResp write(const WriteReq &req) override;
+    ReadResp read(const ReadReq &req) override;
+
+    std::uint64_t decodeErrors() const { return decodeErrors_; }
+    std::uint64_t routedWrites() const { return routedWrites_; }
+    std::uint64_t routedReads() const { return routedReads_; }
+    const std::vector<Window> &windows() const { return windows_; }
+
+  private:
+    std::vector<Window> windows_;
+    std::uint64_t decodeErrors_ = 0;
+    std::uint64_t routedWrites_ = 0;
+    std::uint64_t routedReads_ = 0;
+};
+
+/** AXI-Lite variant of the crossbar (configuration plane). */
+class LiteCrossbar : public LiteTarget
+{
+  public:
+    struct LiteWindow
+    {
+        Addr base = 0;
+        std::uint64_t size = 0;
+        LiteTarget *target = nullptr;
+        std::string name;
+    };
+
+    /** Adds a window; lite targets see window-relative addresses. */
+    void addWindow(Addr base, std::uint64_t size, LiteTarget *target,
+                   std::string name);
+
+    Resp writeReg(const LiteWrite &req) override;
+    Resp readReg(Addr addr, std::uint32_t &data) override;
+
+  private:
+    const LiteWindow *decode(Addr addr) const;
+
+    std::vector<LiteWindow> windows_;
+};
+
+} // namespace smappic::axi

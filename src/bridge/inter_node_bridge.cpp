@@ -1,0 +1,298 @@
+#include "bridge/inter_node_bridge.hpp"
+
+#include <cstring>
+
+#include "sim/log.hpp"
+
+namespace smappic::bridge
+{
+
+namespace
+{
+
+/** One AXI write carries up to one flit per physical NoC. */
+constexpr std::uint32_t kFlitsPerWrite = noc::kNumNocs;
+constexpr std::uint32_t kFlitBytes = 8;
+
+} // namespace
+
+InterNodeBridge::InterNodeBridge(NodeId node, FpgaId fpga, Addr window_base,
+                                 sim::EventQueue &eq,
+                                 pcie::PcieFabric &fabric,
+                                 const BridgeConfig &cfg,
+                                 sim::StatRegistry *stats)
+    : node_(node), fpga_(fpga), windowBase_(window_base), eq_(eq),
+      fabric_(fabric), cfg_(cfg), stats_(stats)
+{
+    fatalIf(cfg.creditsPerNoc == 0, "bridge needs at least one credit");
+    fabric_.addWindow(window_base, cfg.windowSize, this, fpga,
+                      strfmt("bridge.node%u", node));
+}
+
+void
+InterNodeBridge::addPeer(NodeId node, Addr window_base)
+{
+    fatalIf(node == node_, "bridge cannot peer with itself");
+    PeerState &peer = peers_[node];
+    peer.windowBase = window_base;
+    peer.credits.fill(cfg_.creditsPerNoc);
+}
+
+Addr
+InterNodeBridge::encodeOffset(NodeId src, std::uint8_t valid_mask)
+{
+    // Offset layout within the destination window:
+    //   [19:12] source node-ID, [10:8] flit valid bits, [7:0] zero.
+    return (static_cast<Addr>(src) << 12) |
+           (static_cast<Addr>(valid_mask & 0x7) << 8);
+}
+
+void
+InterNodeBridge::decodeOffset(Addr offset, NodeId &src,
+                              std::uint8_t &valid_mask)
+{
+    src = static_cast<NodeId>((offset >> 12) & 0xff);
+    valid_mask = static_cast<std::uint8_t>((offset >> 8) & 0x7);
+}
+
+void
+InterNodeBridge::sendPacket(const noc::Packet &pkt)
+{
+    panicIf(pkt.dstNode == node_, "bridge asked to send a local packet");
+    auto it = peers_.find(pkt.dstNode);
+    panicIf(it == peers_.end(), "bridge has no peer for destination node");
+    auto noc_idx = static_cast<std::size_t>(pkt.noc);
+    for (const noc::Flit &f : serialize(pkt))
+        it->second.outQueue[noc_idx].push_back(f.data);
+    schedulePump();
+}
+
+void
+InterNodeBridge::schedulePump()
+{
+    if (pumpScheduled_)
+        return;
+    pumpScheduled_ = true;
+    eq_.schedule(1, [this] {
+        pumpScheduled_ = false;
+        pump();
+    });
+}
+
+void
+InterNodeBridge::pump()
+{
+    bool work_left = false;
+    for (auto &[dst, peer] : peers_) {
+        // Form one AXI4 write per destination per cycle carrying up to one
+        // flit from each physical NoC, credits permitting.
+        std::uint8_t valid_mask = 0;
+        std::array<std::uint64_t, kFlitsPerWrite> flits{};
+        for (std::size_t n = 0; n < noc::kNumNocs; ++n) {
+            if (peer.outQueue[n].empty())
+                continue;
+            if (peer.credits[n] == 0) {
+                // Stalled on credits: make sure a poll is pending.
+                scheduleCreditPoll(dst);
+                continue;
+            }
+            flits[n] = peer.outQueue[n].front();
+            peer.outQueue[n].pop_front();
+            peer.credits[n] -= 1;
+            valid_mask |= static_cast<std::uint8_t>(1u << n);
+        }
+
+        if (valid_mask != 0) {
+            axi::WriteReq req;
+            req.addr = peer.windowBase + encodeOffset(node_, valid_mask);
+            req.data.resize(kFlitsPerWrite * kFlitBytes);
+            std::memcpy(req.data.data(), flits.data(), req.data.size());
+            fabric_.write(fpga_, std::move(req), nullptr);
+            ++axiWritesSent_;
+            flitsSent_ += __builtin_popcount(valid_mask);
+            if (stats_) {
+                stats_->counter("bridge.axiWrites").increment();
+                stats_->counter("bridge.flitsSent")
+                    .increment(__builtin_popcount(valid_mask));
+            }
+        }
+
+        for (std::size_t n = 0; n < noc::kNumNocs; ++n) {
+            if (!peer.outQueue[n].empty())
+                work_left = true;
+        }
+    }
+    if (work_left)
+        schedulePump();
+}
+
+void
+InterNodeBridge::scheduleCreditPoll(NodeId peer_id)
+{
+    PeerState &peer = peers_.at(peer_id);
+    if (peer.pollInFlight)
+        return;
+    peer.pollInFlight = true;
+    ++creditReadsSent_;
+    if (stats_)
+        stats_->counter("bridge.creditReads").increment();
+
+    eq_.schedule(cfg_.creditPollInterval, [this, peer_id] {
+        PeerState &p = peers_.at(peer_id);
+        axi::ReadReq req;
+        req.addr = p.windowBase + encodeOffset(node_, 0);
+        req.bytes = noc::kNumNocs * 4;
+        fabric_.read(fpga_, req, [this, peer_id](pcie::Completion c) {
+            PeerState &p = peers_.at(peer_id);
+            p.pollInFlight = false;
+            if (c.resp != axi::Resp::kOkay ||
+                c.data.size() < noc::kNumNocs * 4) {
+                // Transient fabric error: retry while traffic is pending
+                // so a single failed credit read cannot wedge the link.
+                for (const auto &q : p.outQueue) {
+                    if (!q.empty()) {
+                        scheduleCreditPoll(peer_id);
+                        break;
+                    }
+                }
+                return;
+            }
+            bool gained = false;
+            for (std::size_t n = 0; n < noc::kNumNocs; ++n) {
+                std::uint32_t returned = 0;
+                std::memcpy(&returned, c.data.data() + n * 4, 4);
+                p.credits[n] += returned;
+                panicIf(p.credits[n] > cfg_.creditsPerNoc,
+                        "credit overflow: receiver returned too many");
+                gained = gained || returned > 0;
+            }
+            bool pending = false;
+            for (const auto &q : p.outQueue)
+                pending = pending || !q.empty();
+            if (gained && pending)
+                schedulePump();
+            if (pending) {
+                // Keep polling while traffic is stalled.
+                bool starved = false;
+                for (std::size_t n = 0; n < noc::kNumNocs; ++n) {
+                    starved = starved ||
+                              (!p.outQueue[n].empty() && p.credits[n] == 0);
+                }
+                if (starved)
+                    scheduleCreditPoll(peer_id);
+            }
+        });
+    });
+}
+
+axi::WriteResp
+InterNodeBridge::write(const axi::WriteReq &req)
+{
+    Addr offset = req.addr - windowBase_;
+    NodeId src;
+    std::uint8_t valid_mask;
+    decodeOffset(offset, src, valid_mask);
+    panicIf(req.data.size() < kFlitsPerWrite * kFlitBytes,
+            "bridge write smaller than three flits");
+
+    SourceState &state = sources_[src];
+    for (std::size_t n = 0; n < noc::kNumNocs; ++n) {
+        if (!(valid_mask & (1u << n)))
+            continue;
+        state.unreturned[n] += 1;
+        panicIf(state.unreturned[n] > cfg_.creditsPerNoc,
+                "bridge receive buffer overflow: credit protocol violated");
+        std::uint64_t flit = 0;
+        std::memcpy(&flit, req.data.data() + n * kFlitBytes, kFlitBytes);
+        // The receive FIFO drains into packet reassembly at line rate,
+        // freeing the credit immediately.
+        state.assembly[n].push_back(flit);
+        state.owedCredits[n] += 1;
+        ++flitsReceived_;
+        tryAssemble(src, static_cast<noc::NocIndex>(n));
+    }
+    if (stats_)
+        stats_->counter("bridge.axiWritesReceived").increment();
+    return axi::WriteResp{axi::Resp::kOkay, req.id};
+}
+
+axi::ReadResp
+InterNodeBridge::read(const axi::ReadReq &req)
+{
+    // Credit-return read: the requester (encoded in the address) collects
+    // the credits freed since its last poll.
+    Addr offset = req.addr - windowBase_;
+    NodeId src;
+    std::uint8_t valid_mask;
+    decodeOffset(offset, src, valid_mask);
+
+    SourceState &state = sources_[src];
+    axi::ReadResp resp;
+    resp.id = req.id;
+    resp.data.resize(noc::kNumNocs * 4);
+    for (std::size_t n = 0; n < noc::kNumNocs; ++n) {
+        std::uint32_t owed = state.owedCredits[n];
+        state.owedCredits[n] = 0;
+        panicIf(owed > state.unreturned[n],
+                "returning more credits than were consumed");
+        state.unreturned[n] -= owed;
+        std::memcpy(resp.data.data() + n * 4, &owed, 4);
+    }
+    return resp;
+}
+
+void
+InterNodeBridge::tryAssemble(NodeId src, noc::NocIndex noc_idx)
+{
+    SourceState &state = sources_[src];
+    auto n = static_cast<std::size_t>(noc_idx);
+    auto &buf = state.assembly[n];
+
+    while (!buf.empty()) {
+        // The first buffered word is always a packet header (flits of one
+        // packet arrive contiguously per NoC by construction).
+        std::uint64_t header = buf.front();
+        auto payload_flits =
+            static_cast<std::size_t>((header >> 10) & 0xff);
+        std::size_t total = 2 + payload_flits;
+        if (buf.size() < total)
+            return;
+
+        std::vector<std::uint64_t> words(
+            buf.begin(), buf.begin() + static_cast<std::ptrdiff_t>(total));
+        buf.erase(buf.begin(),
+                  buf.begin() + static_cast<std::ptrdiff_t>(total));
+
+        noc::Packet pkt = noc::deserializeWords(words);
+        panicIf(pkt.dstNode != node_, "bridge received mis-routed packet");
+        ++packetsDelivered_;
+        if (stats_)
+            stats_->counter("bridge.packetsDelivered").increment();
+        if (deliver_) {
+            eq_.schedule(cfg_.decapLatency,
+                         [this, pkt = std::move(pkt)] { deliver_(pkt); });
+        }
+    }
+}
+
+std::uint32_t
+InterNodeBridge::creditsAvailable(NodeId peer, noc::NocIndex noc_idx) const
+{
+    auto it = peers_.find(peer);
+    panicIf(it == peers_.end(), "unknown peer");
+    return it->second.credits[static_cast<std::size_t>(noc_idx)];
+}
+
+bool
+InterNodeBridge::sendIdle() const
+{
+    for (const auto &[dst, peer] : peers_) {
+        for (const auto &q : peer.outQueue) {
+            if (!q.empty())
+                return false;
+        }
+    }
+    return true;
+}
+
+} // namespace smappic::bridge

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * SMAPPIC's inter-node bridge (paper section 3.1, Fig. 4).
+ *
+ * The bridge binds nodes on the same or different FPGAs into one shared
+ * memory system by encapsulating NoC traffic into AXI4 write requests that
+ * the hard shell tunnels over PCIe:
+ *
+ *  - aw channel: the write address encodes destination node-ID, source
+ *    node-ID and valid bits for the flits carried in the data.
+ *  - w channel: up to three NoC flits, one per physical network, so the
+ *    three-NoC deadlock-avoidance structure is preserved across the link.
+ *  - ar/r channels: the sender periodically issues a read to the receiver
+ *    and gets the number of credits to return per NoC, implementing
+ *    credit-based flow control end to end (required for deadlock freedom).
+ *  - b channel: plain write acknowledgement.
+ *
+ * The receive side buffers flits per (source node, NoC); a credit violation
+ * (buffer overflow) is a protocol bug and panics.
+ */
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "axi/axi.hpp"
+#include "noc/packet.hpp"
+#include "pcie/pcie_fabric.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/stats.hpp"
+#include "sim/types.hpp"
+
+namespace smappic::bridge
+{
+
+/** Tunables of the inter-node bridge. */
+struct BridgeConfig
+{
+    std::uint32_t creditsPerNoc = 32; ///< Receive buffer depth per NoC.
+    Cycles creditPollInterval = 64;   ///< Cycles between credit reads.
+    Cycles decapLatency = 6;          ///< Receive-side decode pipeline.
+    std::uint64_t windowSize = 1 << 20; ///< Fabric window per bridge.
+};
+
+/**
+ * One node's inter-node bridge. Acts as an AXI target inside the PCIe
+ * fabric (receive side) and an AXI initiator through it (send side).
+ */
+class InterNodeBridge : public axi::Target
+{
+  public:
+    using DeliverFn = std::function<void(const noc::Packet &)>;
+
+    /**
+     * @param node This bridge's node id.
+     * @param fpga The FPGA hosting the node (fabric source id).
+     * @param window_base Base of this bridge's window in the fabric space.
+     */
+    InterNodeBridge(NodeId node, FpgaId fpga, Addr window_base,
+                    sim::EventQueue &eq, pcie::PcieFabric &fabric,
+                    const BridgeConfig &cfg, sim::StatRegistry *stats);
+
+    /** Registers a peer bridge's fabric window for destination routing. */
+    void addPeer(NodeId node, Addr window_base);
+
+    /** Receive-side output: reassembled packets entering this node. */
+    void setDeliverFn(DeliverFn fn) { deliver_ = std::move(fn); }
+
+    /**
+     * Send side: accepts a NoC packet leaving this node (ejected from the
+     * mesh's off-chip port with dstNode != this node).
+     */
+    void sendPacket(const noc::Packet &pkt);
+
+    // axi::Target (receive side, called by the fabric).
+    axi::WriteResp write(const axi::WriteReq &req) override;
+    axi::ReadResp read(const axi::ReadReq &req) override;
+
+    NodeId node() const { return node_; }
+    Addr windowBase() const { return windowBase_; }
+    std::uint64_t windowSize() const { return cfg_.windowSize; }
+
+    std::uint64_t flitsSent() const { return flitsSent_; }
+    std::uint64_t flitsReceived() const { return flitsReceived_; }
+    std::uint64_t packetsDelivered() const { return packetsDelivered_; }
+    std::uint64_t axiWritesSent() const { return axiWritesSent_; }
+    std::uint64_t creditReadsSent() const { return creditReadsSent_; }
+
+    /** Sender-side view of remaining credits toward @p peer. */
+    std::uint32_t creditsAvailable(NodeId peer, noc::NocIndex noc) const;
+
+    /** True when no flit is queued on the send side. */
+    bool sendIdle() const;
+
+  private:
+    /** Per-destination sender state. */
+    struct PeerState
+    {
+        Addr windowBase = 0;
+        std::array<std::deque<std::uint64_t>, noc::kNumNocs> outQueue;
+        std::array<std::uint32_t, noc::kNumNocs> credits;
+        bool pollInFlight = false;
+    };
+
+    /**
+     * Per-source receiver state. The hardware receive FIFO drains into the
+     * local mesh at line rate, so a credit is freed (owed back to the
+     * sender) as soon as a flit enters packet reassembly; `unreturned`
+     * tracks credits the sender has consumed but not yet been repaid,
+     * which must never exceed the configured window.
+     */
+    struct SourceState
+    {
+        std::array<std::deque<std::uint64_t>, noc::kNumNocs> assembly;
+        std::array<std::uint32_t, noc::kNumNocs> owedCredits{};
+        std::array<std::uint32_t, noc::kNumNocs> unreturned{};
+    };
+
+    static Addr encodeOffset(NodeId src, std::uint8_t valid_mask);
+    static void decodeOffset(Addr offset, NodeId &src,
+                             std::uint8_t &valid_mask);
+
+    void schedulePump();
+    void pump();
+    void scheduleCreditPoll(NodeId peer);
+    void tryAssemble(NodeId src, noc::NocIndex noc);
+
+    NodeId node_;
+    FpgaId fpga_;
+    Addr windowBase_;
+    sim::EventQueue &eq_;
+    pcie::PcieFabric &fabric_;
+    BridgeConfig cfg_;
+    sim::StatRegistry *stats_;
+
+    std::map<NodeId, PeerState> peers_;
+    std::map<NodeId, SourceState> sources_;
+    DeliverFn deliver_;
+    bool pumpScheduled_ = false;
+
+    std::uint64_t flitsSent_ = 0;
+    std::uint64_t flitsReceived_ = 0;
+    std::uint64_t packetsDelivered_ = 0;
+    std::uint64_t axiWritesSent_ = 0;
+    std::uint64_t creditReadsSent_ = 0;
+};
+
+} // namespace smappic::bridge

@@ -1,0 +1,656 @@
+#include "cache/coherent_system.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "sim/log.hpp"
+
+namespace smappic::cache
+{
+
+namespace
+{
+
+/** Request packet wire footprint: header + address flit. */
+constexpr std::uint32_t kReqBytes = 16;
+/** Data packet wire footprint: header + address + 8 data flits. */
+constexpr std::uint32_t kDataBytes = 16 + kCacheLineBytes;
+
+std::uint64_t
+mixLine(Addr line)
+{
+    std::uint64_t x = line >> 6;
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdULL;
+    x ^= x >> 33;
+    return x;
+}
+
+} // namespace
+
+CoherentSystem::CoherentSystem(const Geometry &geo, const TimingParams &timing,
+                               HomingPolicy homing, sim::StatRegistry *stats)
+    : geo_(geo), timing_(timing), homing_(homing), topo_(geo.tilesPerNode)
+{
+    fatalIf(geo.nodes == 0 || geo.tilesPerNode == 0,
+            "system needs at least one node and one tile");
+    fatalIf(geo.totalTiles() > 64,
+            "directory sharer mask supports at most 64 tiles");
+
+    if (stats) {
+        stats_ = stats;
+    } else {
+        ownedStats_ = std::make_unique<sim::StatRegistry>();
+        stats_ = ownedStats_.get();
+    }
+
+    std::uint32_t total = geo.totalTiles();
+    l1i_.reserve(total);
+    l1d_.reserve(total);
+    bpc_.reserve(total);
+    llc_.reserve(total);
+    for (std::uint32_t g = 0; g < total; ++g) {
+        l1i_.emplace_back(geo.l1iBytes, geo.l1iWays);
+        l1d_.emplace_back(geo.l1dBytes, geo.l1dWays);
+        bpc_.emplace_back(geo.bpcBytes, geo.bpcWays);
+        llc_.emplace_back(geo.llcSliceBytes, geo.llcWays);
+    }
+    llcServer_.assign(total, sim::QueueServer(4));
+    dramServer_.assign(geo.nodes, sim::QueueServer(timing_.dramBanks));
+    for (std::uint32_t n = 0; n < geo.nodes; ++n) {
+        // Several encapsulated transfers are pipelined at once (credit
+        // window); 4 ways keeps the next-free-time model from charging
+        // phantom queueing to slightly out-of-order arrivals.
+        bridgeOut_.emplace_back(timing_.bridgeLatency,
+                                timing_.bridgeBytesPerCycle, 4);
+        bridgeIn_.emplace_back(timing_.bridgeLatency,
+                               timing_.bridgeBytesPerCycle, 4);
+        pcieOut_.emplace_back(timing_.pcieOneWay(),
+                              timing_.pcieBytesPerCycle, 8);
+    }
+}
+
+NodeId
+CoherentSystem::addrNode(Addr addr) const
+{
+    Addr rel = addr >= geo_.dramBase ? addr - geo_.dramBase : 0;
+    return static_cast<NodeId>((rel / geo_.memPerNode) % geo_.nodes);
+}
+
+std::pair<NodeId, TileId>
+CoherentSystem::homeOf(Addr addr) const
+{
+    Addr line = lineAlign(addr);
+    switch (homing_) {
+      case HomingPolicy::kAddressNode: {
+          NodeId node = addrNode(line);
+          auto tile = static_cast<TileId>(mixLine(line) % geo_.tilesPerNode);
+          return {node, tile};
+      }
+      case HomingPolicy::kGlobalHash: {
+          auto gid =
+              static_cast<GlobalTileId>(mixLine(line) % geo_.totalTiles());
+          return {nodeOf(gid), tileOf(gid)};
+      }
+      case HomingPolicy::kNode0: {
+          auto tile = static_cast<TileId>(mixLine(line) % geo_.tilesPerNode);
+          return {0, tile};
+      }
+      case HomingPolicy::kCoherenceDomains: {
+          // Within a domain, lines home on the owning node like the
+          // SMAPPIC default; the restriction acts on out-of-domain
+          // requesters (see access()).
+          NodeId node = addrNode(line);
+          auto tile = static_cast<TileId>(mixLine(line) % geo_.tilesPerNode);
+          return {node, tile};
+      }
+    }
+    panic("unknown homing policy");
+}
+
+void
+CoherentSystem::addDevice(Addr base, std::uint64_t size, GlobalTileId gid,
+                          NcDevice *dev)
+{
+    fatalIf(dev == nullptr, "device window without a device");
+    fatalIf(gid >= geo_.totalTiles(), "device attached to unknown tile");
+    for (const auto &w : devices_) {
+        bool disjoint = base + size <= w.base || w.base + w.size <= base;
+        fatalIf(!disjoint, "device windows overlap");
+    }
+    devices_.push_back(DeviceWindow{base, size, gid, dev});
+}
+
+Cycles
+CoherentSystem::nocPath(NodeId sn, TileId st, NodeId dn, TileId dt,
+                        std::uint32_t bytes, Cycles t, bool *crossed)
+{
+    if (sn == dn) {
+        std::uint32_t hops = (dt == noc::kOffChipTile)
+                                 ? topo_.hopsToOffChip(st)
+                                 : topo_.hops(st, dt);
+        if (crossed)
+            *crossed = false;
+        return t + timing_.nocInject + hops * timing_.hopLatency;
+    }
+
+    // Inter-node: mesh to tile 0, northbound into the inter-node bridge,
+    // AXI4 encapsulation, PCIe peer-to-peer transfer, decapsulation, mesh
+    // to the destination tile (SMAPPIC section 3.1, stages 1-10).
+    if (crossed)
+        *crossed = true;
+    stats_->counter("cs.bridge.crossings").increment();
+    stats_->counter("cs.bridge.bytes").increment(bytes);
+
+    t += timing_.nocInject + topo_.hopsToOffChip(st) * timing_.hopLatency;
+    t = bridgeOut_[sn].send(t, bytes);
+    t = pcieOut_[sn].send(t, bytes);
+    t = bridgeIn_[dn].send(t, bytes);
+    if (dt != noc::kOffChipTile)
+        t += (topo_.hops(0, dt) + 1) * timing_.hopLatency;
+    return t;
+}
+
+Cycles
+CoherentSystem::dramAccess(NodeId node, std::uint32_t bytes, Cycles t)
+{
+    auto service = static_cast<Cycles>(
+        static_cast<double>(bytes) / timing_.dramBytesPerCycle + 0.999999);
+    if (service == 0)
+        service = 1;
+    auto grant = dramServer_[node].offer(t, service);
+    stats_->counter("cs.dram.accesses").increment();
+    return grant.done + timing_.dramLatency;
+}
+
+void
+CoherentSystem::dropPrivate(Addr line, GlobalTileId gid)
+{
+    l1d_[gid].invalidate(line);
+    l1i_[gid].invalidate(line);
+    bpc_[gid].invalidate(line);
+    auto it = directory_.find(line);
+    if (it == directory_.end())
+        return;
+    it->second.sharers &= ~(1ULL << gid);
+    if (it->second.owner == static_cast<std::int32_t>(gid))
+        it->second.owner = -1;
+}
+
+Cycles
+CoherentSystem::recallPrivate(Addr line, NodeId hn, TileId ht, Cycles t,
+                              bool keep_data_in_llc)
+{
+    DirEntry &dir = dirEntry(line);
+    Cycles last_ack = t;
+
+    auto round_trip = [&](GlobalTileId g, std::uint32_t resp_bytes) {
+        Cycles tr = nocPath(hn, ht, nodeOf(g), tileOf(g), kReqBytes, t);
+        tr += timing_.privLatency;
+        tr = nocPath(nodeOf(g), tileOf(g), hn, ht, resp_bytes, tr);
+        last_ack = std::max(last_ack, tr);
+    };
+
+    if (dir.owner >= 0) {
+        auto g = static_cast<GlobalTileId>(dir.owner);
+        round_trip(g, kDataBytes); // Owner returns dirty data.
+        if (keep_data_in_llc)
+            dir.dirty = true;
+        dropPrivate(line, g);
+        stats_->counter("cs.dir.ownerRecalls").increment();
+    }
+    std::uint64_t sharers = dir.sharers;
+    while (sharers) {
+        auto g = static_cast<GlobalTileId>(__builtin_ctzll(sharers));
+        sharers &= sharers - 1;
+        round_trip(g, kReqBytes); // Clean sharers ack without data.
+        dropPrivate(line, g);
+        stats_->counter("cs.dir.invalidations").increment();
+    }
+    return last_ack;
+}
+
+Cycles
+CoherentSystem::llcEnsureResident(Addr line, NodeId hn, TileId ht, Cycles t,
+                                  bool &from_dram)
+{
+    DirEntry &dir = dirEntry(line);
+    if (dir.inLlc) {
+        from_dram = false;
+        return t;
+    }
+
+    from_dram = true;
+    NodeId dram_node = addrNode(line);
+    if (dram_node != hn) {
+        // Only possible under kGlobalHash homing: the home slice and the
+        // backing DRAM live on different nodes, so the fill crosses again.
+        t = nocPath(hn, ht, dram_node, noc::kOffChipTile, kReqBytes, t);
+        t = dramAccess(dram_node, kCacheLineBytes, t);
+        t = nocPath(dram_node, noc::kOffChipTile, hn, ht, kDataBytes, t);
+    } else {
+        // Home slice talks to its node-local memory controller through the
+        // chipset (off-chip port).
+        t += (topo_.hopsToOffChip(ht)) * timing_.hopLatency;
+        t = dramAccess(hn, kCacheLineBytes, t);
+        t += (topo_.hopsToOffChip(ht)) * timing_.hopLatency;
+    }
+
+    GlobalTileId home_gid = gidOf(hn, ht);
+    auto victim = llc_[home_gid].insert(line, 0);
+    if (victim) {
+        // Inclusive LLC: recall every private copy of the victim line and
+        // write it back if dirty anywhere.
+        Addr vline = victim->line;
+        auto vit = directory_.find(vline);
+        bool dirty = (victim->state & 1) != 0;
+        if (vit != directory_.end()) {
+            DirEntry &vdir = vit->second;
+            if (vdir.owner >= 0)
+                dirty = true;
+            std::uint64_t members =
+                vdir.sharers |
+                (vdir.owner >= 0 ? (1ULL << vdir.owner) : 0);
+            while (members) {
+                auto g =
+                    static_cast<GlobalTileId>(__builtin_ctzll(members));
+                members &= members - 1;
+                dropPrivate(vline, g);
+            }
+            directory_.erase(vit);
+        }
+        if (dirty) {
+            NodeId vnode = addrNode(vline);
+            dramAccess(vnode, kCacheLineBytes, t); // Async writeback.
+            stats_->counter("cs.llc.writebacks").increment();
+        }
+        t += timing_.llcEvictPenalty;
+        stats_->counter("cs.llc.evictions").increment();
+    }
+
+    DirEntry &fresh = dirEntry(line);
+    fresh.inLlc = true;
+    fresh.dirty = false;
+    stats_->counter("cs.llc.fills").increment();
+    return t;
+}
+
+void
+CoherentSystem::privateFill(Addr line, GlobalTileId gid, std::uint32_t state,
+                            bool fill_l1i, Cycles t)
+{
+    auto victim = bpc_[gid].insert(line, state);
+    if (victim) {
+        Addr vline = victim->line;
+        // Keep L1 inclusive in the BPC.
+        l1d_[gid].invalidate(vline);
+        l1i_[gid].invalidate(vline);
+
+        auto vit = directory_.find(vline);
+        panicIf(vit == directory_.end(),
+                "BPC line without a directory entry");
+        DirEntry &vdir = vit->second;
+        auto [vhn, vht] = homeOf(vline);
+        if (victim->state == kModified) {
+            // Dirty victim: write back to the home LLC slice. The
+            // writeback is buffered, so it consumes path bandwidth but
+            // does not delay the current transaction.
+            nocPath(nodeOf(gid), tileOf(gid), vhn, vht, kDataBytes, t);
+            panicIf(vdir.owner != static_cast<std::int32_t>(gid),
+                    "dirty victim not owned by evicting tile");
+            vdir.owner = -1;
+            vdir.dirty = true;
+            stats_->counter("cs.bpc.writebacks").increment();
+        } else {
+            // Clean victim: notify the directory (precise tracking).
+            vdir.sharers &= ~(1ULL << gid);
+            stats_->counter("cs.bpc.cleanEvicts").increment();
+        }
+    }
+
+    if (fill_l1i) {
+        l1i_[gid].insert(line, kShared);
+    } else {
+        if (!l1d_[gid].probe(line))
+            l1d_[gid].insert(line, kShared);
+    }
+}
+
+AccessResult
+CoherentSystem::deviceAccess(const DeviceWindow &w, GlobalTileId gid,
+                             Addr addr, AccessType type, std::uint32_t bytes,
+                             Cycles now)
+{
+    bool crossed = false;
+    Cycles t = now + timing_.l1MissDetect;
+    t = nocPath(nodeOf(gid), tileOf(gid), nodeOf(w.gid), tileOf(w.gid),
+                kReqBytes + (type == AccessType::kNcStore ? bytes : 0), t,
+                &crossed);
+    Cycles service = timing_.deviceLatency;
+    if (type == AccessType::kNcStore || type == AccessType::kStore ||
+        type == AccessType::kAtomic) {
+        std::uint64_t value = memory_.load(addr, std::min(bytes, 8u));
+        w.dev->ncStore(addr - w.base, bytes, value, t, service);
+        stats_->counter("cs.device.stores").increment();
+    } else {
+        std::uint64_t value = w.dev->ncLoad(addr - w.base, bytes, t, service);
+        memory_.store(addr, std::min(bytes, 8u), value);
+        stats_->counter("cs.device.loads").increment();
+    }
+    t += service;
+    t = nocPath(nodeOf(w.gid), tileOf(w.gid), nodeOf(gid), tileOf(gid),
+                kReqBytes + (type == AccessType::kNcStore ? 0 : bytes), t);
+    return AccessResult{t - now, ServiceLevel::kDevice, crossed};
+}
+
+AccessResult
+CoherentSystem::access(GlobalTileId gid, Addr addr, AccessType type,
+                       std::uint32_t bytes, Cycles now)
+{
+    panicIf(gid >= geo_.totalTiles(), "access from unknown tile");
+    Addr line = lineAlign(addr);
+    NodeId my_node = nodeOf(gid);
+    TileId my_tile = tileOf(gid);
+
+    // Device windows capture all access types (BYOC treats device space as
+    // non-cacheable).
+    for (const auto &w : devices_) {
+        if (addr >= w.base && addr - w.base < w.size)
+            return deviceAccess(w, gid, addr, type, bytes, now);
+    }
+
+    // Coherence Domain Restriction: a requester outside the line's
+    // domain may not cache it; its loads/stores become uncached remote
+    // memory operations.
+    if (homing_ == HomingPolicy::kCoherenceDomains &&
+        addrNode(addr) != my_node &&
+        (type == AccessType::kLoad || type == AccessType::kStore ||
+         type == AccessType::kFetch || type == AccessType::kAtomic)) {
+        stats_->counter("cs.cdr.uncachedRemote").increment();
+        type = (type == AccessType::kStore || type == AccessType::kAtomic)
+                   ? AccessType::kNcStore
+                   : AccessType::kNcLoad;
+    }
+
+    // Explicit NC accesses to plain memory go straight to the owning
+    // node's memory controller (used by the virtual SD card).
+    if (type == AccessType::kNcLoad || type == AccessType::kNcStore) {
+        bool crossed = false;
+        NodeId dn = addrNode(addr);
+        Cycles t = now + timing_.l1MissDetect;
+        t = nocPath(my_node, my_tile, dn, noc::kOffChipTile,
+                    kReqBytes + (type == AccessType::kNcStore ? bytes : 0),
+                    t, &crossed);
+        t = dramAccess(dn, bytes, t);
+        t = nocPath(dn, noc::kOffChipTile, my_node, my_tile,
+                    kReqBytes + (type == AccessType::kNcLoad ? bytes : 0), t);
+        stats_->counter("cs.nc.accesses").increment();
+        return AccessResult{
+            t - now,
+            dn == my_node ? ServiceLevel::kDramLocal
+                          : ServiceLevel::kDramRemote,
+            crossed};
+    }
+
+    CacheArray &l1 = (type == AccessType::kFetch) ? l1i_[gid] : l1d_[gid];
+
+    // --- L1 hit path ---
+    if (type == AccessType::kLoad || type == AccessType::kFetch) {
+        if (l1.lookup(addr)) {
+            stats_->counter("cs.l1.hits").increment();
+            return AccessResult{timing_.l1HitLatency, ServiceLevel::kL1,
+                                false};
+        }
+    } else if (type == AccessType::kStore) {
+        // Write-through L1: a store completes at L1 speed only when the
+        // BPC already holds the line in M (the store buffer hides the
+        // write-through).
+        if (bpc_[gid].probe(line) && bpc_[gid].state(line) == kModified) {
+            bpc_[gid].lookup(line);
+            if (l1.probe(line))
+                l1.lookup(line);
+            stats_->counter("cs.l1.storeHits").increment();
+            return AccessResult{timing_.l1HitLatency, ServiceLevel::kL1,
+                                false};
+        }
+    }
+
+    // --- BPC hit path (loads/fetches with at least S) ---
+    if ((type == AccessType::kLoad || type == AccessType::kFetch) &&
+        bpc_[gid].lookup(line)) {
+        if (!l1.probe(line))
+            l1.insert(line, kShared);
+        stats_->counter("cs.bpc.hits").increment();
+        return AccessResult{timing_.l1MissDetect + timing_.privLatency,
+                            ServiceLevel::kPrivate, false};
+    }
+
+    // --- Miss: transaction to the home LLC slice ---
+    stats_->counter("cs.bpc.misses").increment();
+    auto [hn, ht] = homeOf(line);
+    GlobalTileId home_gid = gidOf(hn, ht);
+    bool crossed = false;
+    bool upgrade = type == AccessType::kStore && bpc_[gid].probe(line);
+
+    Cycles t = now + timing_.l1MissDetect + timing_.privLatency;
+    t = nocPath(my_node, my_tile, hn, ht, kReqBytes, t, &crossed);
+    auto grant = llcServer_[home_gid].offer(t, timing_.llcOccupancy);
+    t = grant.start + timing_.llcLatency;
+
+    DirEntry &dir = dirEntry(line);
+    bool from_dram = false;
+
+    switch (type) {
+      case AccessType::kLoad:
+      case AccessType::kFetch: {
+          panicIf(dir.owner == static_cast<std::int32_t>(gid),
+                  "load miss while owning the line");
+          if (dir.owner >= 0) {
+              // Owner forward: downgrade M -> S and pull dirty data into
+              // the LLC before responding.
+              auto og = static_cast<GlobalTileId>(dir.owner);
+              t = nocPath(hn, ht, nodeOf(og), tileOf(og), kReqBytes, t);
+              t += timing_.privLatency;
+              t = nocPath(nodeOf(og), tileOf(og), hn, ht, kDataBytes, t);
+              bpc_[og].setState(line, kShared);
+              dir.sharers |= 1ULL << og;
+              dir.owner = -1;
+              dir.dirty = true;
+              stats_->counter("cs.dir.downgrades").increment();
+          } else {
+              t = llcEnsureResident(line, hn, ht, t, from_dram);
+          }
+          t = nocPath(hn, ht, my_node, my_tile, kDataBytes, t);
+          t += timing_.privFillLatency;
+          privateFill(line, gid, kShared, type == AccessType::kFetch, t);
+          dirEntry(line).sharers |= 1ULL << gid;
+          break;
+      }
+      case AccessType::kStore: {
+          if (dir.owner >= 0 || (dir.sharers & ~(1ULL << gid)) != 0) {
+              Cycles acks = recallPrivateExcept(line, hn, ht, t, gid);
+              t = std::max(t, acks);
+          }
+          t = llcEnsureResident(line, hn, ht, t, from_dram);
+          std::uint32_t resp = upgrade ? kReqBytes : kDataBytes;
+          t = nocPath(hn, ht, my_node, my_tile, resp, t);
+          t += timing_.privFillLatency;
+          DirEntry &d = dirEntry(line);
+          d.sharers &= ~(1ULL << gid);
+          d.owner = static_cast<std::int32_t>(gid);
+          if (bpc_[gid].probe(line)) {
+              bpc_[gid].setState(line, kModified);
+              bpc_[gid].lookup(line);
+          } else {
+              privateFill(line, gid, kModified, false, t);
+              // privateFill does not touch dir ownership; re-assert it.
+              dirEntry(line).owner = static_cast<std::int32_t>(gid);
+          }
+          stats_->counter("cs.dir.storeMisses").increment();
+          break;
+      }
+      case AccessType::kAtomic: {
+          // Atomics execute at the home LLC slice; every private copy
+          // (including the requester's) is recalled first.
+          Cycles acks = recallPrivate(line, hn, ht, t, true);
+          t = std::max(t, acks);
+          t = llcEnsureResident(line, hn, ht, t, from_dram);
+          DirEntry &d = dirEntry(line);
+          d.dirty = true;
+          t = nocPath(hn, ht, my_node, my_tile, kReqBytes + 8, t);
+          stats_->counter("cs.atomics").increment();
+          break;
+      }
+      default:
+        panic("unreachable access type");
+    }
+
+    ServiceLevel level;
+    if (from_dram) {
+        level = addrNode(line) == my_node ? ServiceLevel::kDramLocal
+                                          : ServiceLevel::kDramRemote;
+    } else {
+        level = hn == my_node ? ServiceLevel::kLlcLocal
+                              : ServiceLevel::kLlcRemote;
+    }
+    switch (level) {
+      case ServiceLevel::kLlcLocal:
+        stats_->counter("cs.serviced.llcLocal").increment();
+        break;
+      case ServiceLevel::kLlcRemote:
+        stats_->counter("cs.serviced.llcRemote").increment();
+        break;
+      case ServiceLevel::kDramLocal:
+        stats_->counter("cs.serviced.dramLocal").increment();
+        break;
+      case ServiceLevel::kDramRemote:
+        stats_->counter("cs.serviced.dramRemote").increment();
+        break;
+      default:
+        break;
+    }
+    stats_->summaryStat("cs.missLatency").sample(
+        static_cast<double>(t - now));
+    return AccessResult{t - now, level, crossed};
+}
+
+Cycles
+CoherentSystem::recallPrivateExcept(Addr line, NodeId hn, TileId ht, Cycles t,
+                                    GlobalTileId except)
+{
+    DirEntry &dir = dirEntry(line);
+    Cycles last_ack = t;
+
+    auto round_trip = [&](GlobalTileId g, std::uint32_t resp_bytes) {
+        Cycles tr = nocPath(hn, ht, nodeOf(g), tileOf(g), kReqBytes, t);
+        tr += timing_.privLatency;
+        tr = nocPath(nodeOf(g), tileOf(g), hn, ht, resp_bytes, tr);
+        last_ack = std::max(last_ack, tr);
+    };
+
+    if (dir.owner >= 0 &&
+        dir.owner != static_cast<std::int32_t>(except)) {
+        auto g = static_cast<GlobalTileId>(dir.owner);
+        round_trip(g, kDataBytes);
+        dir.dirty = true;
+        dropPrivate(line, g);
+        stats_->counter("cs.dir.ownerRecalls").increment();
+    }
+    std::uint64_t sharers = dir.sharers & ~(1ULL << except);
+    while (sharers) {
+        auto g = static_cast<GlobalTileId>(__builtin_ctzll(sharers));
+        sharers &= sharers - 1;
+        round_trip(g, kReqBytes);
+        dropPrivate(line, g);
+        stats_->counter("cs.dir.invalidations").increment();
+    }
+    return last_ack;
+}
+
+void
+CoherentSystem::flushPrivate(GlobalTileId gid)
+{
+    panicIf(gid >= geo_.totalTiles(), "flushPrivate of unknown tile");
+    std::vector<Addr> lines;
+    bpc_[gid].forEachLine(
+        [&](Addr line, std::uint32_t) { lines.push_back(line); });
+    for (Addr line : lines) {
+        auto it = directory_.find(line);
+        if (it != directory_.end() &&
+            it->second.owner == static_cast<std::int32_t>(gid)) {
+            it->second.dirty = true; // Writeback lands in the home LLC.
+        }
+        dropPrivate(line, gid);
+    }
+}
+
+void
+CoherentSystem::flushCaches()
+{
+    for (auto &c : l1i_)
+        c.flush();
+    for (auto &c : l1d_)
+        c.flush();
+    for (auto &c : bpc_)
+        c.flush();
+    for (auto &c : llc_)
+        c.flush();
+    directory_.clear();
+}
+
+bool
+CoherentSystem::checkInclusion() const
+{
+    for (std::uint32_t g = 0; g < geo_.totalTiles(); ++g) {
+        bool ok = true;
+        l1d_[g].forEachLine([&](Addr line, std::uint32_t) {
+            if (!bpc_[g].probe(line))
+                ok = false;
+        });
+        l1i_[g].forEachLine([&](Addr line, std::uint32_t) {
+            if (!bpc_[g].probe(line))
+                ok = false;
+        });
+        if (!ok)
+            return false;
+    }
+    return true;
+}
+
+bool
+CoherentSystem::checkDirectory() const
+{
+    // Expected membership per tile from the directory.
+    std::vector<std::set<Addr>> expected(geo_.totalTiles());
+    for (const auto &[line, dir] : directory_) {
+        if (dir.owner >= 0) {
+            // An owned line must have no other sharers.
+            if ((dir.sharers & ~(1ULL << dir.owner)) != 0)
+                return false;
+            expected[static_cast<std::size_t>(dir.owner)].insert(line);
+        }
+        std::uint64_t sharers = dir.sharers;
+        while (sharers) {
+            auto g = static_cast<GlobalTileId>(__builtin_ctzll(sharers));
+            sharers &= sharers - 1;
+            if (dir.owner == static_cast<std::int32_t>(g)) {
+                continue;
+            }
+            expected[g].insert(line);
+        }
+        // Private copies require LLC residency (inclusive hierarchy).
+        if ((dir.sharers != 0 || dir.owner >= 0) && !dir.inLlc)
+            return false;
+    }
+
+    for (std::uint32_t g = 0; g < geo_.totalTiles(); ++g) {
+        std::set<Addr> actual;
+        bpc_[g].forEachLine(
+            [&](Addr line, std::uint32_t) { actual.insert(line); });
+        if (actual != expected[g])
+            return false;
+    }
+    return true;
+}
+
+} // namespace smappic::cache

@@ -1,0 +1,332 @@
+/**
+ * @file
+ * Transaction-level model of the BYOC coherent memory system as configured
+ * by SMAPPIC: per-tile private caches (L1I/L1D + BPC), a distributed shared
+ * LLC with a precise MESI-style directory, SMAPPIC's all-node line homing,
+ * per-node NoC meshes, and the inter-node bridge + PCIe path for remote
+ * transactions.
+ *
+ * Every memory access walks the real protocol state machines (fills,
+ * invalidations, owner forwards, inclusive-LLC recalls) and accumulates
+ * latency from calibrated pipeline constants plus queueing at shared
+ * resources (LLC slices, DRAM channels, bridge/PCIe links). The calibration
+ * targets the paper's measured numbers: ~100-cycle intra-node and ~250-cycle
+ * inter-node round trips (Fig. 7) with an 80-cycle DRAM latency and a
+ * 125-cycle PCIe round trip (Table 2).
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/cache_array.hpp"
+#include "mem/main_memory.hpp"
+#include "noc/topology.hpp"
+#include "sim/server.hpp"
+#include "sim/stats.hpp"
+#include "sim/types.hpp"
+
+namespace smappic::cache
+{
+
+/** Kind of memory operation issued by a core or accelerator. */
+enum class AccessType : std::uint8_t
+{
+    kLoad,    ///< Cacheable read.
+    kStore,   ///< Cacheable write.
+    kAtomic,  ///< Atomic read-modify-write (performed at the home LLC).
+    kFetch,   ///< Instruction fetch.
+    kNcLoad,  ///< Non-cacheable read (devices, accelerator FIFOs).
+    kNcStore, ///< Non-cacheable write.
+};
+
+/** Where an access was ultimately serviced (for stats and tests). */
+enum class ServiceLevel : std::uint8_t
+{
+    kL1,         ///< L1I/L1D hit.
+    kPrivate,    ///< BPC hit.
+    kLlcLocal,   ///< Home LLC slice on the requester's node.
+    kLlcRemote,  ///< Home LLC slice on another node.
+    kDramLocal,  ///< Missed LLC; DRAM on the requester's node.
+    kDramRemote, ///< Missed LLC; DRAM on another node.
+    kDevice,     ///< Non-cacheable device window.
+};
+
+/** Line-homing policies selectable in SMAPPIC. */
+enum class HomingPolicy : std::uint8_t
+{
+    /**
+     * SMAPPIC default: the home node is the node whose DRAM backs the
+     * address; the home tile within that node is a line hash. Works out of
+     * the box with OS NUMA support (the device tree exposes per-node
+     * memory ranges).
+     */
+    kAddressNode,
+    /** Literal global hash across every tile of every node. */
+    kGlobalHash,
+    /** Everything homed on node 0 (single-home baseline/ablation). */
+    kNode0,
+    /**
+     * Coherence Domain Restriction (Fu et al., MICRO'15): the mechanism
+     * BYOC originally required for multi-chip operation and that
+     * SMAPPIC's homing change replaces. Each node is a coherence domain;
+     * lines are cacheable only inside their own node's domain, and
+     * accesses from other nodes bypass the caches as uncached remote
+     * operations (the hardware/software burden the paper's "works out of
+     * the box" claim contrasts against).
+     */
+    kCoherenceDomains,
+};
+
+/** Geometry of the prototyped system (Table 2 defaults). */
+struct Geometry
+{
+    std::uint32_t nodes = 1;
+    std::uint32_t tilesPerNode = 1;
+    Addr dramBase = 0;                      ///< Start of DRAM addressing.
+    std::uint64_t memPerNode = 16ULL << 30; ///< One F1 DRAM channel.
+
+    std::uint64_t l1iBytes = 16 << 10;
+    std::uint32_t l1iWays = 4;
+    std::uint64_t l1dBytes = 8 << 10;
+    std::uint32_t l1dWays = 4;
+    std::uint64_t bpcBytes = 8 << 10;
+    std::uint32_t bpcWays = 4;
+    std::uint64_t llcSliceBytes = 64 << 10;
+    std::uint32_t llcWays = 4;
+
+    std::uint32_t totalTiles() const { return nodes * tilesPerNode; }
+};
+
+/**
+ * Latency/bandwidth calibration. Defaults reproduce the paper's measured
+ * characteristics at 100 MHz (see file comment).
+ */
+struct TimingParams
+{
+    Cycles l1HitLatency = 1;
+    Cycles l1MissDetect = 2;
+    Cycles privLatency = 8;      ///< BPC lookup/response.
+    Cycles privFillLatency = 8;  ///< Fill into BPC + L1 + load-to-use.
+    Cycles nocInject = 4;        ///< Serializer + first router.
+    Cycles hopLatency = 3;       ///< Per mesh hop (router + link).
+    Cycles llcLatency = 60;      ///< LLC pipeline incl. directory.
+    Cycles llcOccupancy = 1;     ///< Pipelined slice: 1 req/cycle.
+    Cycles llcEvictPenalty = 12; ///< Inclusive-LLC recall overhead.
+    Cycles dramLatency = 80;     ///< Table 2.
+    /** DDR4-2133 moves ~17 GB/s = ~170 B per 100 MHz target cycle; FPGA
+     *  prototypes are latency- not bandwidth-bound (the cores are slow
+     *  relative to the memory), which Fig 9's trends depend on. */
+    double dramBytesPerCycle = 160.0;
+    std::uint32_t dramBanks = 16; ///< DDR4 bank-level parallelism.
+    Cycles bridgeLatency = 4;    ///< NoC<->AXI4 (de)encapsulation.
+    /** One 3-flit AXI write per cycle through the bridge. */
+    double bridgeBytesPerCycle = 24.0;
+    Cycles pcieRtt = 125;        ///< Table 2 inter-node round trip.
+    /** PCIe Gen3 x16 is ~15.75 GB/s (~160 B/cycle at 100 MHz); the
+     *  encapsulation overhead brings the effective rate down. */
+    double pcieBytesPerCycle = 64.0;
+    Cycles deviceLatency = 8;    ///< Default NC device service time.
+
+    Cycles pcieOneWay() const { return (pcieRtt + 1) / 2; }
+};
+
+/** Outcome of one timed access. */
+struct AccessResult
+{
+    Cycles latency = 0;
+    ServiceLevel level = ServiceLevel::kL1;
+    bool crossedNode = false;
+};
+
+/** A non-cacheable device mapped into the address space at some tile. */
+class NcDevice
+{
+  public:
+    virtual ~NcDevice() = default;
+
+    /**
+     * Handles a non-cacheable load.
+     * @param offset Byte offset within the device window.
+     * @param bytes Access width.
+     * @param now Arrival time at the device.
+     * @param service Out-parameter: device service latency in cycles.
+     * @return The loaded value.
+     */
+    virtual std::uint64_t ncLoad(Addr offset, std::uint32_t bytes, Cycles now,
+                                 Cycles &service) = 0;
+
+    /** Handles a non-cacheable store (see ncLoad for parameters). */
+    virtual void ncStore(Addr offset, std::uint32_t bytes,
+                         std::uint64_t value, Cycles now, Cycles &service) = 0;
+};
+
+/**
+ * The coherent multi-node memory system.
+ *
+ * Tiles are addressed by GlobalTileId = node * tilesPerNode + tile. The
+ * class is deliberately single-threaded: callers (the guest-OS thread
+ * scheduler, the RISC-V cores) serialize accesses in virtual-time order.
+ */
+class CoherentSystem
+{
+  public:
+    CoherentSystem(const Geometry &geo, const TimingParams &timing,
+                   HomingPolicy homing, sim::StatRegistry *stats = nullptr);
+
+    /** Performs the timing/state walk for one access. */
+    AccessResult access(GlobalTileId gid, Addr addr, AccessType type,
+                        std::uint32_t bytes, Cycles now);
+
+    /** Functional backing store (data plane). */
+    mem::MainMemory &memory() { return memory_; }
+    const mem::MainMemory &memory() const { return memory_; }
+
+    /**
+     * Maps @p dev at [base, base+size) attached to @p gid's position for
+     * path-latency purposes. Cacheable accesses to the window are treated
+     * as non-cacheable, as BYOC does for device space.
+     */
+    void addDevice(Addr base, std::uint64_t size, GlobalTileId gid,
+                   NcDevice *dev);
+
+    /** Node whose DRAM channel backs @p addr. */
+    NodeId addrNode(Addr addr) const;
+
+    /** Home (node, tile) of @p addr's line under the active policy. */
+    std::pair<NodeId, TileId> homeOf(Addr addr) const;
+
+    const Geometry &geometry() const { return geo_; }
+    const TimingParams &timing() const { return timing_; }
+    HomingPolicy homing() const { return homing_; }
+
+    /** Drops all cached state (directory, arrays); keeps data. */
+    void flushCaches();
+
+    /**
+     * Drops one tile's private (L1 + BPC) contents, updating the directory;
+     * dirty lines are written back to their home LLC. Used by latency
+     * probes that need repeatable cold private caches.
+     */
+    void flushPrivate(GlobalTileId gid);
+
+    /** Invariant: every L1 line is also in its BPC. */
+    bool checkInclusion() const;
+
+    /**
+     * Invariant: the directory is precise — for every tile, the set of
+     * lines resident in its BPC equals the set of lines whose directory
+     * entry names the tile as sharer or owner, and owned lines have no
+     * other sharers.
+     */
+    bool checkDirectory() const;
+
+    /** Per-system stats live under the "cs." prefix in the registry. */
+    sim::StatRegistry &stats() { return *stats_; }
+
+    /** Total DRAM-channel queueing observed (for congestion tests). */
+    Cycles dramQueuedCycles(NodeId node) const
+    {
+        return dramServer_.at(node).queuedCycles();
+    }
+
+  private:
+    // Private-cache line states stored in CacheArray aux words.
+    static constexpr std::uint32_t kShared = 1;
+    static constexpr std::uint32_t kModified = 2;
+    // LLC aux word bit 0 = dirty.
+
+    struct DirEntry
+    {
+        std::uint64_t sharers = 0; ///< Bit per global tile (S copies).
+        std::int32_t owner = -1;   ///< Global tile holding M, or -1.
+        bool inLlc = false;        ///< Data resident in the home slice.
+        bool dirty = false;        ///< LLC copy newer than DRAM.
+    };
+
+    struct DeviceWindow
+    {
+        Addr base;
+        std::uint64_t size;
+        GlobalTileId gid;
+        NcDevice *dev;
+    };
+
+    GlobalTileId gidOf(NodeId node, TileId tile) const
+    {
+        return node * geo_.tilesPerNode + tile;
+    }
+    NodeId nodeOf(GlobalTileId gid) const { return gid / geo_.tilesPerNode; }
+    TileId tileOf(GlobalTileId gid) const { return gid % geo_.tilesPerNode; }
+
+    /**
+     * Advances a message from (sn,st) to (dn,dt) starting at absolute time
+     * @p t, consuming bandwidth on shared links.
+     * @return Arrival time at the destination.
+     */
+    Cycles nocPath(NodeId sn, TileId st, NodeId dn, TileId dt,
+                   std::uint32_t bytes, Cycles t, bool *crossed = nullptr);
+
+    /** DRAM access at @p node arriving at @p t; returns completion time. */
+    Cycles dramAccess(NodeId node, std::uint32_t bytes, Cycles t);
+
+    /** Ensures the line is resident in its home LLC slice (fills on miss).
+     *  Returns completion time; sets @p from_dram. */
+    Cycles llcEnsureResident(Addr line, NodeId hn, TileId ht, Cycles t,
+                             bool &from_dram);
+
+    /** Recalls every private copy of @p line (invalidation fan-out).
+     *  Returns the time the last ack reaches the home. */
+    Cycles recallPrivate(Addr line, NodeId hn, TileId ht, Cycles t,
+                         bool keep_data_in_llc);
+
+    /** Like recallPrivate() but leaves @p except's copy untouched. */
+    Cycles recallPrivateExcept(Addr line, NodeId hn, TileId ht, Cycles t,
+                               GlobalTileId except);
+
+    /** Drops @p line from one tile's private hierarchy; updates directory. */
+    void dropPrivate(Addr line, GlobalTileId gid);
+
+    /** Inserts into a private hierarchy, handling victim writebacks. */
+    void privateFill(Addr line, GlobalTileId gid, std::uint32_t state,
+                     bool fill_l1i, Cycles t);
+
+    AccessResult deviceAccess(const DeviceWindow &w, GlobalTileId gid,
+                              Addr addr, AccessType type, std::uint32_t bytes,
+                              Cycles now);
+
+    DirEntry &dirEntry(Addr line) { return directory_[line]; }
+
+    Geometry geo_;
+    TimingParams timing_;
+    HomingPolicy homing_;
+    noc::MeshTopology topo_;
+
+    mem::MainMemory memory_;
+    std::unordered_map<Addr, DirEntry> directory_;
+
+    // Per-global-tile structures.
+    std::vector<CacheArray> l1i_;
+    std::vector<CacheArray> l1d_;
+    std::vector<CacheArray> bpc_;
+    std::vector<CacheArray> llc_;
+    std::vector<sim::QueueServer> llcServer_;
+
+    // Per-node structures.
+    std::vector<sim::QueueServer> dramServer_;
+    std::vector<sim::TrafficShaper> bridgeOut_;
+    std::vector<sim::TrafficShaper> bridgeIn_;
+    std::vector<sim::TrafficShaper> pcieOut_;
+
+    std::vector<DeviceWindow> devices_;
+
+    std::unique_ptr<sim::StatRegistry> ownedStats_;
+    sim::StatRegistry *stats_;
+};
+
+} // namespace smappic::cache

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Cloud cost modeling (paper section 4.5, Tables 1 and 3, Figs 13-14).
+ *
+ * Reproduces the paper's cost comparison of architecture modeling methods
+ * in the cloud: the EC2 instance catalog with prices, per-tool host
+ * requirements and throughput models, SPECint 2017 "test" workload
+ * descriptors, and the cloud-vs-on-premises amortization analysis.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace smappic::cost
+{
+
+/** One EC2 instance offering (Table 1 / Table 3). */
+struct Ec2Instance
+{
+    std::string name;
+    std::uint32_t vcpus = 0;
+    double memGb = 0;
+    double storageGb = 0;
+    std::uint32_t fpgas = 0;
+    double fpgaMemGb = 0;
+    double pricePerHour = 0;
+    double hardwarePrice = 0; ///< On-prem equivalent (F1 family only).
+};
+
+/** A modeling tool with host requirements and a throughput model. */
+struct ToolModel
+{
+    std::string name;
+    std::uint32_t vcpusNeeded = 1;
+    double memGbNeeded = 8;
+    std::uint32_t fpgasNeeded = 0;
+    /** Simulated target MIPS of one system instance. */
+    double mips = 1.0;
+    /** Independent target systems modeled per host instance. */
+    std::uint32_t systemsPerInstance = 1;
+};
+
+/** One benchmark descriptor (SPECint 2017, "test" input). */
+struct Benchmark
+{
+    std::string name;
+    /** Dynamic instruction count in billions (representative estimates
+     *  for the test input size; the paper does not publish counts). */
+    double gigaInstructions = 1.0;
+    /** gem5 host memory demand in GB (mcf needs a 350 GB host). */
+    double gem5HostMemGb = 64.0;
+};
+
+/** The EC2 catalog used by the paper (F1 family + cheap CPU instances). */
+const std::vector<Ec2Instance> &instanceCatalog();
+
+/** Tool models: SMAPPIC, FireSim single/supernode, Sniper, gem5,
+ *  Verilator. */
+const std::vector<ToolModel> &toolCatalog();
+
+/** SPECint 2017 with the "test" input. */
+const std::vector<Benchmark> &specint2017();
+
+/** Lookup helpers. @throws FatalError when not found. */
+const Ec2Instance &instanceNamed(const std::string &name);
+const ToolModel &toolNamed(const std::string &name);
+
+/**
+ * Cheapest catalog instance satisfying the requirements (Table 3's
+ * derivation). gem5's per-benchmark memory demand is handled by passing
+ * the benchmark's gem5HostMemGb.
+ */
+const Ec2Instance &cheapestInstanceFor(std::uint32_t vcpus, double mem_gb,
+                                       std::uint32_t fpgas);
+
+/** Hours to run @p bench on @p tool (one system). */
+double modelingTimeHours(const ToolModel &tool, const Benchmark &bench);
+
+/**
+ * Dollars to run @p bench on @p tool, using the cheapest suitable
+ * instance and amortizing over the tool's systems-per-instance (Fig 13).
+ */
+double modelingCostDollars(const ToolModel &tool, const Benchmark &bench);
+
+/** Fig 14: cumulative dollars after @p days of continuous modeling. */
+double cloudCostDollars(double days);
+double onPremCostDollars(double days);
+
+/** Fig 14's crossover: days of continuous use where cloud = on-prem. */
+double crossoverDays();
+
+/** Section 4.5's Verilator comparison (hello-world). */
+double verilatorHelloSeconds();
+double smappicHelloSeconds();
+/** SMAPPIC-vs-Verilator cost-efficiency factor (paper: ~1600x). */
+double verilatorCostEfficiencyRatio();
+
+} // namespace smappic::cost

@@ -1,0 +1,41 @@
+#include "fpga/resource_model.hpp"
+
+#include "sim/log.hpp"
+
+namespace smappic::fpga
+{
+
+ResourceEstimate
+ResourceModel::estimate(std::uint32_t nodes_per_fpga,
+                        std::uint32_t tiles_per_node) const
+{
+    fatalIf(nodes_per_fpga == 0 || tiles_per_node == 0,
+            "configuration dimensions must be positive");
+    ResourceEstimate e;
+    e.luts = kShellLuts +
+             static_cast<std::uint64_t>(nodes_per_fpga) * kNodeLuts +
+             static_cast<std::uint64_t>(nodes_per_fpga) * tiles_per_node *
+                 kTileLuts;
+    e.utilization = static_cast<double>(e.luts) /
+                    static_cast<double>(part_.luts);
+    e.fits = e.utilization <= 1.0;
+    if (!e.fits)
+        e.freqMhz = 0;
+    else
+        e.freqMhz = e.utilization > kDerateThreshold ? 75 : 100;
+    return e;
+}
+
+std::uint32_t
+ResourceModel::maxTilesPerNode(std::uint32_t min_freq) const
+{
+    std::uint32_t best = 0;
+    for (std::uint32_t c = 1; c <= 64; ++c) {
+        ResourceEstimate e = estimate(1, c);
+        if (e.fits && e.freqMhz >= min_freq)
+            best = c;
+    }
+    return best;
+}
+
+} // namespace smappic::fpga

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * FPGA resource and frequency model for SMAPPIC configurations on the F1
+ * VU9P part (paper Table 4 and section 4.8).
+ *
+ * The additive LUT model (shell/chipset + per-node overhead + per-tile
+ * cost) is least-squares calibrated against the five configurations the
+ * paper reports; the achievable frequency derates from 100 MHz to 75 MHz
+ * once utilization crosses the congestion threshold the paper's data
+ * exhibits (between 87% and 88%).
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace smappic::fpga
+{
+
+/** An FPGA part with its usable logic capacity. */
+struct FpgaPart
+{
+    std::string name = "xcvu9p";
+    std::uint64_t luts = 1'182'240; ///< Xilinx VU9P CLB LUTs.
+};
+
+/** Resource/timing estimate for one configuration. */
+struct ResourceEstimate
+{
+    std::uint64_t luts = 0;
+    double utilization = 0.0;
+    std::uint32_t freqMhz = 0;
+    bool fits = false;
+};
+
+/** Additive LUT + frequency-derating model. */
+class ResourceModel
+{
+  public:
+    explicit ResourceModel(FpgaPart part = {}) : part_(part) {}
+
+    /**
+     * Estimates a BxC configuration (B nodes per FPGA, C Ariane tiles per
+     * node, Table 2 tile parameters).
+     */
+    ResourceEstimate estimate(std::uint32_t nodes_per_fpga,
+                              std::uint32_t tiles_per_node) const;
+
+    /** Largest tile count for one node at >= @p min_freq MHz. */
+    std::uint32_t maxTilesPerNode(std::uint32_t min_freq) const;
+
+    const FpgaPart &part() const { return part_; }
+
+    // Calibrated constants (kLUTs), exposed for tests.
+    static constexpr std::uint64_t kShellLuts = 45'000;
+    static constexpr std::uint64_t kNodeLuts = 80'000;
+    static constexpr std::uint64_t kTileLuts = 83'000;
+    static constexpr double kDerateThreshold = 0.875;
+
+  private:
+    FpgaPart part_;
+};
+
+/**
+ * Build-flow time model (paper section 4.1): local synthesis on a desktop
+ * machine, AWS datacenter postprocessing, and bitstream load.
+ */
+struct BuildFlow
+{
+    double synthesisHours = 2.0;
+    double awsIngestionHours = 2.0;
+    double bitstreamLoadSeconds = 10.0;
+    double synthesisMemoryGb = 32.0;
+
+    double totalHours() const
+    {
+        return synthesisHours + awsIngestionHours +
+               bitstreamLoadSeconds / 3600.0;
+    }
+};
+
+} // namespace smappic::fpga

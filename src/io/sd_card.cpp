@@ -1,0 +1,128 @@
+#include "io/sd_card.hpp"
+
+#include <algorithm>
+
+#include "sim/log.hpp"
+
+namespace smappic::io
+{
+
+VirtualSdCard::VirtualSdCard(mem::MainMemory &memory, Addr region_base,
+                             std::uint64_t region_size)
+    : memory_(memory), regionBase_(region_base), regionSize_(region_size)
+{
+    fatalIf(region_size < kBlockBytes, "SD region smaller than one block");
+    fatalIf(region_size % kBlockBytes != 0,
+            "SD region must be block aligned");
+}
+
+std::uint64_t
+VirtualSdCard::ncLoad(Addr offset, std::uint32_t, Cycles, Cycles &service)
+{
+    service = 8;
+    switch (offset) {
+      case kSdRegLba:
+        return lba_;
+      case kSdRegBuffer:
+        return buffer_;
+      case kSdRegStatus:
+        return status_;
+      default:
+        return 0;
+    }
+}
+
+void
+VirtualSdCard::ncStore(Addr offset, std::uint32_t, std::uint64_t value,
+                       Cycles, Cycles &service)
+{
+    service = 8;
+    switch (offset) {
+      case kSdRegLba:
+        lba_ = value;
+        break;
+      case kSdRegBuffer:
+        buffer_ = value;
+        break;
+      case kSdRegCommand:
+        execute(value);
+        // Functional-only device: the block copy itself is free, the
+        // guest pays only the MMIO round trips (paper section 3.4.2).
+        break;
+      default:
+        break;
+    }
+}
+
+void
+VirtualSdCard::execute(std::uint64_t cmd)
+{
+    if (lba_ >= blocks()) {
+        status_ = 0; // Error.
+        return;
+    }
+    Addr block_addr = regionBase_ + lba_ * kBlockBytes;
+    std::vector<std::uint8_t> tmp(kBlockBytes);
+    if (cmd == kSdCmdRead) {
+        memory_.readBytes(block_addr, tmp.data(), kBlockBytes);
+        memory_.writeBytes(buffer_, tmp.data(), kBlockBytes);
+    } else if (cmd == kSdCmdWrite) {
+        memory_.readBytes(buffer_, tmp.data(), kBlockBytes);
+        memory_.writeBytes(block_addr, tmp.data(), kBlockBytes);
+    } else {
+        status_ = 0;
+        return;
+    }
+    status_ = 1;
+    ++commands_;
+}
+
+void
+VirtualSdCard::readBlock(std::uint64_t lba,
+                         std::vector<std::uint8_t> &out) const
+{
+    panicIf(lba >= blocks(), "SD read past end of card");
+    out.resize(kBlockBytes);
+    memory_.readBytes(regionBase_ + lba * kBlockBytes, out.data(),
+                      kBlockBytes);
+}
+
+void
+VirtualSdCard::writeBlock(std::uint64_t lba,
+                          const std::vector<std::uint8_t> &in)
+{
+    panicIf(lba >= blocks(), "SD write past end of card");
+    panicIf(in.size() != kBlockBytes, "SD block must be 512 bytes");
+    memory_.writeBytes(regionBase_ + lba * kBlockBytes, in.data(),
+                       kBlockBytes);
+}
+
+void
+HostSdLoader::loadImage(const std::vector<std::uint8_t> &image,
+                        std::uint64_t first_lba, std::uint32_t chunk)
+{
+    fatalIf(chunk == 0, "chunk size must be positive");
+    Addr cursor = windowBase_ + first_lba * VirtualSdCard::kBlockBytes;
+    std::uint64_t offset = 0;
+    while (offset < image.size()) {
+        std::uint64_t n = std::min<std::uint64_t>(chunk,
+                                                  image.size() - offset);
+        axi::WriteReq req;
+        req.addr = cursor;
+        req.data.assign(image.begin() + static_cast<std::ptrdiff_t>(offset),
+                        image.begin() +
+                            static_cast<std::ptrdiff_t>(offset + n));
+        ++writesIssued_;
+        fabric_.write(pcie::kHostId, std::move(req),
+                      [this, n](pcie::Completion c) {
+                          if (c.resp == axi::Resp::kOkay) {
+                              bytesWritten_ += n;
+                              ++writesCompleted_;
+                          }
+                      });
+        cursor += n;
+        offset += n;
+    }
+}
+
+} // namespace smappic::io

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * SMAPPIC's "virtual device" mechanism, instantiated for the SD card
+ * (paper section 3.4.2).
+ *
+ * F1 has no SD slot, but BYOC needs one to provide a filesystem. SMAPPIC
+ * maps a virtual SD card into the top half of the FPGA's DRAM (the bottom
+ * half is the prototype's main memory). A host-side Linux driver
+ * initializes the card by writing into the FPGA's PCIe address space;
+ * those writes arrive on the inbound AXI4 bus and are converted to NoC
+ * stores that land in the SD region of memory. The device is functional
+ * only — it does not model SD timing (per the paper).
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "axi/axi.hpp"
+#include "cache/coherent_system.hpp"
+#include "mem/main_memory.hpp"
+#include "pcie/pcie_fabric.hpp"
+#include "sim/types.hpp"
+
+namespace smappic::io
+{
+
+/** SD controller MMIO register offsets (guest-visible). */
+inline constexpr Addr kSdRegLba = 0x00;    ///< Block index.
+inline constexpr Addr kSdRegBuffer = 0x08; ///< DMA target in main memory.
+inline constexpr Addr kSdRegCommand = 0x10; ///< 1 = read, 2 = write.
+inline constexpr Addr kSdRegStatus = 0x18;  ///< 1 = ready.
+inline constexpr std::uint64_t kSdCmdRead = 1;
+inline constexpr std::uint64_t kSdCmdWrite = 2;
+
+/**
+ * Guest-visible SD block controller. Blocks live in the SD region of the
+ * prototype's DRAM; commands DMA between that region and main memory.
+ */
+class VirtualSdCard : public cache::NcDevice
+{
+  public:
+    static constexpr std::uint64_t kBlockBytes = 512;
+
+    /**
+     * @param memory Functional backing store.
+     * @param region_base Start of the SD region (top half of node DRAM).
+     * @param region_size Capacity in bytes.
+     */
+    VirtualSdCard(mem::MainMemory &memory, Addr region_base,
+                  std::uint64_t region_size);
+
+    // cache::NcDevice — MMIO register access from the guest.
+    std::uint64_t ncLoad(Addr offset, std::uint32_t bytes, Cycles now,
+                         Cycles &service) override;
+    void ncStore(Addr offset, std::uint32_t bytes, std::uint64_t value,
+                 Cycles now, Cycles &service) override;
+
+    /** Direct block access (host/test convenience). */
+    void readBlock(std::uint64_t lba, std::vector<std::uint8_t> &out) const;
+    void writeBlock(std::uint64_t lba, const std::vector<std::uint8_t> &in);
+
+    std::uint64_t blocks() const { return regionSize_ / kBlockBytes; }
+    Addr regionBase() const { return regionBase_; }
+    std::uint64_t commandsServed() const { return commands_; }
+
+  private:
+    void execute(std::uint64_t cmd);
+
+    mem::MainMemory &memory_;
+    Addr regionBase_;
+    std::uint64_t regionSize_;
+
+    std::uint64_t lba_ = 0;
+    Addr buffer_ = 0;
+    std::uint64_t status_ = 1;
+    std::uint64_t commands_ = 0;
+};
+
+/**
+ * Host-side SD initialization driver: streams a card image through the
+ * PCIe fabric into the FPGA's SD memory window, mirroring the specialized
+ * Linux driver the paper describes.
+ */
+class HostSdLoader
+{
+  public:
+    /**
+     * @param fabric The instance's PCIe fabric.
+     * @param window_base Fabric address of the SD region window.
+     */
+    HostSdLoader(pcie::PcieFabric &fabric, Addr window_base)
+        : fabric_(fabric), windowBase_(window_base)
+    {
+    }
+
+    /**
+     * Writes @p image into the card starting at block @p first_lba using
+     * @p chunk-byte PCIe writes. Completion is asynchronous; run the event
+     * queue and check bytesWritten().
+     */
+    void loadImage(const std::vector<std::uint8_t> &image,
+                   std::uint64_t first_lba = 0, std::uint32_t chunk = 4096);
+
+    std::uint64_t bytesWritten() const { return bytesWritten_; }
+    std::uint64_t writesIssued() const { return writesIssued_; }
+    std::uint64_t writesCompleted() const { return writesCompleted_; }
+
+  private:
+    pcie::PcieFabric &fabric_;
+    Addr windowBase_;
+    std::uint64_t bytesWritten_ = 0;
+    std::uint64_t writesIssued_ = 0;
+    std::uint64_t writesCompleted_ = 0;
+};
+
+} // namespace smappic::io

@@ -1,0 +1,153 @@
+#include "io/serial_net.hpp"
+
+#include "sim/log.hpp"
+
+namespace smappic::io
+{
+
+std::vector<std::uint8_t>
+SlipCodec::encode(const std::vector<std::uint8_t> &frame)
+{
+    std::vector<std::uint8_t> out;
+    out.reserve(frame.size() + 2);
+    out.push_back(kSlipEnd); // Flush any line noise (RFC 1055 practice).
+    for (std::uint8_t b : frame) {
+        if (b == kSlipEnd) {
+            out.push_back(kSlipEsc);
+            out.push_back(kSlipEscEnd);
+        } else if (b == kSlipEsc) {
+            out.push_back(kSlipEsc);
+            out.push_back(kSlipEscEsc);
+        } else {
+            out.push_back(b);
+        }
+    }
+    out.push_back(kSlipEnd);
+    return out;
+}
+
+void
+SlipCodec::Decoder::feed(std::uint8_t byte)
+{
+    if (escaped_) {
+        escaped_ = false;
+        if (byte == kSlipEscEnd) {
+            current_.push_back(kSlipEnd);
+        } else if (byte == kSlipEscEsc) {
+            current_.push_back(kSlipEsc);
+        } else {
+            // Protocol violation: RFC 1055 says leave the byte in.
+            ++errors_;
+            current_.push_back(byte);
+        }
+        return;
+    }
+    if (byte == kSlipEsc) {
+        escaped_ = true;
+        return;
+    }
+    if (byte == kSlipEnd) {
+        if (!current_.empty()) {
+            if (onFrame_)
+                onFrame_(current_);
+            current_.clear();
+        }
+        return;
+    }
+    current_.push_back(byte);
+}
+
+HostNetPeer::HostNetPeer(Uart16550 &uart)
+    : uart_(uart), decoder_([this](const std::vector<std::uint8_t> &f) {
+          handleFrame(f);
+      })
+{
+    uart_.setTxFn([this](std::uint8_t b) { decoder_.feed(b); });
+}
+
+void
+HostNetPeer::addService(
+    const std::string &prefix,
+    std::function<std::string(const std::string &)> handler)
+{
+    services_.emplace_back(prefix, std::move(handler));
+}
+
+void
+HostNetPeer::handleFrame(const std::vector<std::uint8_t> &frame)
+{
+    ++framesReceived_;
+    std::string payload(frame.begin(), frame.end());
+    log_.push_back(payload);
+    for (const auto &[prefix, handler] : services_) {
+        if (payload.rfind(prefix, 0) == 0) {
+            std::string resp = handler(payload);
+            std::vector<std::uint8_t> bytes(resp.begin(), resp.end());
+            for (std::uint8_t b : SlipCodec::encode(bytes))
+                uart_.pushRx(b);
+            ++framesSent_;
+            return;
+        }
+    }
+}
+
+Cycles
+GuestNetDriver::mmioRead(Addr reg, Cycles now, std::uint32_t &value)
+{
+    auto r = cs_.access(tile_, window_ + reg, cache::AccessType::kNcLoad,
+                        1, now);
+    value = static_cast<std::uint32_t>(cs_.memory().load(window_ + reg, 1));
+    return r.latency;
+}
+
+Cycles
+GuestNetDriver::mmioWrite(Addr reg, std::uint32_t value, Cycles now)
+{
+    cs_.memory().store(window_ + reg, 1, value);
+    auto r = cs_.access(tile_, window_ + reg, cache::AccessType::kNcStore,
+                        1, now);
+    return r.latency;
+}
+
+Cycles
+GuestNetDriver::sendFrame(const std::vector<std::uint8_t> &frame,
+                          Cycles now)
+{
+    Cycles spent = 0;
+    for (std::uint8_t b : SlipCodec::encode(frame))
+        spent += mmioWrite(kUartRbrThr, b, now + spent);
+    return spent;
+}
+
+Cycles
+GuestNetDriver::sendString(const std::string &s, Cycles now)
+{
+    return sendFrame(std::vector<std::uint8_t>(s.begin(), s.end()), now);
+}
+
+Cycles
+GuestNetDriver::pollReceive(Cycles now)
+{
+    Cycles spent = 0;
+    std::size_t frames_before = inbox_.size();
+    while (inbox_.size() == frames_before) {
+        std::uint32_t lsr = 0;
+        spent += mmioRead(kUartLsr, now + spent, lsr);
+        if (!(lsr & kLsrDataReady))
+            break; // FIFO drained without completing a frame.
+        std::uint32_t byte = 0;
+        spent += mmioRead(kUartRbrThr, now + spent, byte);
+        decoder_.feed(static_cast<std::uint8_t>(byte));
+    }
+    return spent;
+}
+
+std::string
+GuestNetDriver::firstFrameText() const
+{
+    if (inbox_.empty())
+        return {};
+    return std::string(inbox_[0].begin(), inbox_[0].end());
+}
+
+} // namespace smappic::io

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Serial networking over the overclocked data UART (paper section 3.4.1).
+ *
+ * SMAPPIC connects prototypes to the Internet by running pppd over a
+ * second, ~1 Mbit/s UART tunnelled through AXI-Lite/PCIe to the host.
+ * This module models that stack: a SLIP-style framing codec (RFC 1055 —
+ * the framing layer pppd-class links use), the host-side network peer
+ * that terminates frames and forwards them to services, and a guest-side
+ * driver that moves frames through the UART's MMIO registers via timed
+ * non-cacheable accesses to the coherent system.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cache/coherent_system.hpp"
+#include "io/uart16550.hpp"
+#include "sim/types.hpp"
+
+namespace smappic::io
+{
+
+/** RFC 1055 (SLIP) framing constants. */
+inline constexpr std::uint8_t kSlipEnd = 0xc0;
+inline constexpr std::uint8_t kSlipEsc = 0xdb;
+inline constexpr std::uint8_t kSlipEscEnd = 0xdc;
+inline constexpr std::uint8_t kSlipEscEsc = 0xdd;
+
+/** Stateless SLIP encoder / incremental decoder. */
+class SlipCodec
+{
+  public:
+    /** Encodes one frame (leading + trailing END, escapes inside). */
+    static std::vector<std::uint8_t>
+    encode(const std::vector<std::uint8_t> &frame);
+
+    /** Incremental decoder: feed bytes, collect completed frames. */
+    class Decoder
+    {
+      public:
+        using FrameFn =
+            std::function<void(const std::vector<std::uint8_t> &)>;
+
+        explicit Decoder(FrameFn on_frame) : onFrame_(std::move(on_frame))
+        {
+        }
+
+        /** Consumes one received byte. */
+        void feed(std::uint8_t byte);
+
+        /** Malformed escape sequences seen (dropped per RFC 1055). */
+        std::uint64_t protocolErrors() const { return errors_; }
+
+      private:
+        FrameFn onFrame_;
+        std::vector<std::uint8_t> current_;
+        bool escaped_ = false;
+        std::uint64_t errors_ = 0;
+    };
+};
+
+/**
+ * Host-side peer: terminates SLIP frames from the data UART and answers
+ * them from a registered request->response service table (the "Internet"
+ * the paper's prototype talks to via pppd).
+ */
+class HostNetPeer
+{
+  public:
+    /** Attaches to @p uart's TX stream; responses go into its RX FIFO. */
+    explicit HostNetPeer(Uart16550 &uart);
+
+    /**
+     * Registers a service: frames whose payload starts with @p prefix are
+     * answered with handler(payload).
+     */
+    void addService(const std::string &prefix,
+                    std::function<std::string(const std::string &)> handler);
+
+    std::uint64_t framesReceived() const { return framesReceived_; }
+    std::uint64_t framesSent() const { return framesSent_; }
+
+    /** Raw frames seen (for tests). */
+    const std::vector<std::string> &log() const { return log_; }
+
+  private:
+    void handleFrame(const std::vector<std::uint8_t> &frame);
+
+    Uart16550 &uart_;
+    SlipCodec::Decoder decoder_;
+    std::vector<std::pair<std::string,
+                          std::function<std::string(const std::string &)>>>
+        services_;
+    std::vector<std::string> log_;
+    std::uint64_t framesReceived_ = 0;
+    std::uint64_t framesSent_ = 0;
+};
+
+/**
+ * Guest-side driver: sends/receives SLIP frames by driving the data
+ * UART's MMIO registers with timed non-cacheable accesses through the
+ * coherent system — the cost a real guest driver would pay.
+ */
+class GuestNetDriver
+{
+  public:
+    /**
+     * @param window MMIO base of the node's data UART.
+     * @param tile The core tile executing the driver.
+     */
+    GuestNetDriver(cache::CoherentSystem &cs, Addr window,
+                   GlobalTileId tile)
+        : cs_(cs), window_(window), tile_(tile),
+          decoder_([this](const std::vector<std::uint8_t> &f) {
+              inbox_.push_back(f);
+          })
+    {
+    }
+
+    /**
+     * Transmits one frame; returns the cycles consumed (MMIO register
+     * writes through the NC path, one per encoded byte).
+     */
+    Cycles sendFrame(const std::vector<std::uint8_t> &frame, Cycles now);
+
+    /** Convenience: sends a string payload. */
+    Cycles sendString(const std::string &s, Cycles now);
+
+    /**
+     * Polls the UART until a full frame arrives or the RX FIFO drains.
+     * @return Cycles consumed; the frame (if any) lands in inbox().
+     */
+    Cycles pollReceive(Cycles now);
+
+    const std::vector<std::vector<std::uint8_t>> &inbox() const
+    {
+        return inbox_;
+    }
+
+    /** First inbox frame as a string (empty when none). */
+    std::string firstFrameText() const;
+
+  private:
+    Cycles mmioRead(Addr reg, Cycles now, std::uint32_t &value);
+    Cycles mmioWrite(Addr reg, std::uint32_t value, Cycles now);
+
+    cache::CoherentSystem &cs_;
+    Addr window_;
+    GlobalTileId tile_;
+    SlipCodec::Decoder decoder_;
+    std::vector<std::vector<std::uint8_t>> inbox_;
+};
+
+} // namespace smappic::io

@@ -1,0 +1,145 @@
+#include "io/uart16550.hpp"
+
+namespace smappic::io
+{
+
+namespace
+{
+constexpr std::uint8_t kLcrDlab = 0x80;
+}
+
+axi::Resp
+Uart16550::writeReg(const axi::LiteWrite &req)
+{
+    bool dlab = lcr_ & kLcrDlab;
+    switch (req.addr) {
+      case kUartRbrThr:
+        if (dlab) {
+            divisor_ = static_cast<std::uint16_t>(
+                (divisor_ & 0xff00) | (req.data & 0xff));
+        } else {
+            ++txCount_;
+            if (tx_)
+                tx_(static_cast<std::uint8_t>(req.data));
+        }
+        break;
+      case kUartIer:
+        if (dlab) {
+            divisor_ = static_cast<std::uint16_t>(
+                (divisor_ & 0x00ff) | ((req.data & 0xff) << 8));
+        } else {
+            ier_ = static_cast<std::uint8_t>(req.data);
+            updateIrq();
+        }
+        break;
+      case kUartIirFcr:
+        break; // FIFO control: FIFOs always on in this model.
+      case kUartLcr:
+        lcr_ = static_cast<std::uint8_t>(req.data);
+        break;
+      case kUartMcr:
+        mcr_ = static_cast<std::uint8_t>(req.data);
+        break;
+      case kUartScr:
+        scr_ = static_cast<std::uint8_t>(req.data);
+        break;
+      default:
+        break;
+    }
+    return axi::Resp::kOkay;
+}
+
+axi::Resp
+Uart16550::readReg(Addr addr, std::uint32_t &data)
+{
+    bool dlab = lcr_ & kLcrDlab;
+    data = 0;
+    switch (addr) {
+      case kUartRbrThr:
+        if (dlab) {
+            data = divisor_ & 0xff;
+        } else if (!rxFifo_.empty()) {
+            data = rxFifo_.front();
+            rxFifo_.pop_front();
+            updateIrq();
+        }
+        break;
+      case kUartIer:
+        data = dlab ? ((divisor_ >> 8) & 0xff) : ier_;
+        break;
+      case kUartIirFcr:
+        // IIR: 0x1 = no interrupt pending, 0x4 = RX data available.
+        data = irqLevel_ ? 0x4 : 0x1;
+        break;
+      case kUartLcr:
+        data = lcr_;
+        break;
+      case kUartMcr:
+        data = mcr_;
+        break;
+      case kUartLsr:
+        data = kLsrThrEmpty | kLsrTxIdle |
+               (rxFifo_.empty() ? 0 : kLsrDataReady);
+        break;
+      case kUartScr:
+        data = scr_;
+        break;
+      default:
+        break;
+    }
+    return axi::Resp::kOkay;
+}
+
+void
+Uart16550::pushRx(std::uint8_t byte)
+{
+    rxFifo_.push_back(byte);
+    updateIrq();
+}
+
+void
+Uart16550::pushRxString(const std::string &s)
+{
+    for (char c : s)
+        pushRx(static_cast<std::uint8_t>(c));
+}
+
+void
+Uart16550::updateIrq()
+{
+    // Only the RX-data-available interrupt (IER bit 0) is modeled.
+    bool level = (ier_ & 1) && !rxFifo_.empty();
+    if (level != irqLevel_) {
+        irqLevel_ = level;
+        if (irq_)
+            irq_(level);
+    }
+}
+
+void
+VirtualSerial::attach(Uart16550 &uart)
+{
+    uart.setTxFn([this](std::uint8_t b) {
+        captured_ += static_cast<char>(b);
+    });
+}
+
+std::vector<std::string>
+VirtualSerial::lines() const
+{
+    std::vector<std::string> out;
+    std::string cur;
+    for (char c : captured_) {
+        if (c == '\n') {
+            out.push_back(cur);
+            cur.clear();
+        } else {
+            cur += c;
+        }
+    }
+    if (!cur.empty())
+        out.push_back(cur);
+    return out;
+}
+
+} // namespace smappic::io

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * UART16550-compatible register model plus SMAPPIC's host tunnelling
+ * (paper section 3.4.1).
+ *
+ * F1 exposes no physical UART, so SMAPPIC encapsulates the UART into
+ * AXI-Lite and tunnels the bytes through the hard shell to a host program
+ * that exposes a virtual serial device. Each BYOC node instantiates two
+ * UARTs: the standard 115200-baud console and an "overclocked" ~1 Mbit/s
+ * data device used for networking (pppd).
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "axi/axi.hpp"
+#include "sim/types.hpp"
+
+namespace smappic::io
+{
+
+// 16550 register offsets (byte addressing, reg shift 0).
+inline constexpr Addr kUartRbrThr = 0; ///< RX buffer / TX holding.
+inline constexpr Addr kUartIer = 1;    ///< Interrupt enable.
+inline constexpr Addr kUartIirFcr = 2; ///< Interrupt id / FIFO control.
+inline constexpr Addr kUartLcr = 3;    ///< Line control (DLAB bit 7).
+inline constexpr Addr kUartMcr = 4;
+inline constexpr Addr kUartLsr = 5;    ///< Line status.
+inline constexpr Addr kUartScr = 7;
+
+// LSR bits.
+inline constexpr std::uint32_t kLsrDataReady = 1 << 0;
+inline constexpr std::uint32_t kLsrThrEmpty = 1 << 5;
+inline constexpr std::uint32_t kLsrTxIdle = 1 << 6;
+
+/**
+ * One UART16550. The register file is accessed through AXI-Lite (it is a
+ * LiteTarget); TX bytes are handed to a sink callback (the host tunnel),
+ * RX bytes are pushed by the host side.
+ */
+class Uart16550 : public axi::LiteTarget
+{
+  public:
+    using TxFn = std::function<void(std::uint8_t)>;
+    /** Fires when the (level-triggered) interrupt output changes. */
+    using IrqFn = std::function<void(bool)>;
+
+    /**
+     * @param baud Modeled line rate in bits/second at a 100 MHz clock;
+     *        governs TX pacing stats only (data is never dropped).
+     */
+    explicit Uart16550(std::uint32_t baud = 115200) : baud_(baud) {}
+
+    void setTxFn(TxFn fn) { tx_ = std::move(fn); }
+    void setIrqFn(IrqFn fn) { irq_ = std::move(fn); }
+
+    // axi::LiteTarget — window-relative register access.
+    axi::Resp writeReg(const axi::LiteWrite &req) override;
+    axi::Resp readReg(Addr addr, std::uint32_t &data) override;
+
+    /** Host side: queue a byte toward the guest. */
+    void pushRx(std::uint8_t byte);
+
+    /** Host side: queue a whole string. */
+    void pushRxString(const std::string &s);
+
+    bool rxEmpty() const { return rxFifo_.empty(); }
+    std::size_t rxPending() const { return rxFifo_.size(); }
+    std::uint64_t bytesTransmitted() const { return txCount_; }
+    std::uint32_t baud() const { return baud_; }
+
+    /** Divisor latch as programmed by the guest (for baud checks). */
+    std::uint16_t divisor() const { return divisor_; }
+
+    /** Serialized transmit time of one byte (10 bits) in cycles@100MHz. */
+    Cycles byteTime() const { return 1'000'000'000ULL / baud_ / 10; }
+
+  private:
+    void updateIrq();
+
+    std::uint32_t baud_;
+    std::deque<std::uint8_t> rxFifo_;
+    TxFn tx_;
+    IrqFn irq_;
+    bool irqLevel_ = false;
+    std::uint8_t ier_ = 0;
+    std::uint8_t lcr_ = 0;
+    std::uint8_t mcr_ = 0;
+    std::uint8_t scr_ = 0;
+    std::uint16_t divisor_ = 0;
+    std::uint64_t txCount_ = 0;
+};
+
+/**
+ * Host-side virtual serial device: the program SMAPPIC runs on the host to
+ * bridge the PCIe-tunnelled UART into a pty-like byte stream. Captures
+ * guest output and lets host software inject input.
+ */
+class VirtualSerial
+{
+  public:
+    /** Attaches to @p uart's TX path. */
+    void attach(Uart16550 &uart);
+
+    /** Everything the guest wrote so far. */
+    const std::string &captured() const { return captured_; }
+
+    /** Clears the capture buffer. */
+    void clear() { captured_.clear(); }
+
+    /** Host types a string into the guest. */
+    void type(Uart16550 &uart, const std::string &s) { uart.pushRxString(s); }
+
+    /** Lines seen so far (split on '\n'). */
+    std::vector<std::string> lines() const;
+
+  private:
+    std::string captured_;
+};
+
+} // namespace smappic::io

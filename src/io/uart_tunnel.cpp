@@ -1,0 +1,138 @@
+#include "io/uart_tunnel.hpp"
+
+#include <cstring>
+
+#include "sim/log.hpp"
+
+namespace smappic::io
+{
+
+UartTunnelTarget::UartTunnelTarget(Uart16550 &uart) : uart_(uart)
+{
+    uart_.setTxFn([this](std::uint8_t b) { txFifo_.push_back(b); });
+}
+
+axi::WriteResp
+UartTunnelTarget::write(const axi::WriteReq &req)
+{
+    if ((req.addr & 0xff) == kTunnelRxPush && !req.data.empty()) {
+        uart_.pushRx(req.data[0]);
+        return {axi::Resp::kOkay, req.id};
+    }
+    return {axi::Resp::kSlvErr, req.id};
+}
+
+axi::ReadResp
+UartTunnelTarget::read(const axi::ReadReq &req)
+{
+    axi::ReadResp r;
+    r.id = req.id;
+    r.data.assign(4, 0);
+    switch (req.addr & 0xff) {
+      case kTunnelTxCount: {
+          auto count = static_cast<std::uint32_t>(txFifo_.size());
+          std::memcpy(r.data.data(), &count, 4);
+          return r;
+      }
+      case kTunnelTxPop: {
+          std::uint32_t value = 0xffffffff; // Empty marker.
+          if (!txFifo_.empty()) {
+              value = txFifo_.front();
+              txFifo_.pop_front();
+          }
+          std::memcpy(r.data.data(), &value, 4);
+          return r;
+      }
+      default:
+        r.resp = axi::Resp::kSlvErr;
+        return r;
+    }
+}
+
+HostUartDaemon::HostUartDaemon(sim::EventQueue &eq,
+                               pcie::PcieFabric &fabric, Addr window_base,
+                               Cycles poll_interval)
+    : eq_(eq), fabric_(fabric), base_(window_base),
+      pollInterval_(poll_interval)
+{
+}
+
+void
+HostUartDaemon::start()
+{
+    if (running_)
+        return;
+    running_ = true;
+    eq_.schedule(1, [this] { pollOnce(); });
+}
+
+void
+HostUartDaemon::type(const std::string &text)
+{
+    for (char c : text)
+        toGuest_.push_back(static_cast<std::uint8_t>(c));
+}
+
+void
+HostUartDaemon::pollOnce()
+{
+    if (!running_ || busy_)
+        return;
+    // Host input takes priority; otherwise check for guest output.
+    if (!toGuest_.empty()) {
+        pushOne();
+        return;
+    }
+    busy_ = true;
+    ++polls_;
+    fabric_.read(pcie::kHostId,
+                 axi::ReadReq{base_ + kTunnelTxCount, 4, 0},
+                 [this](pcie::Completion c) {
+                     busy_ = false;
+                     std::uint32_t count = 0;
+                     if (c.resp == axi::Resp::kOkay && c.data.size() >= 4)
+                         std::memcpy(&count, c.data.data(), 4);
+                     if (count > 0) {
+                         drainOne();
+                     } else if (running_) {
+                         eq_.schedule(pollInterval_,
+                                      [this] { pollOnce(); });
+                     }
+                 });
+}
+
+void
+HostUartDaemon::drainOne()
+{
+    busy_ = true;
+    fabric_.read(pcie::kHostId, axi::ReadReq{base_ + kTunnelTxPop, 4, 0},
+                 [this](pcie::Completion c) {
+                     busy_ = false;
+                     std::uint32_t value = 0xffffffff;
+                     if (c.resp == axi::Resp::kOkay && c.data.size() >= 4)
+                         std::memcpy(&value, c.data.data(), 4);
+                     if (value != 0xffffffff)
+                         captured_ += static_cast<char>(value & 0xff);
+                     // Keep draining back-to-back while data remains.
+                     if (running_)
+                         eq_.schedule(1, [this] { pollOnce(); });
+                 });
+}
+
+void
+HostUartDaemon::pushOne()
+{
+    busy_ = true;
+    axi::WriteReq req;
+    req.addr = base_ + kTunnelRxPush;
+    req.data = {toGuest_.front()};
+    toGuest_.pop_front();
+    fabric_.write(pcie::kHostId, std::move(req),
+                  [this](pcie::Completion) {
+                      busy_ = false;
+                      if (running_)
+                          eq_.schedule(1, [this] { pollOnce(); });
+                  });
+}
+
+} // namespace smappic::io

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Host side of the UART tunnel (paper section 3.4.1).
+ *
+ * In SMAPPIC the guest-facing UART16550 lives in the custom logic; its
+ * serial side is exposed to the host through an AXI-Lite window that the
+ * hard shell tunnels over PCIe. On the host, SMAPPIC runs a program that
+ * polls that window through the PCIe driver and bridges the bytes into a
+ * virtual serial device (/dev/pts-style). This module models both ends:
+ *
+ *  - UartTunnelTarget: the CL-side register block (TX-FIFO status/pop,
+ *    RX push) wired to a Uart16550's serial side, mapped into the PCIe
+ *    fabric.
+ *  - HostUartDaemon: the host program; polls over the fabric (paying real
+ *    PCIe round trips), drains guest output into a capture buffer, and
+ *    injects host input.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+
+#include "axi/axi.hpp"
+#include "io/uart16550.hpp"
+#include "pcie/pcie_fabric.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/types.hpp"
+
+namespace smappic::io
+{
+
+// Tunnel register offsets (host-facing).
+inline constexpr Addr kTunnelTxCount = 0x0; ///< Guest->host bytes waiting.
+inline constexpr Addr kTunnelTxPop = 0x4;   ///< Pop one TX byte.
+inline constexpr Addr kTunnelRxPush = 0x8;  ///< Push one RX byte.
+
+/** CL-side tunnel endpoint: couples a UART's serial side to AXI4. */
+class UartTunnelTarget : public axi::Target
+{
+  public:
+    /** Attaches to @p uart's TX stream; RX pushes go into its FIFO. */
+    explicit UartTunnelTarget(Uart16550 &uart);
+
+    axi::WriteResp write(const axi::WriteReq &req) override;
+    axi::ReadResp read(const axi::ReadReq &req) override;
+
+    std::size_t txPending() const { return txFifo_.size(); }
+
+  private:
+    Uart16550 &uart_;
+    std::deque<std::uint8_t> txFifo_;
+};
+
+/**
+ * The host program. Drives the tunnel registers through the PCIe fabric
+ * with asynchronous reads/writes on the shared event queue, so every byte
+ * pays the measured PCIe round trip.
+ */
+class HostUartDaemon
+{
+  public:
+    /**
+     * @param window_base Fabric address of the tunnel register block.
+     * @param poll_interval Cycles between TX-count polls.
+     */
+    HostUartDaemon(sim::EventQueue &eq, pcie::PcieFabric &fabric,
+                   Addr window_base, Cycles poll_interval = 1000);
+
+    /** Starts the polling loop (runs while the event queue runs). */
+    void start();
+
+    /** Stops polling after the in-flight transaction completes. */
+    void stop() { running_ = false; }
+
+    /** Queues host input for injection into the guest's RX FIFO. */
+    void type(const std::string &text);
+
+    /** Everything the guest transmitted, as drained by the daemon. */
+    const std::string &captured() const { return captured_; }
+
+    std::uint64_t pciePolls() const { return polls_; }
+
+  private:
+    void pollOnce();
+    void drainOne();
+    void pushOne();
+
+    sim::EventQueue &eq_;
+    pcie::PcieFabric &fabric_;
+    Addr base_;
+    Cycles pollInterval_;
+    bool running_ = false;
+    bool busy_ = false;
+
+    std::deque<std::uint8_t> toGuest_;
+    std::string captured_;
+    std::uint64_t polls_ = 0;
+};
+
+} // namespace smappic::io

@@ -1,0 +1,65 @@
+#include "mem/axi_dram.hpp"
+
+#include "sim/log.hpp"
+
+namespace smappic::mem
+{
+
+AxiDram::AxiDram(sim::EventQueue &eq, MainMemory &memory, Addr base,
+                 std::uint64_t size, const DramTiming &timing)
+    : eq_(eq), memory_(memory), base_(base), size_(size), timing_(timing)
+{
+    fatalIf(size == 0, "DRAM channel must have nonzero size");
+}
+
+Cycles
+AxiDram::serviceCycles(std::uint64_t bytes) const
+{
+    if (timing_.bytesPerCycle <= 0.0)
+        return 1;
+    auto c = static_cast<Cycles>(static_cast<double>(bytes) /
+                                     timing_.bytesPerCycle +
+                                 0.999999);
+    return c == 0 ? 1 : c;
+}
+
+void
+AxiDram::read(const axi::ReadReq &req, ReadFn done)
+{
+    ++reads_;
+    if (req.addr < base_ || req.addr - base_ + req.bytes > size_) {
+        eq_.schedule(1, [done, id = req.id] {
+            done(axi::ReadResp{axi::Resp::kSlvErr, {}, id});
+        });
+        return;
+    }
+    auto grant = channel_.offer(eq_.now(), serviceCycles(req.bytes));
+    Cycles completion = grant.done + timing_.latency;
+    eq_.scheduleAt(completion, [this, req, done] {
+        axi::ReadResp resp;
+        resp.id = req.id;
+        resp.data.resize(req.bytes);
+        memory_.readBytes(req.addr, resp.data.data(), req.bytes);
+        done(std::move(resp));
+    });
+}
+
+void
+AxiDram::write(const axi::WriteReq &req, WriteFn done)
+{
+    ++writes_;
+    if (req.addr < base_ || req.addr - base_ + req.data.size() > size_) {
+        eq_.schedule(1, [done, id = req.id] {
+            done(axi::WriteResp{axi::Resp::kSlvErr, id});
+        });
+        return;
+    }
+    auto grant = channel_.offer(eq_.now(), serviceCycles(req.data.size()));
+    Cycles completion = grant.done + timing_.latency;
+    eq_.scheduleAt(completion, [this, req, done] {
+        memory_.writeBytes(req.addr, req.data.data(), req.data.size());
+        done(axi::WriteResp{axi::Resp::kOkay, req.id});
+    });
+}
+
+} // namespace smappic::mem

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * AXI4-attached DRAM device modelling one F1 DDR4 channel: a functional
+ * window into MainMemory plus a latency/bandwidth performance model.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "axi/axi.hpp"
+#include "mem/main_memory.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/server.hpp"
+#include "sim/types.hpp"
+
+namespace smappic::mem
+{
+
+/** Timing knobs of one DDR4 channel. */
+struct DramTiming
+{
+    Cycles latency = 80;        ///< Closed-page access latency (Table 2).
+    double bytesPerCycle = 160.0; ///< DDR4 bandwidth per 100 MHz cycle.
+};
+
+/**
+ * One DRAM channel with asynchronous completion. Reads/writes address a
+ * window of the shared MainMemory starting at @p base.
+ */
+class AxiDram
+{
+  public:
+    using ReadFn = std::function<void(axi::ReadResp)>;
+    using WriteFn = std::function<void(axi::WriteResp)>;
+
+    AxiDram(sim::EventQueue &eq, MainMemory &memory, Addr base,
+            std::uint64_t size, const DramTiming &timing);
+
+    /** Issues a read; @p done fires when data returns from the channel. */
+    void read(const axi::ReadReq &req, ReadFn done);
+
+    /** Issues a write; @p done fires when the channel acknowledges. */
+    void write(const axi::WriteReq &req, WriteFn done);
+
+    std::uint64_t reads() const { return reads_; }
+    std::uint64_t writes() const { return writes_; }
+    Addr base() const { return base_; }
+    std::uint64_t size() const { return size_; }
+
+    /** Functional store behind this channel (for read-modify-write). */
+    MainMemory &memory() { return memory_; }
+
+  private:
+    Cycles serviceCycles(std::uint64_t bytes) const;
+
+    sim::EventQueue &eq_;
+    MainMemory &memory_;
+    Addr base_;
+    std::uint64_t size_;
+    DramTiming timing_;
+    sim::QueueServer channel_;
+    std::uint64_t reads_ = 0;
+    std::uint64_t writes_ = 0;
+};
+
+} // namespace smappic::mem

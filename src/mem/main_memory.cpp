@@ -1,0 +1,73 @@
+#include "mem/main_memory.hpp"
+
+#include <algorithm>
+
+namespace smappic::mem
+{
+
+const MainMemory::Page *
+MainMemory::findPage(std::uint64_t idx) const
+{
+    auto it = pages_.find(idx);
+    return it == pages_.end() ? nullptr : &it->second;
+}
+
+MainMemory::Page &
+MainMemory::touchPage(std::uint64_t idx)
+{
+    auto it = pages_.find(idx);
+    if (it == pages_.end())
+        it = pages_.emplace(idx, Page(kPageBytes, 0)).first;
+    return it->second;
+}
+
+void
+MainMemory::readBytes(Addr addr, void *out, std::uint64_t len) const
+{
+    auto *dst = static_cast<std::uint8_t *>(out);
+    while (len > 0) {
+        std::uint64_t page = addr / kPageBytes;
+        std::uint64_t off = addr % kPageBytes;
+        std::uint64_t chunk = std::min(len, kPageBytes - off);
+        if (const Page *p = findPage(page))
+            std::memcpy(dst, p->data() + off, chunk);
+        else
+            std::memset(dst, 0, chunk);
+        dst += chunk;
+        addr += chunk;
+        len -= chunk;
+    }
+}
+
+void
+MainMemory::writeBytes(Addr addr, const void *in, std::uint64_t len)
+{
+    const auto *src = static_cast<const std::uint8_t *>(in);
+    while (len > 0) {
+        std::uint64_t page = addr / kPageBytes;
+        std::uint64_t off = addr % kPageBytes;
+        std::uint64_t chunk = std::min(len, kPageBytes - off);
+        std::memcpy(touchPage(page).data() + off, src, chunk);
+        src += chunk;
+        addr += chunk;
+        len -= chunk;
+    }
+}
+
+std::uint64_t
+MainMemory::load(Addr addr, std::uint32_t bytes) const
+{
+    panicIf(bytes == 0 || bytes > 8, "load width must be 1..8 bytes");
+    std::uint64_t value = 0;
+    readBytes(addr, &value, bytes); // Host is little-endian like RISC-V.
+    return value;
+}
+
+void
+MainMemory::store(Addr addr, std::uint32_t bytes, std::uint64_t value)
+{
+    panicIf(bytes == 0 || bytes > 8, "store width must be 1..8 bytes");
+    writeBytes(addr, &value, bytes);
+}
+
+} // namespace smappic::mem

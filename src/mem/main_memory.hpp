@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Sparse functional backing store for the prototype's unified physical
+ * address space. Timing is handled elsewhere (CoherentSystem / DRAM model);
+ * this class only holds bytes.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/log.hpp"
+#include "sim/types.hpp"
+
+namespace smappic::mem
+{
+
+/** Flat sparse byte-addressable memory. */
+class MainMemory
+{
+  public:
+    static constexpr std::uint64_t kPageBytes = 4096;
+
+    /** Reads @p len bytes at @p addr into @p out. Unwritten bytes are 0. */
+    void readBytes(Addr addr, void *out, std::uint64_t len) const;
+
+    /** Writes @p len bytes from @p in at @p addr. */
+    void writeBytes(Addr addr, const void *in, std::uint64_t len);
+
+    /** Zero-extending little-endian load of @p bytes (1..8). */
+    std::uint64_t load(Addr addr, std::uint32_t bytes) const;
+
+    /** Little-endian store of the low @p bytes of @p value (1..8). */
+    void store(Addr addr, std::uint32_t bytes, std::uint64_t value);
+
+    /** Number of materialized 4 KiB pages (for footprint checks). */
+    std::size_t pagesAllocated() const { return pages_.size(); }
+
+    /** Drops all contents. */
+    void clear() { pages_.clear(); }
+
+  private:
+    using Page = std::vector<std::uint8_t>;
+
+    const Page *findPage(std::uint64_t idx) const;
+    Page &touchPage(std::uint64_t idx);
+
+    std::unordered_map<std::uint64_t, Page> pages_;
+};
+
+} // namespace smappic::mem

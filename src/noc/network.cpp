@@ -1,0 +1,332 @@
+#include "noc/network.hpp"
+
+#include <algorithm>
+
+#include "sim/log.hpp"
+
+namespace smappic::noc
+{
+
+namespace
+{
+
+Dir
+opposite(Dir d)
+{
+    switch (d) {
+      case Dir::kNorth:
+        return Dir::kSouth;
+      case Dir::kSouth:
+        return Dir::kNorth;
+      case Dir::kEast:
+        return Dir::kWest;
+      case Dir::kWest:
+        return Dir::kEast;
+      default:
+        panic("local port has no opposite");
+    }
+}
+
+} // namespace
+
+MeshNetwork::MeshNetwork(MeshTopology topo, std::uint32_t buffer_depth)
+    : topo_(topo), bufferDepth_(buffer_depth)
+{
+    fatalIf(buffer_depth == 0, "NoC buffer depth must be positive");
+    routers_.resize(topo_.tiles());
+    for (auto &r : routers_) {
+        r.credits.fill(buffer_depth);
+        r.rrNext.fill(0);
+    }
+    // One endpoint per tile plus the off-chip hub at the end.
+    endpoints_.resize(topo_.tiles() + 1);
+}
+
+void
+MeshNetwork::setDeliverFn(TileId tile, DeliverFn fn)
+{
+    std::size_t idx =
+        (tile == kOffChipTile) ? topo_.tiles() : static_cast<std::size_t>(tile);
+    panicIf(idx >= endpoints_.size(), "deliver fn for unknown tile");
+    endpoints_[idx].deliver = std::move(fn);
+}
+
+void
+MeshNetwork::queuePacketFlits(Endpoint &ep, const Packet &pkt)
+{
+    bool to_off_chip = pkt.dstTile == kOffChipTile ||
+                       (hasLocalNode_ && pkt.dstNode != localNode_);
+    for (const Flit &f : serialize(pkt))
+        ep.injectQueue.push_back(RoutedFlit{f, pkt.dstTile, to_off_chip});
+}
+
+void
+MeshNetwork::inject(const Packet &pkt)
+{
+    panicIf(pkt.srcTile >= topo_.tiles() && pkt.srcTile != kOffChipTile,
+            "inject from unknown tile");
+    if (pkt.srcTile == kOffChipTile) {
+        injectFromOffChip(pkt);
+        return;
+    }
+    queuePacketFlits(endpoints_[pkt.srcTile], pkt);
+}
+
+void
+MeshNetwork::injectFromOffChip(const Packet &pkt)
+{
+    panicIf(pkt.dstTile == kOffChipTile,
+            "off-chip hub cannot send to itself");
+    queuePacketFlits(endpoints_[topo_.tiles()], pkt);
+}
+
+std::uint32_t
+MeshNetwork::routerIndex(TileId tile) const
+{
+    panicIf(tile >= topo_.tiles(), "router index out of range");
+    return tile;
+}
+
+bool
+MeshNetwork::hasNeighbor(std::uint32_t router, Dir d) const
+{
+    Coord c = topo_.coordOf(static_cast<TileId>(router));
+    switch (d) {
+      case Dir::kNorth:
+        return c.y > 0;
+      case Dir::kSouth:
+        return c.y + 1 < static_cast<int>(topo_.rows()) &&
+               static_cast<std::uint32_t>((c.y + 1) * topo_.cols() + c.x) <
+                   topo_.tiles();
+      case Dir::kEast:
+        return c.x + 1 < static_cast<int>(topo_.cols()) &&
+               static_cast<std::uint32_t>(c.y * topo_.cols() + c.x + 1) <
+                   topo_.tiles();
+      case Dir::kWest:
+        return c.x > 0;
+      default:
+        return false;
+    }
+}
+
+std::uint32_t
+MeshNetwork::neighborIndex(std::uint32_t router, Dir d) const
+{
+    Coord c = topo_.coordOf(static_cast<TileId>(router));
+    switch (d) {
+      case Dir::kNorth:
+        return topo_.tileAt(Coord{c.x, c.y - 1});
+      case Dir::kSouth:
+        return topo_.tileAt(Coord{c.x, c.y + 1});
+      case Dir::kEast:
+        return topo_.tileAt(Coord{c.x + 1, c.y});
+      case Dir::kWest:
+        return topo_.tileAt(Coord{c.x - 1, c.y});
+      default:
+        panic("local port has no neighbor");
+    }
+}
+
+Dir
+MeshNetwork::routeDir(std::uint32_t router, const RoutedFlit &f) const
+{
+    Coord here = topo_.coordOf(static_cast<TileId>(router));
+    if (f.toOffChip) {
+        // Route to column 0 first, then north; the final northbound move
+        // out of tile 0 exits the mesh into the hub.
+        if (here.x > 0)
+            return Dir::kWest;
+        return Dir::kNorth;
+    }
+    Coord dst = topo_.coordOf(f.dstTile);
+    Dir choice = Dir::kLocal;
+    if (here.x < dst.x)
+        choice = Dir::kEast;
+    else if (here.x > dst.x)
+        choice = Dir::kWest;
+    else if (here.y < dst.y)
+        choice = Dir::kSouth;
+    else if (here.y > dst.y)
+        choice = Dir::kNorth;
+    // Non-rectangular meshes (partial last row): an eastbound move from
+    // the partial row may target a missing tile; detour north first (the
+    // row above is always complete), which preserves deadlock freedom
+    // because it only ever moves packets out of the unique partial row.
+    if (choice != Dir::kLocal && !hasNeighbor(router, choice) &&
+        here.y > 0)
+        return Dir::kNorth;
+    return choice;
+}
+
+void
+MeshNetwork::tick()
+{
+    // Phase A: propose at most one flit movement per output port, based on
+    // state at the start of the cycle.
+    std::vector<Move> moves;
+    for (std::uint32_t r = 0; r < routers_.size(); ++r) {
+        Router &router = routers_[r];
+        for (std::size_t o = 0; o < kNumDirs; ++o) {
+            Dir out = static_cast<Dir>(o);
+            std::optional<Dir> chosen;
+            if (router.outLock[o]) {
+                Dir in = *router.outLock[o];
+                if (!router.in[static_cast<std::size_t>(in)].fifo.empty())
+                    chosen = in;
+            } else {
+                // Round-robin over inputs whose head flit starts a packet
+                // routed to this output.
+                for (std::size_t k = 0; k < kNumDirs; ++k) {
+                    auto i = static_cast<std::size_t>(
+                        (router.rrNext[o] + k) % kNumDirs);
+                    InputPort &port = router.in[i];
+                    if (port.fifo.empty() || port.lockedOut)
+                        continue;
+                    const RoutedFlit &front = port.fifo.front();
+                    if (!front.flit.head)
+                        continue;
+                    if (routeDir(r, front) != out)
+                        continue;
+                    chosen = static_cast<Dir>(i);
+                    router.rrNext[o] =
+                        static_cast<std::uint8_t>((i + 1) % kNumDirs);
+                    break;
+                }
+            }
+            if (!chosen)
+                continue;
+
+            bool is_mesh_link = out != Dir::kLocal && hasNeighbor(r, out);
+            bool is_hub_link =
+                out == Dir::kNorth && r == 0 && !hasNeighbor(r, out);
+            if (is_mesh_link && router.credits[o] == 0)
+                continue;
+            if (!is_mesh_link && !is_hub_link && out != Dir::kLocal)
+                continue; // Route points off the mesh edge: drop-proof guard.
+            moves.push_back(Move{r, *chosen, out});
+        }
+    }
+
+    // Phase B: commit all proposed moves.
+    for (const Move &m : moves) {
+        Router &router = routers_[m.router];
+        auto in_idx = static_cast<std::size_t>(m.inPort);
+        auto out_idx = static_cast<std::size_t>(m.outPort);
+        InputPort &in = router.in[in_idx];
+        RoutedFlit flit = in.fifo.front();
+        in.fifo.pop_front();
+        ++flitHops_;
+
+        // Maintain wormhole locks.
+        if (flit.flit.head && !flit.flit.tail) {
+            router.outLock[out_idx] = m.inPort;
+            in.lockedOut = m.outPort;
+        }
+        if (flit.flit.tail) {
+            router.outLock[out_idx].reset();
+            in.lockedOut.reset();
+        }
+
+        // Return a credit upstream for the buffer slot we just freed.
+        if (m.inPort != Dir::kLocal) {
+            bool from_hub = m.inPort == Dir::kNorth && m.router == 0 &&
+                            !hasNeighbor(m.router, Dir::kNorth);
+            if (!from_hub) {
+                std::uint32_t up = neighborIndex(m.router, m.inPort);
+                auto up_out =
+                    static_cast<std::size_t>(opposite(m.inPort));
+                routers_[up].credits[up_out] += 1;
+            }
+            // Hub->router0 injection checks FIFO occupancy directly.
+        }
+
+        if (m.outPort == Dir::kLocal) {
+            Endpoint &ep = endpoints_[m.router];
+            ep.assembling.push_back(flit.flit);
+            if (flit.flit.tail) {
+                Packet pkt = deserialize(ep.assembling);
+                ep.assembling.clear();
+                ++deliveredPackets_;
+                if (ep.deliver)
+                    ep.deliver(pkt);
+            }
+        } else if (m.outPort == Dir::kNorth && m.router == 0 &&
+                   !hasNeighbor(m.router, Dir::kNorth)) {
+            // Northbound out of tile 0: exit to the off-chip hub.
+            Endpoint &hub = endpoints_[topo_.tiles()];
+            hub.assembling.push_back(flit.flit);
+            if (flit.flit.tail) {
+                Packet pkt = deserialize(hub.assembling);
+                hub.assembling.clear();
+                ++deliveredPackets_;
+                if (hub.deliver)
+                    hub.deliver(pkt);
+            }
+        } else {
+            std::uint32_t nb = neighborIndex(m.router, m.outPort);
+            auto nb_in = static_cast<std::size_t>(opposite(m.outPort));
+            routers_[nb].in[nb_in].fifo.push_back(flit);
+            router.credits[out_idx] -= 1;
+        }
+    }
+
+    // Injection: one flit per endpoint per cycle, as buffer space allows.
+    for (std::uint32_t t = 0; t < topo_.tiles(); ++t) {
+        Endpoint &ep = endpoints_[t];
+        if (ep.injectQueue.empty())
+            continue;
+        InputPort &local = routers_[t].in[static_cast<std::size_t>(
+            Dir::kLocal)];
+        if (local.fifo.size() < bufferDepth_) {
+            local.fifo.push_back(ep.injectQueue.front());
+            ep.injectQueue.pop_front();
+        }
+    }
+    Endpoint &hub = endpoints_[topo_.tiles()];
+    if (!hub.injectQueue.empty()) {
+        InputPort &north =
+            routers_[0].in[static_cast<std::size_t>(Dir::kNorth)];
+        if (north.fifo.size() < bufferDepth_) {
+            north.fifo.push_back(hub.injectQueue.front());
+            hub.injectQueue.pop_front();
+        }
+    }
+
+    ++now_;
+}
+
+void
+MeshNetwork::run(Cycles cycles)
+{
+    for (Cycles c = 0; c < cycles; ++c)
+        tick();
+}
+
+bool
+MeshNetwork::idle() const
+{
+    for (const auto &r : routers_) {
+        for (const auto &p : r.in) {
+            if (!p.fifo.empty())
+                return false;
+        }
+    }
+    for (const auto &ep : endpoints_) {
+        if (!ep.injectQueue.empty() || !ep.assembling.empty())
+            return false;
+    }
+    return true;
+}
+
+std::uint64_t
+MeshNetwork::bufferedFlits() const
+{
+    std::uint64_t total = 0;
+    for (const auto &r : routers_) {
+        for (const auto &p : r.in)
+            total += p.fifo.size();
+    }
+    return total;
+}
+
+} // namespace smappic::noc

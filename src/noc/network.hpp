@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Flit-level 2D-mesh network with wormhole routing and credit-based flow
+ * control, modelling one physical NoC of a BYOC node.
+ *
+ * Dimension-ordered (X then Y) routing plus per-link credits make each
+ * physical network deadlock-free; protocol deadlock is avoided by BYOC's
+ * three-network split, which the platform layer preserves by instantiating
+ * one MeshNetwork per NocIndex.
+ *
+ * The network is cycle-ticked with a two-phase (propose/commit) update so
+ * router evaluation order cannot affect results.
+ */
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "noc/packet.hpp"
+#include "noc/topology.hpp"
+#include "sim/stats.hpp"
+#include "sim/types.hpp"
+
+namespace smappic::noc
+{
+
+/** Router port directions. */
+enum class Dir : std::uint8_t
+{
+    kLocal = 0,
+    kNorth = 1,
+    kEast = 2,
+    kSouth = 3,
+    kWest = 4,
+};
+
+inline constexpr std::size_t kNumDirs = 5;
+
+/** Callback invoked when a fully reassembled packet leaves the network. */
+using DeliverFn = std::function<void(const Packet &)>;
+
+/**
+ * One physical mesh NoC. Tiles inject packets through inject(); ejected
+ * packets are handed to per-tile delivery callbacks. Tile kOffChipTile is
+ * the off-mesh hub north of tile 0 (chipset + inter-node bridge).
+ */
+class MeshNetwork
+{
+  public:
+    /**
+     * @param topo Mesh geometry.
+     * @param buffer_depth Input FIFO depth per port, in flits.
+     */
+    MeshNetwork(MeshTopology topo, std::uint32_t buffer_depth = 4);
+
+    /** Registers the packet sink for @p tile (or kOffChipTile). */
+    void setDeliverFn(TileId tile, DeliverFn fn);
+
+    /**
+     * Tells the network which node it belongs to: packets whose dstNode
+     * differs are routed to the off-chip hub (toward the inter-node
+     * bridge) regardless of their dstTile.
+     */
+    void
+    setLocalNode(NodeId node)
+    {
+        localNode_ = node;
+        hasLocalNode_ = true;
+    }
+
+    /**
+     * Queues @p pkt for injection at its source tile. Injection moves flits
+     * into the local input port as credits allow.
+     */
+    void inject(const Packet &pkt);
+
+    /** Injects at the off-chip hub (bridge/chipset pushing into the mesh). */
+    void injectFromOffChip(const Packet &pkt);
+
+    /** Advances the network by one cycle. */
+    void tick();
+
+    /** Runs @p cycles ticks. */
+    void run(Cycles cycles);
+
+    /** True when no flit is buffered or in flight anywhere. */
+    bool idle() const;
+
+    /** Current network cycle. */
+    Cycles now() const { return now_; }
+
+    const MeshTopology &topology() const { return topo_; }
+
+    std::uint64_t deliveredPackets() const { return deliveredPackets_; }
+    std::uint64_t flitHops() const { return flitHops_; }
+
+    /** Sum of buffered flits (for credit-conservation checks). */
+    std::uint64_t bufferedFlits() const;
+
+    /** Buffer depth per input port, in flits. */
+    std::uint32_t bufferDepth() const { return bufferDepth_; }
+
+  private:
+    struct RoutedFlit
+    {
+        Flit flit;
+        // Routing state is carried with every flit of a packet; hardware
+        // keeps it per-wormhole, which is equivalent.
+        TileId dstTile = 0;
+        bool toOffChip = false;
+    };
+
+    struct InputPort
+    {
+        std::deque<RoutedFlit> fifo;
+        std::optional<Dir> lockedOut; ///< Wormhole output lock.
+    };
+
+    struct Router
+    {
+        std::array<InputPort, kNumDirs> in;
+        std::array<std::uint32_t, kNumDirs> credits; ///< Toward neighbors.
+        std::array<std::optional<Dir>, kNumDirs> outLock; ///< Owning input.
+        std::array<std::uint8_t, kNumDirs> rrNext; ///< Round-robin pointers.
+    };
+
+    struct Move
+    {
+        std::uint32_t router;
+        Dir inPort;
+        Dir outPort;
+    };
+
+    /** Per-tile packet-reassembly and injection state. */
+    struct Endpoint
+    {
+        std::deque<RoutedFlit> injectQueue;
+        std::vector<Flit> assembling;
+        DeliverFn deliver;
+    };
+
+    std::uint32_t routerIndex(TileId tile) const;
+    bool hasNeighbor(std::uint32_t router, Dir d) const;
+    std::uint32_t neighborIndex(std::uint32_t router, Dir d) const;
+    Dir routeDir(std::uint32_t router, const RoutedFlit &f) const;
+    void queuePacketFlits(Endpoint &ep, const Packet &pkt);
+
+    MeshTopology topo_;
+    std::uint32_t bufferDepth_;
+    std::vector<Router> routers_;
+    std::vector<Endpoint> endpoints_; ///< One per tile + off-chip hub last.
+    NodeId localNode_ = 0;
+    bool hasLocalNode_ = false;
+    Cycles now_ = 0;
+    std::uint64_t deliveredPackets_ = 0;
+    std::uint64_t flitHops_ = 0;
+};
+
+} // namespace smappic::noc

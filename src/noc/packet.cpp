@@ -1,0 +1,86 @@
+#include "noc/packet.hpp"
+
+#include "sim/log.hpp"
+
+namespace smappic::noc
+{
+
+namespace
+{
+
+constexpr std::uint64_t
+field(std::uint64_t value, unsigned shift, unsigned bits)
+{
+    return (value & ((1ULL << bits) - 1)) << shift;
+}
+
+constexpr std::uint64_t
+extract(std::uint64_t word, unsigned shift, unsigned bits)
+{
+    return (word >> shift) & ((1ULL << bits) - 1);
+}
+
+} // namespace
+
+std::vector<Flit>
+serialize(const Packet &pkt)
+{
+    panicIf(pkt.payload.size() > 255, "NoC packet payload too long");
+    std::uint64_t header = 0;
+    header |= field(pkt.dstNode, 56, 8);
+    header |= field(pkt.dstTile, 48, 8);
+    header |= field(pkt.srcNode, 40, 8);
+    header |= field(pkt.srcTile, 32, 8);
+    header |= field(static_cast<std::uint64_t>(pkt.type), 26, 6);
+    header |= field(pkt.mshr, 18, 8);
+    header |= field(pkt.payload.size(), 10, 8);
+    header |= field(static_cast<std::uint64_t>(pkt.noc), 8, 2);
+    header |= field(pkt.sizeLog2, 0, 8);
+
+    std::vector<Flit> flits;
+    flits.reserve(pkt.flitCount());
+    flits.push_back(Flit{header, true, false});
+    flits.push_back(Flit{pkt.addr, false, pkt.payload.empty()});
+    for (std::size_t i = 0; i < pkt.payload.size(); ++i) {
+        flits.push_back(
+            Flit{pkt.payload[i], false, i + 1 == pkt.payload.size()});
+    }
+    return flits;
+}
+
+Packet
+deserialize(const std::vector<Flit> &flits)
+{
+    panicIf(flits.size() < 2, "NoC packet needs header and address flits");
+    panicIf(!flits.front().head, "first flit must be a head flit");
+    panicIf(!flits.back().tail, "last flit must be a tail flit");
+    std::vector<std::uint64_t> words;
+    words.reserve(flits.size());
+    for (const auto &f : flits)
+        words.push_back(f.data);
+    return deserializeWords(words);
+}
+
+Packet
+deserializeWords(const std::vector<std::uint64_t> &words)
+{
+    panicIf(words.size() < 2, "NoC packet needs header and address words");
+    std::uint64_t header = words[0];
+    Packet pkt;
+    pkt.dstNode = static_cast<NodeId>(extract(header, 56, 8));
+    pkt.dstTile = static_cast<TileId>(extract(header, 48, 8));
+    pkt.srcNode = static_cast<NodeId>(extract(header, 40, 8));
+    pkt.srcTile = static_cast<TileId>(extract(header, 32, 8));
+    pkt.type = static_cast<MsgType>(extract(header, 26, 6));
+    pkt.mshr = static_cast<std::uint8_t>(extract(header, 18, 8));
+    auto payload_flits = static_cast<std::size_t>(extract(header, 10, 8));
+    pkt.noc = static_cast<NocIndex>(extract(header, 8, 2));
+    pkt.sizeLog2 = static_cast<std::uint8_t>(extract(header, 0, 8));
+    pkt.addr = words[1];
+    panicIf(words.size() != 2 + payload_flits,
+            "NoC packet length does not match header length field");
+    pkt.payload.assign(words.begin() + 2, words.end());
+    return pkt;
+}
+
+} // namespace smappic::noc

@@ -1,0 +1,320 @@
+#include "os/guest_system.hpp"
+
+#include <ucontext.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "sim/log.hpp"
+
+namespace smappic::os
+{
+
+/**
+ * Phase scheduler: runs each worker's phase body on its own fiber
+ * (ucontext) and interleaves fibers in virtual-time order with a small
+ * quantum. This keeps request arrival times at shared resources (LLC
+ * slices, DRAM channels, PCIe links) approximately sorted, so the
+ * next-free-time servers model *contention* rather than accidentally
+ * serializing one worker behind another.
+ */
+struct GuestSystem::PhaseScheduler
+{
+    struct Task
+    {
+        ucontext_t ctx{};
+        std::vector<std::uint8_t> stack;
+        Worker worker;
+        bool done = false;
+        std::exception_ptr error;
+        const std::function<void(Worker &)> *body = nullptr;
+        PhaseScheduler *sched = nullptr;
+
+        Task(GuestSystem &os, GlobalTileId tile, Cycles start)
+            : worker(os, tile, start)
+        {
+        }
+    };
+
+    ucontext_t main{};
+    Task *current = nullptr;
+    Cycles threshold = ~Cycles{0};
+    std::vector<std::unique_ptr<Task>> tasks;
+
+    static void
+    trampoline(unsigned hi, unsigned lo)
+    {
+        auto ptr = (static_cast<std::uintptr_t>(hi) << 32) |
+                   static_cast<std::uintptr_t>(lo);
+        auto *task = reinterpret_cast<Task *>(ptr);
+        try {
+            (*task->body)(task->worker);
+        } catch (...) {
+            task->error = std::current_exception();
+        }
+        task->done = true;
+        // Returning transfers to uc_link (the scheduler's main context).
+    }
+};
+
+void
+Worker::maybeYield()
+{
+    GuestSystem::PhaseScheduler *s = os_.scheduler_;
+    if (!s || !s->current || &s->current->worker != this)
+        return;
+    if (clock_ <= s->threshold)
+        return;
+    swapcontext(&s->current->ctx, &s->main);
+}
+
+NodeId
+Worker::node() const
+{
+    return tile_ / os_.memorySystem().geometry().tilesPerNode;
+}
+
+std::uint64_t
+Worker::load(Addr va, std::uint32_t bytes)
+{
+    Addr pa = os_.translate(va, node());
+    auto r = os_.memorySystem().access(tile_, pa, cache::AccessType::kLoad,
+                                       bytes, clock_);
+    clock_ += r.latency;
+    std::uint64_t value =
+        os_.memorySystem().memory().load(pa, std::min(bytes, 8u));
+    maybeYield();
+    return value;
+}
+
+void
+Worker::store(Addr va, std::uint64_t value, std::uint32_t bytes)
+{
+    Addr pa = os_.translate(va, node());
+    // Functional store first so device windows observe the new value.
+    os_.memorySystem().memory().store(pa, std::min(bytes, 8u), value);
+    auto r = os_.memorySystem().access(tile_, pa, cache::AccessType::kStore,
+                                       bytes, clock_);
+    clock_ += r.latency;
+    maybeYield();
+}
+
+std::uint64_t
+Worker::amoAdd(Addr va, std::uint64_t delta)
+{
+    Addr pa = os_.translate(va, node());
+    auto r = os_.memorySystem().access(tile_, pa, cache::AccessType::kAtomic,
+                                       8, clock_);
+    clock_ += r.latency;
+    std::uint64_t old = os_.memorySystem().memory().load(pa, 8);
+    os_.memorySystem().memory().store(pa, 8, old + delta);
+    maybeYield();
+    return old;
+}
+
+std::uint64_t
+Worker::ncLoad(Addr va, std::uint32_t bytes)
+{
+    Addr pa = os_.translate(va, node());
+    auto r = os_.memorySystem().access(tile_, pa, cache::AccessType::kNcLoad,
+                                       bytes, clock_);
+    clock_ += r.latency;
+    std::uint64_t value =
+        os_.memorySystem().memory().load(pa, std::min(bytes, 8u));
+    maybeYield();
+    return value;
+}
+
+GuestSystem::GuestSystem(cache::CoherentSystem &cs, NumaMode mode,
+                         std::uint64_t seed)
+    : cs_(cs), mode_(mode), rng_(seed)
+{
+    const auto &geo = cs.geometry();
+    nextFrame_.resize(geo.nodes);
+    pagesOnNode_.assign(geo.nodes, 0);
+    for (NodeId n = 0; n < geo.nodes; ++n) {
+        // Reserve the first 16 MiB of each node for images/IO; the top
+        // half of each node's DRAM belongs to the virtual SD card.
+        nextFrame_[n] = geo.dramBase +
+                        static_cast<Addr>(n) * geo.memPerNode + (16 << 20);
+    }
+}
+
+Addr
+GuestSystem::frameOn(NodeId node)
+{
+    const auto &geo = cs_.geometry();
+    panicIf(node >= geo.nodes, "frame request for unknown node");
+    Addr frame = nextFrame_[node];
+    Addr limit = geo.dramBase + static_cast<Addr>(node) * geo.memPerNode +
+                 geo.memPerNode / 2; // Top half is the virtual SD card.
+    fatalIf(frame + kPageBytes > limit, "node out of physical memory");
+    nextFrame_[node] += kPageBytes;
+    pagesOnNode_[node] += 1;
+    return frame;
+}
+
+Addr
+GuestSystem::vmAlloc(std::uint64_t bytes, AllocPolicy policy, NodeId node)
+{
+    fatalIf(bytes == 0, "vmAlloc of zero bytes");
+    std::uint64_t pages = (bytes + kPageBytes - 1) / kPageBytes;
+    Addr base = nextVa_;
+    nextVa_ += (pages + 1) * kPageBytes; // Guard page between ranges.
+
+    if (policy == AllocPolicy::kDefault)
+        policy = AllocPolicy::kFirstTouch; // NumaMode decides at touch.
+
+    ranges_.push_back(VmRange{base, pages, policy, node});
+
+    // Eager binding for explicit placement policies.
+    if (policy == AllocPolicy::kInterleave) {
+        for (std::uint64_t p = 0; p < pages; ++p) {
+            NodeId n = interleaveNext_++ % cs_.geometry().nodes;
+            pageTable_[(base / kPageBytes) + p] = frameOn(n);
+        }
+    } else if (policy == AllocPolicy::kOnNode) {
+        for (std::uint64_t p = 0; p < pages; ++p)
+            pageTable_[(base / kPageBytes) + p] = frameOn(node);
+    }
+    return base;
+}
+
+const GuestSystem::VmRange *
+GuestSystem::rangeOf(Addr va) const
+{
+    for (const auto &r : ranges_) {
+        if (va >= r.base && va < r.base + r.pages * kPageBytes)
+            return &r;
+    }
+    return nullptr;
+}
+
+void
+GuestSystem::mapDeviceIdentity(Addr base, std::uint64_t size)
+{
+    deviceRanges_.emplace_back(base, size);
+}
+
+Addr
+GuestSystem::translate(Addr va, NodeId toucher)
+{
+    for (const auto &[base, size] : deviceRanges_) {
+        if (va >= base && va - base < size)
+            return va;
+    }
+    std::uint64_t vpn = va / kPageBytes;
+    auto it = pageTable_.find(vpn);
+    if (it == pageTable_.end()) {
+        const VmRange *range = rangeOf(va);
+        fatalIf(range == nullptr,
+                strfmt("access to unmapped address 0x%llx",
+                       static_cast<unsigned long long>(va)));
+        NodeId target;
+        if (range->policy == AllocPolicy::kOnNode) {
+            target = range->node;
+        } else if (mode_ == NumaMode::kOn) {
+            // First touch: the kernel allocates from the toucher's node.
+            target = toucher;
+        } else {
+            // NUMA-oblivious kernel: the frame comes from wherever the
+            // global free list points, uncorrelated with the toucher.
+            target = static_cast<NodeId>(
+                rng_.below(cs_.geometry().nodes));
+        }
+        it = pageTable_.emplace(vpn, frameOn(target)).first;
+    }
+    return it->second + (va % kPageBytes);
+}
+
+std::int32_t
+GuestSystem::pageNode(Addr va) const
+{
+    auto it = pageTable_.find(va / kPageBytes);
+    if (it == pageTable_.end())
+        return -1;
+    return static_cast<std::int32_t>(cs_.addrNode(it->second));
+}
+
+void
+GuestSystem::parallelPhase(const std::vector<GlobalTileId> &tiles,
+                           const std::function<void(Worker &)> &body)
+{
+    fatalIf(tiles.empty(), "parallel phase with no workers");
+    panicIf(scheduler_ != nullptr, "nested parallel phases");
+
+    PhaseScheduler sched;
+    scheduler_ = &sched;
+    constexpr std::size_t kStackBytes = 256 << 10;
+    for (GlobalTileId t : tiles) {
+        auto task =
+            std::make_unique<PhaseScheduler::Task>(*this, t, clock_);
+        task->body = &body;
+        task->sched = &sched;
+        task->stack.resize(kStackBytes);
+        getcontext(&task->ctx);
+        task->ctx.uc_stack.ss_sp = task->stack.data();
+        task->ctx.uc_stack.ss_size = task->stack.size();
+        task->ctx.uc_link = &sched.main;
+        auto ptr = reinterpret_cast<std::uintptr_t>(task.get());
+        makecontext(&task->ctx,
+                    reinterpret_cast<void (*)()>(
+                        &PhaseScheduler::trampoline),
+                    2, static_cast<unsigned>(ptr >> 32),
+                    static_cast<unsigned>(ptr & 0xffffffffu));
+        sched.tasks.push_back(std::move(task));
+    }
+
+    // Resume the lagging fiber until everyone finishes; each runs for at
+    // most one quantum past the next-slowest worker's clock.
+    std::exception_ptr first_error;
+    while (true) {
+        PhaseScheduler::Task *next = nullptr;
+        Cycles second = ~Cycles{0};
+        for (auto &t : sched.tasks) {
+            if (t->done)
+                continue;
+            if (!next || t->worker.clock_ < next->worker.clock_) {
+                if (next)
+                    second = std::min(second, next->worker.clock_);
+                next = t.get();
+            } else {
+                second = std::min(second, t->worker.clock_);
+            }
+        }
+        if (!next || first_error)
+            break;
+        sched.threshold =
+            second == ~Cycles{0} ? ~Cycles{0} : second + quantum_;
+        sched.current = next;
+        swapcontext(&sched.main, &next->ctx);
+        sched.current = nullptr;
+        if (next->done && next->error && !first_error)
+            first_error = next->error;
+    }
+    scheduler_ = nullptr;
+    if (first_error)
+        std::rethrow_exception(first_error);
+
+    Cycles end = clock_;
+    for (auto &t : sched.tasks)
+        end = std::max(end, t->worker.clock_);
+    clock_ = end + barrierCost_;
+}
+
+void
+GuestSystem::serialSection(GlobalTileId tile,
+                           const std::function<void(Worker &)> &body)
+{
+    Worker w(*this, tile, clock_);
+    body(w);
+    clock_ = w.clock_;
+}
+
+std::vector<std::uint64_t>
+GuestSystem::pagesPerNode() const
+{
+    return pagesOnNode_;
+}
+
+} // namespace smappic::os

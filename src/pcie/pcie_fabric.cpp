@@ -1,0 +1,116 @@
+#include "pcie/pcie_fabric.hpp"
+
+#include "sim/log.hpp"
+
+namespace smappic::pcie
+{
+
+PcieFabric::PcieFabric(sim::EventQueue &eq, Cycles one_way,
+                       double bytes_per_cycle, sim::StatRegistry *stats)
+    : eq_(eq), oneWay_(one_way), bytesPerCycle_(bytes_per_cycle),
+      stats_(stats)
+{
+}
+
+void
+PcieFabric::addWindow(Addr base, std::uint64_t size, axi::Target *target,
+                      FpgaId owner, std::string name)
+{
+    fatalIf(target == nullptr, "fabric window '" + name + "' has no target");
+    fatalIf(size == 0, "fabric window '" + name + "' has zero size");
+    for (const auto &w : windows_) {
+        bool disjoint = base + size <= w.base || w.base + w.size <= base;
+        fatalIf(!disjoint, "fabric windows '" + name + "' and '" + w.name +
+                               "' overlap");
+    }
+    windows_.push_back(FabricWindow{base, size, target, owner,
+                                    std::move(name)});
+}
+
+const PcieFabric::FabricWindow *
+PcieFabric::decode(Addr addr) const
+{
+    for (const auto &w : windows_) {
+        if (addr >= w.base && addr - w.base < w.size)
+            return &w;
+    }
+    return nullptr;
+}
+
+sim::TrafficShaper &
+PcieFabric::linkOf(FpgaId endpoint)
+{
+    for (auto &[id, shaper] : links_) {
+        if (id == endpoint)
+            return shaper;
+    }
+    links_.emplace_back(endpoint,
+                        sim::TrafficShaper(0, bytesPerCycle_));
+    return links_.back().second;
+}
+
+Cycles
+PcieFabric::transferArrival(FpgaId src, std::uint64_t bytes)
+{
+    // Serialize on the source's link, then propagate one way.
+    Cycles sent = linkOf(src).send(eq_.now(), bytes);
+    transfers_ += 1;
+    bytesMoved_ += bytes;
+    if (stats_) {
+        stats_->counter("pcie.transfers").increment();
+        stats_->counter("pcie.bytes").increment(bytes);
+    }
+    return sent + oneWay_;
+}
+
+void
+PcieFabric::write(FpgaId src, axi::WriteReq req, CompletionFn done)
+{
+    const FabricWindow *w = decode(req.addr);
+    if (!w) {
+        ++decodeErrors_;
+        if (done)
+            eq_.schedule(1, [done] { done(Completion{axi::Resp::kDecErr}); });
+        return;
+    }
+    Cycles arrival = transferArrival(src, req.data.size() + 32);
+    axi::Target *target = w->target;
+    // Deliver at the far side, then return the B response across the
+    // fabric (response transfers are small TLPs).
+    eq_.scheduleAt(arrival, [this, target, req = std::move(req), done,
+                             src]() mutable {
+        axi::WriteResp resp = target->write(req);
+        if (!done)
+            return;
+        Cycles back = transferArrival(src, 32);
+        eq_.scheduleAt(back, [done, resp] {
+            done(Completion{resp.resp, {}});
+        });
+    });
+}
+
+void
+PcieFabric::read(FpgaId src, axi::ReadReq req, CompletionFn done)
+{
+    const FabricWindow *w = decode(req.addr);
+    if (!w) {
+        ++decodeErrors_;
+        if (done)
+            eq_.schedule(1, [done] { done(Completion{axi::Resp::kDecErr}); });
+        return;
+    }
+    Cycles arrival = transferArrival(src, 32);
+    axi::Target *target = w->target;
+    eq_.scheduleAt(arrival, [this, target, req = std::move(req), done,
+                             src]() mutable {
+        axi::ReadResp resp = target->read(req);
+        if (!done)
+            return;
+        Cycles back = transferArrival(src, resp.data.size() + 32);
+        eq_.scheduleAt(back, [done, resp = std::move(resp)] {
+            done(Completion{resp.resp, std::move(resp.data)});
+        });
+    });
+}
+
+} // namespace smappic::pcie

@@ -1,0 +1,124 @@
+#include "platform/node_chipset.hpp"
+
+#include "sim/log.hpp"
+
+namespace smappic::platform
+{
+
+NodeChipset::NodeChipset(NodeId node, std::uint32_t tiles_per_node,
+                         sim::EventQueue &eq,
+                         mem::NocAxiMemController &memctrl,
+                         bridge::InterNodeBridge *bridge)
+    : node_(node), eq_(eq), memctrl_(memctrl), bridge_(bridge)
+{
+    for (std::size_t n = 0; n < noc::kNumNocs; ++n) {
+        nets_[n] = std::make_unique<noc::MeshNetwork>(
+            noc::MeshTopology(tiles_per_node));
+        nets_[n]->setLocalNode(node);
+        // Northbound traffic out of tile 0 reaches the hub; steer it.
+        nets_[n]->setDeliverFn(noc::kOffChipTile,
+                               [this](const noc::Packet &pkt) {
+                                   hubDeliver(pkt);
+                               });
+    }
+
+    // Memory controller responses re-enter the mesh on their network.
+    memctrl_.setSendFn([this](const noc::Packet &pkt) { intoMesh(pkt); });
+
+    // Bridge deliveries (packets arriving from other nodes) re-enter the
+    // mesh toward their destination tile, or terminate at the memory
+    // controller for remote memory accesses.
+    if (bridge_) {
+        bridge_->setDeliverFn([this](const noc::Packet &pkt) {
+            panicIf(pkt.dstNode != node_,
+                    "chipset received another node's packet");
+            ++fromOffChip_;
+            if (pkt.dstTile == noc::kOffChipTile) {
+                ++toMemory_;
+                memctrl_.handlePacket(pkt);
+            } else {
+                intoMesh(pkt);
+            }
+        });
+    }
+}
+
+void
+NodeChipset::setTileDeliverFn(TileId tile, TileFn fn)
+{
+    // The same sink observes the tile on all three physical networks.
+    for (std::size_t n = 0; n < noc::kNumNocs; ++n)
+        nets_[n]->setDeliverFn(tile, fn);
+}
+
+void
+NodeChipset::injectFromTile(const noc::Packet &pkt)
+{
+    nets_[static_cast<std::size_t>(pkt.noc)]->inject(pkt);
+}
+
+void
+NodeChipset::intoMesh(const noc::Packet &pkt)
+{
+    if (pkt.dstNode != node_) {
+        // The memory controller sits in the chipset next to the bridge:
+        // remote responses go straight out without re-crossing the mesh.
+        panicIf(bridge_ == nullptr,
+                "remote response on a node without a bridge");
+        ++toBridge_;
+        bridge_->sendPacket(pkt);
+        return;
+    }
+    nets_[static_cast<std::size_t>(pkt.noc)]->injectFromOffChip(pkt);
+}
+
+void
+NodeChipset::hubDeliver(const noc::Packet &pkt)
+{
+    if (pkt.dstNode != node_) {
+        // Inter-node traffic: encapsulate and tunnel (section 3.1).
+        panicIf(bridge_ == nullptr,
+                "inter-node packet on a node without a bridge");
+        ++toBridge_;
+        bridge_->sendPacket(pkt);
+        return;
+    }
+    switch (pkt.type) {
+      case noc::MsgType::kMemRd:
+      case noc::MsgType::kMemWr:
+      case noc::MsgType::kNcLoad:
+      case noc::MsgType::kNcStore:
+        ++toMemory_;
+        memctrl_.handlePacket(pkt);
+        break;
+      default:
+        panic("hub received an unroutable packet type");
+    }
+}
+
+void
+NodeChipset::tick()
+{
+    for (auto &net : nets_)
+        net->tick();
+    ++clock_;
+    eq_.runUntil(std::max(eq_.now(), clock_));
+}
+
+bool
+NodeChipset::runUntilIdle(Cycles max_cycles)
+{
+    for (Cycles c = 0; c < max_cycles; ++c) {
+        tick();
+        bool idle = eq_.empty() && memctrl_.idle();
+        for (auto &net : nets_)
+            idle = idle && net->idle();
+        if (bridge_)
+            idle = idle && bridge_->sendIdle();
+        if (idle)
+            return true;
+    }
+    return false;
+}
+
+} // namespace smappic::platform

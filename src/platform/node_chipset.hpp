@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Packet-level assembly of one SMAPPIC node: the three physical mesh
+ * NoCs, the off-chip hub ("chipset" in BYOC terms) that steers northbound
+ * traffic, the NoC-AXI4 memory controller behind it, and — when the node
+ * is part of a multi-node prototype — the inter-node bridge.
+ *
+ * This is the cycle-accurate counterpart of the transaction-level path in
+ * cache::CoherentSystem: the same protocol elements, executed as actual
+ * flits through actual routers. The platform uses it for I/O-class
+ * traffic and for validation (tests drive memory transactions through the
+ * full flit-level stack and compare against the transaction model's
+ * structure); figure benches use the calibrated transaction model.
+ */
+
+#pragma once
+
+#include <array>
+#include <functional>
+#include <memory>
+
+#include "bridge/inter_node_bridge.hpp"
+#include "mem/noc_axi_memctrl.hpp"
+#include "noc/network.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/types.hpp"
+
+namespace smappic::platform
+{
+
+/** One node's packet-level interconnect complex. */
+class NodeChipset
+{
+  public:
+    using TileFn = std::function<void(const noc::Packet &)>;
+
+    /**
+     * @param node This node's id.
+     * @param eq Event queue shared with the memory controller/bridge.
+     * @param memctrl The node's NoC-AXI4 memory controller.
+     * @param bridge Inter-node bridge, or nullptr for single-node setups.
+     */
+    NodeChipset(NodeId node, std::uint32_t tiles_per_node,
+                sim::EventQueue &eq, mem::NocAxiMemController &memctrl,
+                bridge::InterNodeBridge *bridge);
+
+    /** Registers the sink for packets delivered to @p tile. */
+    void setTileDeliverFn(TileId tile, TileFn fn);
+
+    /** Injects a packet at its source tile on the network pkt.noc names. */
+    void injectFromTile(const noc::Packet &pkt);
+
+    /**
+     * Advances the chipset one cycle: ticks all three networks and runs
+     * the event queue up to the new local time.
+     */
+    void tick();
+
+    /** Runs until all networks drain and the queue empties (bounded). */
+    bool runUntilIdle(Cycles max_cycles = 100000);
+
+    noc::MeshNetwork &network(noc::NocIndex idx)
+    {
+        return *nets_[static_cast<std::size_t>(idx)];
+    }
+
+    NodeId node() const { return node_; }
+    Cycles now() const { return clock_; }
+
+    std::uint64_t packetsToMemory() const { return toMemory_; }
+    std::uint64_t packetsToBridge() const { return toBridge_; }
+    std::uint64_t packetsFromOffChip() const { return fromOffChip_; }
+
+  private:
+    void hubDeliver(const noc::Packet &pkt);
+    void intoMesh(const noc::Packet &pkt);
+
+    NodeId node_;
+    sim::EventQueue &eq_;
+    mem::NocAxiMemController &memctrl_;
+    bridge::InterNodeBridge *bridge_;
+
+    std::array<std::unique_ptr<noc::MeshNetwork>, noc::kNumNocs> nets_;
+    Cycles clock_ = 0;
+    std::uint64_t toMemory_ = 0;
+    std::uint64_t toBridge_ = 0;
+    std::uint64_t fromOffChip_ = 0;
+};
+
+} // namespace smappic::platform

@@ -1,0 +1,635 @@
+#include "platform/prototype.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "sim/log.hpp"
+
+namespace smappic::platform
+{
+
+namespace
+{
+
+/** Adapts a byte-addressed AXI-Lite register file into an NcDevice. */
+class LiteNcAdapter : public cache::NcDevice
+{
+  public:
+    explicit LiteNcAdapter(axi::LiteTarget &target) : target_(target) {}
+
+    std::uint64_t
+    ncLoad(Addr offset, std::uint32_t, Cycles, Cycles &service) override
+    {
+        service = 8;
+        std::uint32_t data = 0;
+        target_.readReg(offset, data);
+        return data;
+    }
+
+    void
+    ncStore(Addr offset, std::uint32_t, std::uint64_t value, Cycles,
+            Cycles &service) override
+    {
+        service = 8;
+        target_.writeReg(axi::LiteWrite{offset,
+                                        static_cast<std::uint32_t>(value),
+                                        0xf});
+    }
+
+  private:
+    axi::LiteTarget &target_;
+};
+
+/** Adapts the PLIC register file into an NcDevice. */
+class PlicNcAdapter : public cache::NcDevice
+{
+  public:
+    explicit PlicNcAdapter(riscv::PlicController &plic) : plic_(plic) {}
+
+    std::uint64_t
+    ncLoad(Addr offset, std::uint32_t, Cycles, Cycles &service) override
+    {
+        service = 8;
+        return plic_.read(offset);
+    }
+
+    void
+    ncStore(Addr offset, std::uint32_t, std::uint64_t value, Cycles,
+            Cycles &service) override
+    {
+        service = 8;
+        plic_.write(offset, static_cast<std::uint32_t>(value));
+    }
+
+  private:
+    riscv::PlicController &plic_;
+};
+
+/** Adapts the CLINT register file into an NcDevice. */
+class ClintNcAdapter : public cache::NcDevice
+{
+  public:
+    explicit ClintNcAdapter(riscv::ClintController &clint) : clint_(clint)
+    {
+    }
+
+    std::uint64_t
+    ncLoad(Addr offset, std::uint32_t, Cycles, Cycles &service) override
+    {
+        service = 8;
+        return clint_.read(offset);
+    }
+
+    void
+    ncStore(Addr offset, std::uint32_t bytes, std::uint64_t value, Cycles,
+            Cycles &service) override
+    {
+        service = 8;
+        clint_.write(offset, value, bytes);
+    }
+
+  private:
+    riscv::ClintController &clint_;
+};
+
+/**
+ * Fabric window backing the host SD driver: inbound AXI writes become
+ * stores into the SD region of memory (the inbound-AXI -> NoC -> memory
+ * controller path, functionally).
+ */
+class SdWindowTarget : public axi::Target
+{
+  public:
+    SdWindowTarget(mem::MainMemory &memory, Addr region_base)
+        : memory_(memory), regionBase_(region_base)
+    {
+    }
+
+    axi::WriteResp
+    write(const axi::WriteReq &req) override
+    {
+        memory_.writeBytes(regionBase_ + req.addr - fabricBase_,
+                           req.data.data(), req.data.size());
+        return {axi::Resp::kOkay, req.id};
+    }
+
+    axi::ReadResp
+    read(const axi::ReadReq &req) override
+    {
+        axi::ReadResp r;
+        r.id = req.id;
+        r.data.resize(req.bytes);
+        memory_.readBytes(regionBase_ + req.addr - fabricBase_,
+                          r.data.data(), req.bytes);
+        return r;
+    }
+
+    void setFabricBase(Addr base) { fabricBase_ = base; }
+
+  private:
+    mem::MainMemory &memory_;
+    Addr regionBase_;
+    Addr fabricBase_ = 0;
+};
+
+} // namespace
+
+// Fabric (PCIe) address map: bridges low, SD image windows high.
+namespace
+{
+constexpr Addr kFabricBridgeBase = 0x0;
+constexpr Addr kFabricBridgeStride = 0x100000;
+constexpr Addr kFabricSdBase = 0x100000000ULL;
+} // namespace
+
+PrototypeConfig
+PrototypeConfig::parse(const std::string &spec)
+{
+    PrototypeConfig cfg;
+    std::uint32_t vals[3] = {0, 0, 0};
+    std::size_t idx = 0;
+    std::string cur;
+    for (char c : spec + "x") {
+        if (c == 'x' || c == 'X') {
+            fatalIf(cur.empty() || idx >= 3,
+                    "bad configuration spec '" + spec +
+                        "' (want AxBxC, e.g. 4x1x12)");
+            vals[idx++] = static_cast<std::uint32_t>(std::stoul(cur));
+            cur.clear();
+        } else if (std::isdigit(static_cast<unsigned char>(c))) {
+            cur += c;
+        } else {
+            fatal("bad configuration spec '" + spec + "'");
+        }
+    }
+    fatalIf(idx != 3, "bad configuration spec '" + spec + "'");
+    cfg.fpgas = vals[0];
+    cfg.nodesPerFpga = vals[1];
+    cfg.tilesPerNode = vals[2];
+    fatalIf(cfg.fpgas == 0 || cfg.nodesPerFpga == 0 ||
+                cfg.tilesPerNode == 0,
+            "configuration dimensions must be positive");
+    fatalIf(cfg.fpgas > 4,
+            "one F1 instance connects at most 4 FPGAs with low-latency "
+            "PCIe links (paper section 4.8)");
+    fatalIf(cfg.nodesPerFpga > 4,
+            "F1 FPGAs expose 4 DRAM channels: at most 4 nodes per FPGA");
+    return cfg;
+}
+
+std::string
+PrototypeConfig::name() const
+{
+    return strfmt("%ux%ux%u", fpgas, nodesPerFpga, tilesPerNode);
+}
+
+class Prototype::CorePort : public riscv::MemPort
+{
+  public:
+    CorePort(Prototype &proto, GlobalTileId gid) : proto_(proto), gid_(gid)
+    {
+    }
+
+    std::uint64_t
+    load(Addr addr, std::uint32_t bytes, Cycles now, Cycles &lat) override
+    {
+        auto r = proto_.cs_->access(gid_, addr, cache::AccessType::kLoad,
+                                    bytes, now);
+        lat = r.latency;
+        return proto_.cs_->memory().load(addr, std::min(bytes, 8u));
+    }
+
+    void
+    store(Addr addr, std::uint32_t bytes, std::uint64_t value, Cycles now,
+          Cycles &lat) override
+    {
+        // Data goes into the functional store first so device windows
+        // (whose handlers read it) observe the new value.
+        proto_.cs_->memory().store(addr, std::min(bytes, 8u), value);
+        auto r = proto_.cs_->access(gid_, addr, cache::AccessType::kStore,
+                                    bytes, now);
+        lat = r.latency;
+    }
+
+    std::uint32_t
+    fetch(Addr addr, Cycles now, Cycles &lat) override
+    {
+        auto r = proto_.cs_->access(gid_, addr, cache::AccessType::kFetch,
+                                    4, now);
+        lat = r.latency;
+        return static_cast<std::uint32_t>(
+            proto_.cs_->memory().load(addr, 4));
+    }
+
+    std::uint64_t
+    atomic(Addr addr, std::uint32_t bytes,
+           const std::function<std::uint64_t(std::uint64_t)> &rmw,
+           Cycles now, Cycles &lat) override
+    {
+        auto r = proto_.cs_->access(gid_, addr, cache::AccessType::kAtomic,
+                                    bytes, now);
+        lat = r.latency;
+        std::uint64_t old = proto_.cs_->memory().load(addr, bytes);
+        proto_.cs_->memory().store(addr, bytes, rmw(old));
+        return old;
+    }
+
+  private:
+    Prototype &proto_;
+    GlobalTileId gid_;
+};
+
+Prototype::Prototype(const PrototypeConfig &cfg) : cfg_(cfg)
+{
+    cache::Geometry geo;
+    geo.nodes = cfg.totalNodes();
+    geo.tilesPerNode = cfg.tilesPerNode;
+    geo.dramBase = kDramBase;
+    geo.memPerNode = cfg.memPerNode;
+    geo.llcSliceBytes = cfg.llcSliceBytes;
+    cs_ = std::make_unique<cache::CoherentSystem>(geo, cfg.timing,
+                                                  cfg.homing, &stats_);
+
+    fabric_ = std::make_unique<pcie::PcieFabric>(
+        eq_, cfg.timing.pcieOneWay(), cfg.timing.pcieBytesPerCycle,
+        &stats_);
+
+    std::uint32_t nodes = cfg.totalNodes();
+    auto fpga_of = [&](NodeId n) {
+        return static_cast<FpgaId>(n / cfg.nodesPerFpga);
+    };
+
+    // CLINT + packetizer (cores receive interrupt packets).
+    clint_ = std::make_unique<riscv::ClintController>(cfg.totalTiles());
+    packetizer_ = std::make_unique<riscv::IrqPacketizer>(
+        0,
+        [this](const noc::Packet &pkt) {
+            GlobalTileId gid =
+                pkt.dstNode * cfg_.tilesPerNode + pkt.dstTile;
+            if (gid < cores_.size() && cores_[gid])
+                riscv::IrqDepacketizer::apply(pkt, *cores_[gid]);
+            stats_.counter("platform.irqPackets").increment();
+        },
+        [this](std::uint32_t hart) {
+            return std::make_pair<NodeId, TileId>(
+                hart / cfg_.tilesPerNode, hart % cfg_.tilesPerNode);
+        });
+    clint_->setWireFn([this](std::uint32_t h, std::uint32_t irq, bool l) {
+        packetizer_->onWireChange(h, irq, l);
+    });
+    auto clint_adapter = std::make_unique<ClintNcAdapter>(*clint_);
+    cs_->addDevice(kClintBase, kClintSize, 0, clint_adapter.get());
+    ncAdapters_.push_back(std::move(clint_adapter));
+
+    // PLIC: one external source per node's console UART; its hart lines
+    // ride the interrupt packetizer as machine-external interrupts.
+    plic_ = std::make_unique<riscv::PlicController>(nodes,
+                                                    cfg.totalTiles());
+    plic_->setWireFn([this](std::uint32_t hart, bool level) {
+        packetizer_->onWireChange(hart, riscv::kIrqMei, level);
+    });
+    auto plic_adapter = std::make_unique<PlicNcAdapter>(*plic_);
+    cs_->addDevice(kPlicBase, kPlicSize, 0, plic_adapter.get());
+    ncAdapters_.push_back(std::move(plic_adapter));
+    for (NodeId n = 0; n < nodes; ++n) {
+        // Firmware defaults: source n+1 (node n console) at priority 1,
+        // routed to the node's tile-0 hart with threshold 0.
+        plic_->write(riscv::kPlicPriorityBase + 4 * (n + 1), 1);
+        std::uint32_t hart = n * cfg.tilesPerNode;
+        plic_->write(riscv::kPlicEnableBase +
+                         hart * riscv::kPlicEnableStride,
+                     1u << (n + 1));
+    }
+
+    // Per-node substrate.
+    serials_.resize(nodes);
+    for (NodeId n = 0; n < nodes; ++n) {
+        // Inter-node bridge (when the coherent interconnect is enabled).
+        if (cfg.interNodeInterconnect && nodes > 1) {
+            bridge::BridgeConfig bcfg;
+            auto b = std::make_unique<bridge::InterNodeBridge>(
+                n, fpga_of(n),
+                kFabricBridgeBase + n * kFabricBridgeStride, eq_,
+                *fabric_, bcfg, &stats_);
+            b->setDeliverFn([this](const noc::Packet &pkt) {
+                if (pkt.type == noc::MsgType::kInterrupt) {
+                    GlobalTileId gid =
+                        pkt.dstNode * cfg_.tilesPerNode + pkt.dstTile;
+                    if (gid < cores_.size() && cores_[gid])
+                        riscv::IrqDepacketizer::apply(pkt, *cores_[gid]);
+                }
+                stats_.counter("platform.bridgePacketsIn").increment();
+            });
+            bridges_.push_back(std::move(b));
+        }
+
+        // DRAM channel + NoC-AXI4 memory controller.
+        Addr dram_base = kDramBase + static_cast<Addr>(n) * cfg.memPerNode;
+        mem::DramTiming dt;
+        dt.latency = cfg.timing.dramLatency;
+        dt.bytesPerCycle = cfg.timing.dramBytesPerCycle;
+        drams_.push_back(std::make_unique<mem::AxiDram>(
+            eq_, cs_->memory(), dram_base, cfg.memPerNode, dt));
+        auto ctrl = std::make_unique<mem::NocAxiMemController>(
+            n, eq_, *drams_.back(), mem::MemCtrlConfig{}, &stats_);
+        ctrl->setSendFn([this](const noc::Packet &) {
+            stats_.counter("platform.memctrlResponses").increment();
+        });
+        memctrls_.push_back(std::move(ctrl));
+
+        // Two UARTs per node: console (115200) and data (~1 Mbit/s).
+        for (int u = 0; u < 2; ++u) {
+            auto uart = std::make_unique<io::Uart16550>(
+                u == 0 ? 115200 : 1'000'000);
+            if (u == 0) {
+                serials_[n].attach(*uart);
+                // Console RX interrupts are PLIC source n+1; the PLIC
+                // raises the owning hart's machine-external line through
+                // the packetizer.
+                std::uint32_t src = n + 1;
+                uart->setIrqFn([this, src](bool level) {
+                    plic_->setSourceLevel(src, level);
+                });
+            }
+            auto adapter = std::make_unique<LiteNcAdapter>(*uart);
+            cs_->addDevice(kUartBase + n * kUartNodeStride +
+                               u * kUartStride,
+                           kUartStride, n * cfg.tilesPerNode,
+                           adapter.get());
+            ncAdapters_.push_back(std::move(adapter));
+            uarts_.push_back(std::move(uart));
+        }
+
+        // Virtual SD card: top half of the node's DRAM.
+        Addr sd_region = dram_base + cfg.memPerNode / 2;
+        sdCards_.push_back(std::make_unique<io::VirtualSdCard>(
+            cs_->memory(), sd_region, cfg.memPerNode / 2));
+        cs_->addDevice(kSdMmioBase + n * kSdMmioStride, kSdMmioStride,
+                       n * cfg.tilesPerNode, sdCards_.back().get());
+        // Host-side init path: a fabric window over the SD region.
+        auto sd_target =
+            std::make_unique<SdWindowTarget>(cs_->memory(), sd_region);
+        Addr fabric_base = kFabricSdBase +
+                           static_cast<Addr>(n) * (cfg.memPerNode / 2);
+        sd_target->setFabricBase(fabric_base);
+        fabric_->addWindow(fabric_base, cfg.memPerNode / 2,
+                           sd_target.get(), fpga_of(n),
+                           strfmt("sd.node%u", n));
+        fabricAdapters_.push_back(std::move(sd_target));
+    }
+
+    // Bridge peering (full mesh).
+    for (auto &b : bridges_) {
+        for (auto &peer : bridges_) {
+            if (b->node() != peer->node())
+                b->addPeer(peer->node(), peer->windowBase());
+        }
+    }
+
+    // Cores.
+    std::uint32_t total = cfg.totalTiles();
+    for (GlobalTileId g = 0; g < total; ++g) {
+        ports_.push_back(std::make_unique<CorePort>(*this, g));
+        riscv::CoreConfig ccfg = riscv::corePreset(cfg.coreModel);
+        ccfg.hartId = g;
+        ccfg.resetPc = kDramBase;
+        auto core = std::make_unique<riscv::RvCore>(ccfg, *ports_.back(),
+                                                    &stats_);
+        core->setEcallHandler([this, g](riscv::RvCore &c) {
+            std::uint64_t num = c.reg(17); // a7
+            if (num == 93) {               // exit
+                c.requestExit(static_cast<std::int64_t>(c.reg(10)));
+                return true;
+            }
+            if (num == 64) { // write(fd, buf, len)
+                NodeId n = g / cfg_.tilesPerNode;
+                Addr buf = c.reg(11);
+                std::uint64_t len = c.reg(12);
+                for (std::uint64_t i = 0; i < len; ++i) {
+                    auto byte = static_cast<std::uint8_t>(
+                        cs_->memory().load(buf + i, 1));
+                    consoleUart(n).writeReg(
+                        axi::LiteWrite{io::kUartRbrThr, byte, 0x1});
+                }
+                c.setReg(10, len);
+                return true;
+            }
+            if (num == 63) { // read(fd, buf, len) from the console UART
+                NodeId n = g / cfg_.tilesPerNode;
+                Addr buf = c.reg(11);
+                std::uint64_t len = c.reg(12);
+                std::uint64_t got = 0;
+                while (got < len && !consoleUart(n).rxEmpty()) {
+                    std::uint32_t data = 0;
+                    consoleUart(n).readReg(io::kUartRbrThr, data);
+                    cs_->memory().store(buf + got, 1, data & 0xff);
+                    ++got;
+                }
+                c.setReg(10, got);
+                return true;
+            }
+            return false;
+        });
+        cores_.push_back(std::move(core));
+    }
+}
+
+Prototype::~Prototype() = default;
+
+accel::GngAccelerator &
+Prototype::addGng(GlobalTileId tile)
+{
+    auto gng = std::make_unique<accel::GngAccelerator>(
+        static_cast<std::uint32_t>(cfg_.seed + tile));
+    Addr base = kAccelBase + accelWindows_.size() * kAccelStride;
+    cs_->addDevice(base, kAccelStride, tile, gng.get());
+    accelWindows_.emplace_back(tile, base);
+    gngs_.push_back(std::move(gng));
+    return *gngs_.back();
+}
+
+accel::MapleEngine &
+Prototype::addMaple(GlobalTileId tile)
+{
+    auto eng = std::make_unique<accel::MapleEngine>(*cs_, tile);
+    Addr base = kAccelBase + accelWindows_.size() * kAccelStride;
+    cs_->addDevice(base, kAccelStride, tile, eng.get());
+    accelWindows_.emplace_back(tile, base);
+    maples_.push_back(std::move(eng));
+    return *maples_.back();
+}
+
+Addr
+Prototype::accelWindow(GlobalTileId tile) const
+{
+    for (const auto &[t, base] : accelWindows_) {
+        if (t == tile)
+            return base;
+    }
+    fatal("no accelerator registered at that tile");
+}
+
+void
+Prototype::loadProgram(const riscv::Program &prog)
+{
+    for (const auto &seg : prog.segments)
+        cs_->memory().writeBytes(seg.base, seg.bytes.data(),
+                                 seg.bytes.size());
+}
+
+riscv::Program
+Prototype::loadSource(const std::string &source)
+{
+    riscv::Assembler as(kDramBase, kDramBase + 0x400000);
+    riscv::Program prog = as.assemble(source);
+    loadProgram(prog);
+    for (auto &core : cores_)
+        core->setPc(prog.entry);
+    return prog;
+}
+
+riscv::HaltReason
+Prototype::runCore(GlobalTileId gid, std::uint64_t max_instructions)
+{
+    auto &c = core(gid);
+    std::uint64_t executed = 0;
+    while (executed < max_instructions) {
+        std::uint64_t chunk =
+            std::min<std::uint64_t>(1000, max_instructions - executed);
+        riscv::HaltReason r = c.run(chunk);
+        executed += chunk;
+        clint_->setTime(c.cycles());
+        eq_.runUntil(c.cycles());
+        if (r == riscv::HaltReason::kExited ||
+            r == riscv::HaltReason::kEbreak)
+            return r;
+        if (r == riscv::HaltReason::kWfi) {
+            // Let device time advance until an interrupt shows up.
+            bool woke = false;
+            for (int spin = 0; spin < 10000 && !woke; ++spin) {
+                clint_->setTime(clint_->mtime() + 100);
+                eq_.runUntil(eq_.now() + 100);
+                woke = c.interruptPending();
+            }
+            if (!woke)
+                return riscv::HaltReason::kWfi;
+        }
+    }
+    return riscv::HaltReason::kInstrBudget;
+}
+
+void
+Prototype::runCores(const std::vector<GlobalTileId> &gids,
+                    std::uint64_t max_instructions_each)
+{
+    struct State
+    {
+        GlobalTileId gid;
+        std::uint64_t executed = 0;
+        bool done = false;
+    };
+    std::vector<State> states;
+    states.reserve(gids.size());
+    for (GlobalTileId g : gids)
+        states.push_back(State{g, 0, false});
+
+    bool progress = true;
+    while (progress) {
+        progress = false;
+        // Pick the live core with the smallest local clock.
+        State *next = nullptr;
+        for (auto &s : states) {
+            if (s.done)
+                continue;
+            if (!next ||
+                core(s.gid).cycles() < core(next->gid).cycles())
+                next = &s;
+        }
+        if (!next)
+            break;
+        auto &c = core(next->gid);
+        std::uint64_t chunk = std::min<std::uint64_t>(
+            100, max_instructions_each - next->executed);
+        if (chunk == 0) {
+            next->done = true;
+            continue;
+        }
+        riscv::HaltReason r = c.run(chunk);
+        next->executed += chunk;
+        progress = true;
+        Cycles maxc = 0;
+        for (auto &s : states)
+            maxc = std::max(maxc, core(s.gid).cycles());
+        clint_->setTime(maxc);
+        eq_.runUntil(maxc);
+        if (r == riscv::HaltReason::kExited ||
+            r == riscv::HaltReason::kEbreak)
+            next->done = true;
+        if (r == riscv::HaltReason::kWfi) {
+            // Another core may wake it; if every live core is in wfi,
+            // advance device time.
+            bool all_wfi = true;
+            for (auto &s : states) {
+                if (!s.done && !(core(s.gid).instret() > 0 &&
+                                 s.gid == next->gid))
+                    all_wfi = false;
+            }
+            if (all_wfi) {
+                clint_->setTime(clint_->mtime() + 1000);
+                eq_.runUntil(eq_.now() + 1000);
+                if (!c.interruptPending())
+                    next->done = true;
+            }
+        }
+    }
+}
+
+std::unique_ptr<os::GuestSystem>
+Prototype::makeGuest(os::NumaMode mode, std::uint64_t seed)
+{
+    auto guest = std::make_unique<os::GuestSystem>(*cs_, mode, seed);
+    // MMIO is identity-mapped (not paged).
+    guest->mapDeviceIdentity(kClintBase, kClintSize);
+    guest->mapDeviceIdentity(kSdMmioBase,
+                             kSdMmioStride * cfg_.totalNodes());
+    guest->mapDeviceIdentity(kUartBase,
+                             kUartNodeStride * cfg_.totalNodes());
+    guest->mapDeviceIdentity(kAccelBase, kAccelStride * 64);
+    return guest;
+}
+
+Addr
+Prototype::addressHomedAt(GlobalTileId to) const
+{
+    NodeId node = to / cfg_.tilesPerNode;
+    TileId tile = to % cfg_.tilesPerNode;
+    Addr base = kDramBase + static_cast<Addr>(node) * cfg_.memPerNode +
+                cfg_.memPerNode / 4;
+    for (std::uint64_t k = 0; k < 100000; ++k) {
+        Addr line = base + k * kCacheLineBytes;
+        auto [hn, ht] = cs_->homeOf(line);
+        if (hn == node && ht == tile)
+            return line;
+    }
+    panic("no address homed at the requested tile found");
+}
+
+Cycles
+Prototype::measureRoundTrip(GlobalTileId from, GlobalTileId to)
+{
+    Addr addr = addressHomedAt(to);
+    probeClock_ += 1'000'000;
+    // Warm the home LLC slice with an access from the home tile itself,
+    // then drop every private copy so the probe is a clean two-hop
+    // requester -> home -> requester transaction.
+    cs_->access(to, addr, cache::AccessType::kLoad, 8, probeClock_);
+    cs_->flushPrivate(to);
+    cs_->flushPrivate(from);
+    probeClock_ += 1'000'000;
+    auto r = cs_->access(from, addr, cache::AccessType::kLoad, 8,
+                         probeClock_);
+    cs_->flushPrivate(from);
+    return r.latency;
+}
+
+} // namespace smappic::platform

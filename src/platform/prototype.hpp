@@ -1,0 +1,195 @@
+/**
+ * @file
+ * The SMAPPIC prototype: the user-facing assembly of the whole platform.
+ *
+ * A prototype is described in the paper's AxBxC notation — A FPGAs, B
+ * nodes per FPGA, C tiles per node — and contains:
+ *   - the coherent multi-node memory system (BYOC nodes + SMAPPIC
+ *     inter-node interconnect timing),
+ *   - one RV64 core per tile wired to that memory system,
+ *   - the F1 substrate: PCIe fabric, per-node inter-node bridges,
+ *     per-node NoC-AXI4 memory controllers and DRAM channels,
+ *   - I/O: two UARTs per node (console + overclocked data), the CLINT
+ *     interrupt controller with packetizer delivery, and a virtual SD
+ *     card in the top half of each node's DRAM.
+ *
+ * Users pick a configuration string ("4x1x12"), load a program and run —
+ * mirroring the build-scripts-only flow the paper advertises.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "accel/gng.hpp"
+#include "accel/maple.hpp"
+#include "bridge/inter_node_bridge.hpp"
+#include "cache/coherent_system.hpp"
+#include "io/sd_card.hpp"
+#include "io/uart16550.hpp"
+#include "mem/axi_dram.hpp"
+#include "mem/noc_axi_memctrl.hpp"
+#include "os/guest_system.hpp"
+#include "pcie/pcie_fabric.hpp"
+#include "riscv/assembler.hpp"
+#include "riscv/core.hpp"
+#include "riscv/core_models.hpp"
+#include "riscv/interrupts.hpp"
+#include "riscv/plic.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/stats.hpp"
+
+namespace smappic::platform
+{
+
+// Fixed MMIO map (per node where applicable).
+inline constexpr Addr kClintBase = 0x02000000;
+inline constexpr std::uint64_t kClintSize = 0x10000;
+inline constexpr Addr kUartBase = 0x10000000;
+inline constexpr std::uint64_t kUartStride = 0x1000; ///< Console, data...
+inline constexpr std::uint64_t kUartNodeStride = 0x10000;
+inline constexpr Addr kPlicBase = 0x0c000000;
+inline constexpr std::uint64_t kPlicSize = 0x400000;
+inline constexpr Addr kSdMmioBase = 0x03000000;
+inline constexpr std::uint64_t kSdMmioStride = 0x1000;
+inline constexpr Addr kAccelBase = 0xf0000000;
+inline constexpr std::uint64_t kAccelStride = 0x10000;
+inline constexpr Addr kDramBase = 0x80000000;
+
+/** AxBxC prototype description. */
+struct PrototypeConfig
+{
+    std::uint32_t fpgas = 1;        ///< A.
+    std::uint32_t nodesPerFpga = 1; ///< B.
+    std::uint32_t tilesPerNode = 2; ///< C.
+    std::uint64_t memPerNode = 256ULL << 20;
+    /** LLC slice capacity (Table 2 default; benches scale it with their
+     *  scaled-down working sets to preserve the paper's ws:LLC regime). */
+    std::uint64_t llcSliceBytes = 64 << 10;
+    bool interNodeInterconnect = true;
+    riscv::CoreModel coreModel = riscv::CoreModel::kAriane;
+    cache::HomingPolicy homing = cache::HomingPolicy::kAddressNode;
+    cache::TimingParams timing;
+    std::uint64_t seed = 1;
+
+    /** Parses "AxBxC" (e.g. "4x1x12"). @throws FatalError on bad input. */
+    static PrototypeConfig parse(const std::string &spec);
+
+    std::uint32_t totalNodes() const { return fpgas * nodesPerFpga; }
+    std::uint32_t totalTiles() const
+    {
+        return totalNodes() * tilesPerNode;
+    }
+    std::string name() const;
+};
+
+/** One fully wired prototype. */
+class Prototype
+{
+  public:
+    explicit Prototype(const PrototypeConfig &cfg);
+    ~Prototype();
+
+    Prototype(const Prototype &) = delete;
+    Prototype &operator=(const Prototype &) = delete;
+
+    const PrototypeConfig &config() const { return cfg_; }
+    cache::CoherentSystem &memorySystem() { return *cs_; }
+    mem::MainMemory &memory() { return cs_->memory(); }
+    sim::StatRegistry &stats() { return stats_; }
+    sim::EventQueue &eventQueue() { return eq_; }
+    pcie::PcieFabric &fabric() { return *fabric_; }
+    bridge::InterNodeBridge &bridge(NodeId n) { return *bridges_.at(n); }
+    mem::NocAxiMemController &memController(NodeId n)
+    {
+        return *memctrls_.at(n);
+    }
+    riscv::ClintController &clint() { return *clint_; }
+    riscv::PlicController &plic() { return *plic_; }
+    io::Uart16550 &consoleUart(NodeId n) { return *uarts_.at(n * 2); }
+    io::Uart16550 &dataUart(NodeId n) { return *uarts_.at(n * 2 + 1); }
+    io::VirtualSerial &console(NodeId n) { return serials_.at(n); }
+    io::VirtualSdCard &sdCard(NodeId n) { return *sdCards_.at(n); }
+
+    riscv::RvCore &core(GlobalTileId gid) { return *cores_.at(gid); }
+    std::uint32_t coreCount() const
+    {
+        return static_cast<std::uint32_t>(cores_.size());
+    }
+
+    /** Optional accelerators (paper sections 4.2/4.3). */
+    accel::GngAccelerator &addGng(GlobalTileId tile);
+    accel::MapleEngine &addMaple(GlobalTileId tile);
+
+    /** GNG/MAPLE MMIO window base for @p tile (after addGng/addMaple). */
+    Addr accelWindow(GlobalTileId tile) const;
+
+    /** Loads an assembled program into physical memory. */
+    void loadProgram(const riscv::Program &prog);
+
+    /** Assembles and loads; returns the program for symbol lookups. */
+    riscv::Program loadSource(const std::string &source);
+
+    /**
+     * Runs one core until exit/budget, pumping the device event queue in
+     * step with the core clock.
+     * @return The core's halt reason.
+     */
+    riscv::HaltReason runCore(GlobalTileId gid,
+                              std::uint64_t max_instructions = 50'000'000);
+
+    /**
+     * Runs several cores concurrently (cycle-interleaved) until all exit
+     * or every core consumes its budget.
+     */
+    void runCores(const std::vector<GlobalTileId> &gids,
+                  std::uint64_t max_instructions_each = 50'000'000);
+
+    /** Creates a guest-OS model on top of this prototype's memory. */
+    std::unique_ptr<os::GuestSystem> makeGuest(os::NumaMode mode,
+                                               std::uint64_t seed = 1);
+
+    /**
+     * Fig. 7 probe: round-trip latency in cycles from @p from to a cache
+     * line homed at @p to, measured with cold private caches and a warm
+     * home LLC.
+     */
+    Cycles measureRoundTrip(GlobalTileId from, GlobalTileId to);
+
+    /** Physical address in @p to's node whose home tile is @p to. */
+    Addr addressHomedAt(GlobalTileId to) const;
+
+  private:
+    class CorePort;
+
+    PrototypeConfig cfg_;
+    sim::StatRegistry stats_;
+    sim::EventQueue eq_;
+
+    std::unique_ptr<cache::CoherentSystem> cs_;
+    std::unique_ptr<pcie::PcieFabric> fabric_;
+    std::vector<std::unique_ptr<bridge::InterNodeBridge>> bridges_;
+    std::vector<std::unique_ptr<mem::AxiDram>> drams_;
+    std::vector<std::unique_ptr<mem::NocAxiMemController>> memctrls_;
+    std::vector<std::unique_ptr<io::Uart16550>> uarts_;
+    std::vector<io::VirtualSerial> serials_;
+    std::vector<std::unique_ptr<io::VirtualSdCard>> sdCards_;
+    std::unique_ptr<riscv::ClintController> clint_;
+    std::unique_ptr<riscv::PlicController> plic_;
+    std::unique_ptr<riscv::IrqPacketizer> packetizer_;
+
+    std::vector<std::unique_ptr<CorePort>> ports_;
+    std::vector<std::unique_ptr<riscv::RvCore>> cores_;
+
+    std::vector<std::unique_ptr<cache::NcDevice>> ncAdapters_;
+    std::vector<std::unique_ptr<axi::Target>> fabricAdapters_;
+    Cycles probeClock_ = 0;
+    std::vector<std::unique_ptr<accel::GngAccelerator>> gngs_;
+    std::vector<std::unique_ptr<accel::MapleEngine>> maples_;
+    std::vector<std::pair<GlobalTileId, Addr>> accelWindows_;
+};
+
+} // namespace smappic::platform

@@ -1,0 +1,79 @@
+#include "platform/tri.hpp"
+
+#include <algorithm>
+
+#include "sim/log.hpp"
+
+namespace smappic::platform
+{
+
+TriResponse
+TriPort::request(const TriRequest &req, Cycles now)
+{
+    ++transactions_;
+    cache::AccessType type;
+    switch (req.op) {
+      case TriOp::kLoad:
+        type = cache::AccessType::kLoad;
+        break;
+      case TriOp::kStore:
+        type = cache::AccessType::kStore;
+        break;
+      case TriOp::kIfill:
+        type = cache::AccessType::kFetch;
+        break;
+      case TriOp::kAmo:
+        type = cache::AccessType::kAtomic;
+        break;
+      case TriOp::kNcLoad:
+        type = cache::AccessType::kNcLoad;
+        break;
+      case TriOp::kNcStore:
+        type = cache::AccessType::kNcStore;
+        break;
+      default:
+        panic("unknown TRI op");
+    }
+
+    TriResponse resp;
+    std::uint32_t data_bytes = std::min(req.bytes, 8u);
+    if (req.op == TriOp::kStore || req.op == TriOp::kNcStore) {
+        // Data lands in the functional store before the device/coherence
+        // walk so NC windows observe the new value.
+        cs_.memory().store(req.addr, data_bytes, req.data);
+    }
+    auto r = cs_.access(tile_, req.addr, type, req.bytes, now);
+    resp.latency = r.latency;
+    resp.level = r.level;
+    if (req.op == TriOp::kAmo) {
+        resp.data = cs_.memory().load(req.addr, data_bytes);
+        cs_.memory().store(req.addr, data_bytes, req.data);
+    } else if (req.op != TriOp::kStore && req.op != TriOp::kNcStore) {
+        resp.data = cs_.memory().load(req.addr, data_bytes);
+    }
+    return resp;
+}
+
+Cycles
+TraceCore::run(TriPort &port, Cycles start)
+{
+    responses_.clear();
+    responses_.reserve(trace_.size());
+    memCycles_ = 0;
+    Cycles now = start;
+    for (const Entry &e : trace_) {
+        now += e.gap;
+        TriRequest req;
+        req.op = e.op;
+        req.addr = e.addr;
+        req.bytes = e.bytes;
+        req.data = e.data;
+        TriResponse r = port.request(req, now);
+        now += r.latency;
+        memCycles_ += r.latency;
+        responses_.push_back(r);
+    }
+    return now;
+}
+
+} // namespace smappic::platform

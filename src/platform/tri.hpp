@@ -1,0 +1,135 @@
+/**
+ * @file
+ * The Transaction-Response Interface (TRI).
+ *
+ * TRI is BYOC's gateway between a compute unit and the memory system
+ * (paper section 2.2): it isolates cores from the coherence protocol's
+ * details so that new cores and accelerators can be integrated without
+ * touching the cache subsystem — the reason ten different cores plug into
+ * the framework. This module provides the same boundary for this
+ * platform: a typed request/response transaction API bound to a tile,
+ * an abstract TriClient for custom compute units, and a trace-replay
+ * client that drives memory traces through the interface (the minimal
+ * "bring your own core").
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "cache/coherent_system.hpp"
+#include "sim/types.hpp"
+
+namespace smappic::platform
+{
+
+/** TRI transaction types (the BYOC request classes). */
+enum class TriOp : std::uint8_t
+{
+    kLoad,     ///< Cacheable read.
+    kStore,    ///< Cacheable write.
+    kIfill,    ///< Instruction fill.
+    kAmo,      ///< Atomic (performed at the home LLC).
+    kNcLoad,   ///< Non-cacheable read.
+    kNcStore,  ///< Non-cacheable write.
+};
+
+/** One TRI request. */
+struct TriRequest
+{
+    TriOp op = TriOp::kLoad;
+    Addr addr = 0;
+    std::uint32_t bytes = 8;
+    std::uint64_t data = 0; ///< Store/AMO payload.
+};
+
+/** The matching response. */
+struct TriResponse
+{
+    std::uint64_t data = 0; ///< Load result / AMO old value.
+    Cycles latency = 0;
+    cache::ServiceLevel level = cache::ServiceLevel::kL1;
+};
+
+/**
+ * A TRI endpoint bound to one tile: custom compute units issue requests
+ * here and never see the coherence protocol.
+ */
+class TriPort
+{
+  public:
+    TriPort(cache::CoherentSystem &cs, GlobalTileId tile)
+        : cs_(cs), tile_(tile)
+    {
+    }
+
+    /** Issues one transaction at time @p now. */
+    TriResponse request(const TriRequest &req, Cycles now);
+
+    GlobalTileId tile() const { return tile_; }
+    std::uint64_t transactions() const { return transactions_; }
+
+  private:
+    cache::CoherentSystem &cs_;
+    GlobalTileId tile_;
+    std::uint64_t transactions_ = 0;
+};
+
+/** A compute unit that runs against a TriPort. */
+class TriClient
+{
+  public:
+    virtual ~TriClient() = default;
+
+    /**
+     * Runs the unit to completion against @p port starting at @p start.
+     * @return Finish time in cycles.
+     */
+    virtual Cycles run(TriPort &port, Cycles start) = 0;
+
+    /** Short name for reports. */
+    virtual std::string name() const = 0;
+};
+
+/**
+ * Trace-replay compute unit: the minimal custom core. Replays a memory
+ * trace (op, address, inter-request compute gap) through TRI, which is
+ * how non-RTL performance models are typically attached to prototypes.
+ */
+class TraceCore : public TriClient
+{
+  public:
+    struct Entry
+    {
+        TriOp op = TriOp::kLoad;
+        Addr addr = 0;
+        std::uint32_t bytes = 8;
+        std::uint64_t data = 0;
+        Cycles gap = 1; ///< Compute cycles before this request.
+    };
+
+    explicit TraceCore(std::vector<Entry> trace, std::string name = "trace")
+        : trace_(std::move(trace)), name_(std::move(name))
+    {
+    }
+
+    Cycles run(TriPort &port, Cycles start) override;
+    std::string name() const override { return name_; }
+
+    /** Per-entry responses recorded during the last run. */
+    const std::vector<TriResponse> &responses() const { return responses_; }
+
+    /** Aggregate memory stall cycles of the last run. */
+    Cycles memoryCycles() const { return memCycles_; }
+
+  private:
+    std::vector<Entry> trace_;
+    std::string name_;
+    std::vector<TriResponse> responses_;
+    Cycles memCycles_ = 0;
+};
+
+} // namespace smappic::platform

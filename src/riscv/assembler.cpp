@@ -1,0 +1,841 @@
+#include "riscv/assembler.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <optional>
+#include <sstream>
+
+#include "sim/log.hpp"
+
+namespace smappic::riscv
+{
+
+Addr
+Program::symbol(const std::string &name) const
+{
+    auto it = symbols.find(name);
+    fatalIf(it == symbols.end(), "undefined symbol: " + name);
+    return it->second;
+}
+
+namespace
+{
+
+/** Parse-time context shared by both passes. */
+struct Context
+{
+    std::map<std::string, Addr> symbols;
+    int line = 0;
+
+    [[noreturn]] void
+    error(const std::string &msg) const
+    {
+        fatal(strfmt("asm line %d: %s", line, msg.c_str()));
+    }
+};
+
+int
+regNumber(const std::string &name, const Context &ctx)
+{
+    static const std::map<std::string, int> kAbi = {
+        {"zero", 0}, {"ra", 1},  {"sp", 2},  {"gp", 3},  {"tp", 4},
+        {"t0", 5},   {"t1", 6},  {"t2", 7},  {"s0", 8},  {"fp", 8},
+        {"s1", 9},   {"a0", 10}, {"a1", 11}, {"a2", 12}, {"a3", 13},
+        {"a4", 14},  {"a5", 15}, {"a6", 16}, {"a7", 17}, {"s2", 18},
+        {"s3", 19},  {"s4", 20}, {"s5", 21}, {"s6", 22}, {"s7", 23},
+        {"s8", 24},  {"s9", 25}, {"s10", 26}, {"s11", 27}, {"t3", 28},
+        {"t4", 29},  {"t5", 30}, {"t6", 31},
+    };
+    auto it = kAbi.find(name);
+    if (it != kAbi.end())
+        return it->second;
+    if (name.size() >= 2 && name[0] == 'x') {
+        int n = 0;
+        for (std::size_t i = 1; i < name.size(); ++i) {
+            if (!std::isdigit(static_cast<unsigned char>(name[i])))
+                ctx.error("bad register name: " + name);
+            n = n * 10 + (name[i] - '0');
+        }
+        if (n < 32)
+            return n;
+    }
+    ctx.error("bad register name: " + name);
+}
+
+bool
+looksLikeNumber(const std::string &tok)
+{
+    if (tok.empty())
+        return false;
+    std::size_t i = (tok[0] == '-' || tok[0] == '+') ? 1 : 0;
+    return i < tok.size() && std::isdigit(static_cast<unsigned char>(tok[i]));
+}
+
+std::int64_t
+parseNumber(const std::string &tok, const Context &ctx)
+{
+    try {
+        std::size_t pos = 0;
+        long long v = std::stoll(tok, &pos, 0);
+        if (pos != tok.size())
+            ctx.error("bad number: " + tok);
+        return v;
+    } catch (const std::out_of_range &) {
+        // Large unsigned constants (e.g. 0xdeadbeefcafebabe) wrap to the
+        // same 64-bit pattern.
+        try {
+            std::size_t pos = 0;
+            unsigned long long v = std::stoull(tok, &pos, 0);
+            if (pos != tok.size())
+                ctx.error("bad number: " + tok);
+            return static_cast<std::int64_t>(v);
+        } catch (const std::exception &) {
+            ctx.error("bad number: " + tok);
+        }
+    } catch (const std::exception &) {
+        ctx.error("bad number: " + tok);
+    }
+}
+
+/** Immediate: numeric literal or a (defined-by-pass-2) symbol. */
+std::int64_t
+parseImm(const std::string &tok, const Context &ctx, bool resolve)
+{
+    if (looksLikeNumber(tok))
+        return parseNumber(tok, ctx);
+    if (!resolve)
+        return 0;
+    auto it = ctx.symbols.find(tok);
+    if (it == ctx.symbols.end())
+        ctx.error("undefined symbol: " + tok);
+    return static_cast<std::int64_t>(it->second);
+}
+
+// --- encoders ---
+
+std::uint32_t
+encR(std::uint32_t opcode, int rd, std::uint32_t f3, int rs1, int rs2,
+     std::uint32_t f7)
+{
+    return opcode | (static_cast<std::uint32_t>(rd) << 7) | (f3 << 12) |
+           (static_cast<std::uint32_t>(rs1) << 15) |
+           (static_cast<std::uint32_t>(rs2) << 20) | (f7 << 25);
+}
+
+std::uint32_t
+encI(std::uint32_t opcode, int rd, std::uint32_t f3, int rs1,
+     std::int64_t imm, const Context &ctx)
+{
+    if (imm < -2048 || imm > 2047)
+        ctx.error(strfmt("I-immediate out of range: %lld",
+                         static_cast<long long>(imm)));
+    return opcode | (static_cast<std::uint32_t>(rd) << 7) | (f3 << 12) |
+           (static_cast<std::uint32_t>(rs1) << 15) |
+           (static_cast<std::uint32_t>(imm & 0xfff) << 20);
+}
+
+std::uint32_t
+encS(std::uint32_t opcode, std::uint32_t f3, int rs1, int rs2,
+     std::int64_t imm, const Context &ctx)
+{
+    if (imm < -2048 || imm > 2047)
+        ctx.error("S-immediate out of range");
+    auto u = static_cast<std::uint32_t>(imm & 0xfff);
+    return opcode | ((u & 0x1f) << 7) | (f3 << 12) |
+           (static_cast<std::uint32_t>(rs1) << 15) |
+           (static_cast<std::uint32_t>(rs2) << 20) | ((u >> 5) << 25);
+}
+
+std::uint32_t
+encB(std::uint32_t opcode, std::uint32_t f3, int rs1, int rs2,
+     std::int64_t off, const Context &ctx)
+{
+    if (off < -4096 || off > 4095 || (off & 1))
+        ctx.error("branch target out of range");
+    auto u = static_cast<std::uint32_t>(off & 0x1fff);
+    std::uint32_t w = opcode | (f3 << 12) |
+                      (static_cast<std::uint32_t>(rs1) << 15) |
+                      (static_cast<std::uint32_t>(rs2) << 20);
+    w |= ((u >> 11) & 1) << 7;
+    w |= ((u >> 1) & 0xf) << 8;
+    w |= ((u >> 5) & 0x3f) << 25;
+    w |= ((u >> 12) & 1) << 31;
+    return w;
+}
+
+std::uint32_t
+encU(std::uint32_t opcode, int rd, std::int64_t imm)
+{
+    return opcode | (static_cast<std::uint32_t>(rd) << 7) |
+           (static_cast<std::uint32_t>(imm) & 0xfffff000u);
+}
+
+std::uint32_t
+encJ(std::uint32_t opcode, int rd, std::int64_t off, const Context &ctx)
+{
+    if (off < -(1 << 20) || off >= (1 << 20) || (off & 1))
+        ctx.error("jump target out of range");
+    auto u = static_cast<std::uint32_t>(off & 0x1fffff);
+    std::uint32_t w = opcode | (static_cast<std::uint32_t>(rd) << 7);
+    w |= ((u >> 12) & 0xff) << 12;
+    w |= ((u >> 11) & 1) << 20;
+    w |= ((u >> 1) & 0x3ff) << 21;
+    w |= ((u >> 20) & 1) << 31;
+    return w;
+}
+
+/** Emits the canonical li expansion for an arbitrary 64-bit constant. */
+void
+emitLi(std::vector<std::uint32_t> &out, int rd, std::int64_t value,
+       const Context &ctx)
+{
+    if (value >= -2048 && value <= 2047) {
+        out.push_back(encI(0x13, rd, 0, 0, value, ctx)); // addi rd, x0, v
+        return;
+    }
+    if (value >= INT32_MIN && value <= INT32_MAX) {
+        std::int64_t hi = (value + 0x800) & ~0xfffLL;
+        std::int64_t lo = value - hi;
+        out.push_back(encU(0x37, rd, hi)); // lui
+        if (lo != 0)
+            out.push_back(encI(0x1b, rd, 0, rd, lo, ctx)); // addiw
+        return;
+    }
+    // General 64-bit constant: build the upper 32 bits, shift, then OR in
+    // the lower bits 11 at a time.
+    std::int64_t high = value >> 32;
+    std::uint64_t low = static_cast<std::uint64_t>(value) & 0xffffffffULL;
+    emitLi(out, rd, high, ctx);
+    out.push_back(encI(0x13, rd, 1, rd, 11, ctx)); // slli rd, rd, 11
+    out.push_back(encI(0x13, rd, 6, rd,
+                       static_cast<std::int64_t>((low >> 21) & 0x7ff),
+                       ctx)); // ori
+    out.push_back(encI(0x13, rd, 1, rd, 11, ctx));
+    out.push_back(encI(0x13, rd, 6, rd,
+                       static_cast<std::int64_t>((low >> 10) & 0x7ff),
+                       ctx));
+    out.push_back(encI(0x13, rd, 1, rd, 10, ctx));
+    out.push_back(encI(0x13, rd, 6, rd,
+                       static_cast<std::int64_t>(low & 0x3ff), ctx));
+}
+
+/** Number of instructions emitLi will produce (needed in pass 1). */
+std::size_t
+liLength(std::int64_t value)
+{
+    if (value >= -2048 && value <= 2047)
+        return 1;
+    if (value >= INT32_MIN && value <= INT32_MAX) {
+        std::int64_t hi = (value + 0x800) & ~0xfffLL;
+        return (value - hi) != 0 ? 2 : 1;
+    }
+    return liLength(value >> 32) + 6;
+}
+
+/** Splits "lw a0, 8(sp)"-style memory operand into offset and base. */
+void
+parseMemOperand(const std::string &tok, std::string &off, std::string &base,
+                const Context &ctx)
+{
+    auto open = tok.find('(');
+    auto close = tok.find(')');
+    if (open == std::string::npos || close == std::string::npos ||
+        close < open)
+        ctx.error("bad memory operand: " + tok);
+    off = tok.substr(0, open);
+    if (off.empty())
+        off = "0";
+    base = tok.substr(open + 1, close - open - 1);
+}
+
+/** Tokenized source line. */
+struct Line
+{
+    std::string label;
+    std::string op;
+    std::vector<std::string> args;
+    int number = 0;
+};
+
+std::vector<Line>
+tokenize(const std::string &source)
+{
+    std::vector<Line> lines;
+    std::istringstream in(source);
+    std::string raw;
+    int number = 0;
+    while (std::getline(in, raw)) {
+        ++number;
+        // Strip comments (# and //), respecting string literals.
+        std::string text;
+        bool in_str = false;
+        for (std::size_t i = 0; i < raw.size(); ++i) {
+            char c = raw[i];
+            if (c == '"' && (i == 0 || raw[i - 1] != '\\'))
+                in_str = !in_str;
+            if (!in_str) {
+                if (c == '#')
+                    break;
+                if (c == '/' && i + 1 < raw.size() && raw[i + 1] == '/')
+                    break;
+            }
+            text += c;
+        }
+
+        Line line;
+        line.number = number;
+
+        // Leading label(s).
+        std::size_t pos = 0;
+        auto skipWs = [&] {
+            while (pos < text.size() &&
+                   std::isspace(static_cast<unsigned char>(text[pos])))
+                ++pos;
+        };
+        skipWs();
+        std::size_t colon = text.find(':');
+        if (colon != std::string::npos) {
+            std::string candidate = text.substr(pos, colon - pos);
+            bool is_label = !candidate.empty();
+            for (char c : candidate) {
+                if (!(std::isalnum(static_cast<unsigned char>(c)) ||
+                      c == '_' || c == '.'))
+                    is_label = false;
+            }
+            if (is_label) {
+                line.label = candidate;
+                pos = colon + 1;
+                skipWs();
+            }
+        }
+
+        // Mnemonic.
+        std::size_t start = pos;
+        while (pos < text.size() &&
+               !std::isspace(static_cast<unsigned char>(text[pos])))
+            ++pos;
+        line.op = text.substr(start, pos - start);
+        skipWs();
+
+        // Arguments: comma-separated, strings kept whole.
+        std::string rest = text.substr(pos);
+        if (!rest.empty() && line.op == ".asciiz") {
+            line.args.push_back(rest);
+        } else if (!rest.empty() && line.op == ".string") {
+            line.args.push_back(rest);
+        } else {
+            std::string cur;
+            for (char c : rest) {
+                if (c == ',') {
+                    line.args.push_back(cur);
+                    cur.clear();
+                } else {
+                    cur += c;
+                }
+            }
+            if (!cur.empty())
+                line.args.push_back(cur);
+            for (auto &a : line.args) {
+                auto b = a.find_first_not_of(" \t");
+                auto e = a.find_last_not_of(" \t");
+                a = (b == std::string::npos) ? "" : a.substr(b, e - b + 1);
+            }
+            std::erase_if(line.args,
+                          [](const std::string &a) { return a.empty(); });
+        }
+
+        if (!line.label.empty() || !line.op.empty())
+            lines.push_back(std::move(line));
+    }
+    return lines;
+}
+
+std::vector<std::uint8_t>
+parseStringLiteral(const std::string &tok, const Context &ctx)
+{
+    auto first = tok.find('"');
+    auto last = tok.rfind('"');
+    if (first == std::string::npos || last == first)
+        ctx.error("bad string literal");
+    std::vector<std::uint8_t> bytes;
+    for (std::size_t i = first + 1; i < last; ++i) {
+        char c = tok[i];
+        if (c == '\\' && i + 1 < last) {
+            ++i;
+            switch (tok[i]) {
+              case 'n': c = '\n'; break;
+              case 't': c = '\t'; break;
+              case 'r': c = '\r'; break;
+              case '0': c = '\0'; break;
+              case '\\': c = '\\'; break;
+              case '"': c = '"'; break;
+              default: ctx.error("bad escape in string");
+            }
+        }
+        bytes.push_back(static_cast<std::uint8_t>(c));
+    }
+    bytes.push_back(0);
+    return bytes;
+}
+
+/**
+ * Expands one instruction line to machine words. `resolve` is false in
+ * pass 1 (symbols unknown; only the count matters, which must not depend
+ * on symbol values).
+ */
+void
+encodeInstr(const Line &line, Addr pc, Context &ctx, bool resolve,
+            std::vector<std::uint32_t> &out)
+{
+    const std::string &op = line.op;
+    const auto &a = line.args;
+
+    auto need = [&](std::size_t n) {
+        if (a.size() != n)
+            ctx.error(op + strfmt(": expected %zu operands, got %zu", n,
+                                  a.size()));
+    };
+    auto reg = [&](std::size_t i) { return regNumber(a[i], ctx); };
+    auto imm = [&](std::size_t i) { return parseImm(a[i], ctx, resolve); };
+    auto relTarget = [&](std::size_t i) -> std::int64_t {
+        if (!resolve)
+            return 0;
+        return static_cast<std::int64_t>(
+                   static_cast<std::uint64_t>(parseImm(a[i], ctx, true))) -
+               static_cast<std::int64_t>(pc);
+    };
+
+    // R-type table: op -> {f3, f7, opcode}.
+    struct RSpec { std::uint32_t f3, f7, opcode; };
+    static const std::map<std::string, RSpec> kRType = {
+        {"add", {0, 0x00, 0x33}},  {"sub", {0, 0x20, 0x33}},
+        {"sll", {1, 0x00, 0x33}},  {"slt", {2, 0x00, 0x33}},
+        {"sltu", {3, 0x00, 0x33}}, {"xor", {4, 0x00, 0x33}},
+        {"srl", {5, 0x00, 0x33}},  {"sra", {5, 0x20, 0x33}},
+        {"or", {6, 0x00, 0x33}},   {"and", {7, 0x00, 0x33}},
+        {"addw", {0, 0x00, 0x3b}}, {"subw", {0, 0x20, 0x3b}},
+        {"sllw", {1, 0x00, 0x3b}}, {"srlw", {5, 0x00, 0x3b}},
+        {"sraw", {5, 0x20, 0x3b}},
+        {"mul", {0, 0x01, 0x33}},  {"mulh", {1, 0x01, 0x33}},
+        {"mulhsu", {2, 0x01, 0x33}}, {"mulhu", {3, 0x01, 0x33}},
+        {"div", {4, 0x01, 0x33}},  {"divu", {5, 0x01, 0x33}},
+        {"rem", {6, 0x01, 0x33}},  {"remu", {7, 0x01, 0x33}},
+        {"mulw", {0, 0x01, 0x3b}}, {"divw", {4, 0x01, 0x3b}},
+        {"divuw", {5, 0x01, 0x3b}}, {"remw", {6, 0x01, 0x3b}},
+        {"remuw", {7, 0x01, 0x3b}},
+    };
+    // I-type ALU ops.
+    static const std::map<std::string, std::uint32_t> kIType = {
+        {"addi", 0}, {"slti", 2}, {"sltiu", 3}, {"xori", 4},
+        {"ori", 6},  {"andi", 7},
+    };
+    static const std::map<std::string, std::uint32_t> kLoads = {
+        {"lb", 0}, {"lh", 1}, {"lw", 2}, {"ld", 3},
+        {"lbu", 4}, {"lhu", 5}, {"lwu", 6},
+    };
+    static const std::map<std::string, std::uint32_t> kStores = {
+        {"sb", 0}, {"sh", 1}, {"sw", 2}, {"sd", 3},
+    };
+    static const std::map<std::string, std::uint32_t> kBranches = {
+        {"beq", 0}, {"bne", 1}, {"blt", 4}, {"bge", 5},
+        {"bltu", 6}, {"bgeu", 7},
+    };
+    struct AmoSpec { std::uint32_t f5; };
+    static const std::map<std::string, std::uint32_t> kAmo = {
+        {"lr", 0x02},      {"sc", 0x03},      {"amoswap", 0x01},
+        {"amoadd", 0x00},  {"amoxor", 0x04},  {"amoand", 0x0c},
+        {"amoor", 0x08},   {"amomin", 0x10},  {"amomax", 0x14},
+        {"amominu", 0x18}, {"amomaxu", 0x1c},
+    };
+
+    if (auto it = kRType.find(op); it != kRType.end()) {
+        need(3);
+        out.push_back(encR(it->second.opcode, reg(0), it->second.f3, reg(1),
+                           reg(2), it->second.f7));
+        return;
+    }
+    if (auto it = kIType.find(op); it != kIType.end()) {
+        need(3);
+        out.push_back(encI(0x13, reg(0), it->second, reg(1), imm(2), ctx));
+        return;
+    }
+    if (op == "addiw") {
+        need(3);
+        out.push_back(encI(0x1b, reg(0), 0, reg(1), imm(2), ctx));
+        return;
+    }
+    if (op == "slli" || op == "srli" || op == "srai") {
+        need(3);
+        std::int64_t sh = imm(2);
+        if (sh < 0 || sh > 63)
+            ctx.error("shift amount out of range");
+        std::uint32_t f3 = op == "slli" ? 1 : 5;
+        std::uint32_t top = op == "srai" ? 0x400 : 0;
+        out.push_back(encI(0x13, reg(0), f3, reg(1),
+                           static_cast<std::int64_t>(top | sh), ctx));
+        return;
+    }
+    if (op == "slliw" || op == "srliw" || op == "sraiw") {
+        need(3);
+        std::int64_t sh = imm(2);
+        if (sh < 0 || sh > 31)
+            ctx.error("shift amount out of range");
+        std::uint32_t f3 = op == "slliw" ? 1 : 5;
+        std::uint32_t top = op == "sraiw" ? 0x400 : 0;
+        out.push_back(encI(0x1b, reg(0), f3, reg(1),
+                           static_cast<std::int64_t>(top | sh), ctx));
+        return;
+    }
+    if (auto it = kLoads.find(op); it != kLoads.end()) {
+        need(2);
+        std::string off, base;
+        parseMemOperand(a[1], off, base, ctx);
+        out.push_back(encI(0x03, reg(0), it->second,
+                           regNumber(base, ctx),
+                           parseImm(off, ctx, resolve), ctx));
+        return;
+    }
+    if (auto it = kStores.find(op); it != kStores.end()) {
+        need(2);
+        std::string off, base;
+        parseMemOperand(a[1], off, base, ctx);
+        out.push_back(encS(0x23, it->second, regNumber(base, ctx), reg(0),
+                           parseImm(off, ctx, resolve), ctx));
+        return;
+    }
+    if (auto it = kBranches.find(op); it != kBranches.end()) {
+        need(3);
+        out.push_back(encB(0x63, it->second, reg(0), reg(1), relTarget(2),
+                           ctx));
+        return;
+    }
+    if (op == "lui" || op == "auipc") {
+        need(2);
+        std::int64_t v = imm(1);
+        if (v < 0 || v > 0xfffff)
+            ctx.error("20-bit immediate out of range");
+        out.push_back(encU(op == "lui" ? 0x37 : 0x17, reg(0), v << 12));
+        return;
+    }
+    if (op == "jal") {
+        if (a.size() == 1) {
+            out.push_back(encJ(0x6f, 1, relTarget(0), ctx));
+        } else {
+            need(2);
+            out.push_back(encJ(0x6f, reg(0), relTarget(1), ctx));
+        }
+        return;
+    }
+    if (op == "jalr") {
+        if (a.size() == 1) {
+            out.push_back(encI(0x67, 1, 0, reg(0), 0, ctx));
+        } else {
+            need(3);
+            out.push_back(encI(0x67, reg(0), 0, reg(1), imm(2), ctx));
+        }
+        return;
+    }
+    // Size-suffixed atomics: lr.w, amoadd.d, ...
+    if (auto dot = op.find('.');
+        dot != std::string::npos && kAmo.count(op.substr(0, dot))) {
+        std::string base_op = op.substr(0, dot);
+        std::string suffix = op.substr(dot + 1);
+        if (suffix != "w" && suffix != "d")
+            ctx.error("bad atomic width: " + op);
+        std::uint32_t f3 = suffix == "d" ? 3 : 2;
+        std::uint32_t f5 = kAmo.at(base_op);
+        if (base_op == "lr") {
+            need(2);
+            std::string off, base;
+            parseMemOperand(a[1], off, base, ctx);
+            out.push_back(encR(0x2f, reg(0), f3, regNumber(base, ctx), 0,
+                               f5 << 2));
+        } else {
+            need(3);
+            std::string off, base;
+            parseMemOperand(a[2], off, base, ctx);
+            out.push_back(encR(0x2f, reg(0), f3, regNumber(base, ctx),
+                               reg(1), f5 << 2));
+        }
+        return;
+    }
+    // CSR instructions.
+    if (op == "csrrw" || op == "csrrs" || op == "csrrc") {
+        need(3);
+        std::uint32_t f3 = op == "csrrw" ? 1 : (op == "csrrs" ? 2 : 3);
+        std::int64_t csr = imm(1);
+        out.push_back(
+            encR(0x73, reg(0), f3, reg(2),
+                 static_cast<int>(csr & 0x1f), 0) |
+            (static_cast<std::uint32_t>(csr & 0xfff) << 20));
+        return;
+    }
+    if (op == "csrrwi" || op == "csrrsi" || op == "csrrci") {
+        need(3);
+        std::uint32_t f3 = op == "csrrwi" ? 5 : (op == "csrrsi" ? 6 : 7);
+        std::int64_t csr = imm(1);
+        std::int64_t z = imm(2);
+        std::uint32_t w = 0x73 | (static_cast<std::uint32_t>(reg(0)) << 7) |
+                          (f3 << 12) |
+                          (static_cast<std::uint32_t>(z & 0x1f) << 15) |
+                          (static_cast<std::uint32_t>(csr & 0xfff) << 20);
+        out.push_back(w);
+        return;
+    }
+    // System / misc.
+    if (op == "ecall") { out.push_back(0x00000073); return; }
+    if (op == "ebreak") { out.push_back(0x00100073); return; }
+    if (op == "mret") { out.push_back(0x30200073); return; }
+    if (op == "sret") { out.push_back(0x10200073); return; }
+    if (op == "wfi") { out.push_back(0x10500073); return; }
+    if (op == "fence") { out.push_back(0x0ff0000f); return; }
+    if (op == "fence.i") { out.push_back(0x0000100f); return; }
+    if (op == "sfence.vma") { out.push_back(0x12000073); return; }
+
+    // --- pseudo-instructions ---
+    if (op == "nop") { out.push_back(0x00000013); return; }
+    if (op == "li") {
+        need(2);
+        // Symbolic li would make the expansion length depend on the symbol
+        // value, which pass 1 cannot know; la covers that use case.
+        if (!looksLikeNumber(a[1]))
+            ctx.error("li needs a numeric literal; use la for symbols");
+        emitLi(out, reg(0), parseNumber(a[1], ctx), ctx);
+        return;
+    }
+    if (op == "la") {
+        need(2);
+        std::int64_t off = relTarget(1);
+        std::int64_t hi = (off + 0x800) & ~0xfffLL;
+        out.push_back(encU(0x17, reg(0), hi));            // auipc
+        out.push_back(encI(0x13, reg(0), 0, reg(0), off - hi, ctx));
+        return;
+    }
+    if (op == "mv") {
+        need(2);
+        out.push_back(encI(0x13, reg(0), 0, reg(1), 0, ctx));
+        return;
+    }
+    if (op == "not") {
+        need(2);
+        out.push_back(encI(0x13, reg(0), 4, reg(1), -1, ctx));
+        return;
+    }
+    if (op == "neg") {
+        need(2);
+        out.push_back(encR(0x33, reg(0), 0, 0, reg(1), 0x20));
+        return;
+    }
+    if (op == "seqz") {
+        need(2);
+        out.push_back(encI(0x13, reg(0), 3, reg(1), 1, ctx)); // sltiu
+        return;
+    }
+    if (op == "snez") {
+        need(2);
+        out.push_back(encR(0x33, reg(0), 3, 0, reg(1), 0)); // sltu x0,rs
+        return;
+    }
+    if (op == "beqz" || op == "bnez" || op == "blez" || op == "bgez" ||
+        op == "bltz" || op == "bgtz") {
+        need(2);
+        std::int64_t off = relTarget(1);
+        if (op == "beqz")
+            out.push_back(encB(0x63, 0, reg(0), 0, off, ctx));
+        else if (op == "bnez")
+            out.push_back(encB(0x63, 1, reg(0), 0, off, ctx));
+        else if (op == "blez")
+            out.push_back(encB(0x63, 5, 0, reg(0), off, ctx)); // bge x0,rs
+        else if (op == "bgez")
+            out.push_back(encB(0x63, 5, reg(0), 0, off, ctx));
+        else if (op == "bltz")
+            out.push_back(encB(0x63, 4, reg(0), 0, off, ctx));
+        else
+            out.push_back(encB(0x63, 4, 0, reg(0), off, ctx)); // blt x0,rs
+        return;
+    }
+    if (op == "bgt" || op == "ble" || op == "bgtu" || op == "bleu") {
+        need(3);
+        std::int64_t off = relTarget(2);
+        if (op == "bgt")
+            out.push_back(encB(0x63, 4, reg(1), reg(0), off, ctx));
+        else if (op == "ble")
+            out.push_back(encB(0x63, 5, reg(1), reg(0), off, ctx));
+        else if (op == "bgtu")
+            out.push_back(encB(0x63, 6, reg(1), reg(0), off, ctx));
+        else
+            out.push_back(encB(0x63, 7, reg(1), reg(0), off, ctx));
+        return;
+    }
+    if (op == "j") {
+        need(1);
+        out.push_back(encJ(0x6f, 0, relTarget(0), ctx));
+        return;
+    }
+    if (op == "jr") {
+        need(1);
+        out.push_back(encI(0x67, 0, 0, reg(0), 0, ctx));
+        return;
+    }
+    if (op == "call") {
+        need(1);
+        std::int64_t off = relTarget(0);
+        std::int64_t hi = (off + 0x800) & ~0xfffLL;
+        out.push_back(encU(0x17, 1, hi));                 // auipc ra
+        out.push_back(encI(0x67, 1, 0, 1, off - hi, ctx)); // jalr ra
+        return;
+    }
+    if (op == "ret") {
+        out.push_back(encI(0x67, 0, 0, 1, 0, ctx)); // jalr x0, ra, 0
+        return;
+    }
+    if (op == "csrr") {
+        need(2);
+        std::int64_t csr = imm(1);
+        out.push_back(0x73 | (static_cast<std::uint32_t>(reg(0)) << 7) |
+                      (2u << 12) |
+                      (static_cast<std::uint32_t>(csr & 0xfff) << 20));
+        return;
+    }
+    if (op == "csrw") {
+        need(2);
+        std::int64_t csr = imm(0);
+        out.push_back(0x73 | (1u << 12) |
+                      (static_cast<std::uint32_t>(reg(1)) << 15) |
+                      (static_cast<std::uint32_t>(csr & 0xfff) << 20));
+        return;
+    }
+
+    ctx.error("unknown mnemonic: " + op);
+}
+
+/** Fixed instruction count of a line (must match encodeInstr's output). */
+std::size_t
+instrLength(const Line &line, Context &ctx)
+{
+    if (line.op == "li") {
+        if (line.args.size() == 2 && looksLikeNumber(line.args[1]))
+            return liLength(parseNumber(line.args[1], ctx));
+        ctx.error("li needs a numeric literal; use la for symbols");
+    }
+    if (line.op == "la" || line.op == "call")
+        return 2;
+    return 1;
+}
+
+} // namespace
+
+Program
+Assembler::assemble(const std::string &source) const
+{
+    std::vector<Line> lines = tokenize(source);
+    Context ctx;
+
+    // Pass 1: lay out sections and collect symbols.
+    // Pass 2: encode with symbols resolved.
+    Program prog;
+    for (int pass = 0; pass < 2; ++pass) {
+        bool resolve = pass == 1;
+        Addr text_pc = textBase_;
+        Addr data_pc = dataBase_;
+        bool in_text = true;
+        std::vector<std::uint8_t> text_bytes;
+        std::vector<std::uint8_t> data_bytes;
+
+        auto pc = [&]() -> Addr & { return in_text ? text_pc : data_pc; };
+        auto bytes = [&]() -> std::vector<std::uint8_t> & {
+            return in_text ? text_bytes : data_bytes;
+        };
+        auto emitByte = [&](std::uint8_t b) {
+            bytes().push_back(b);
+            pc() += 1;
+        };
+        auto emitData = [&](std::uint64_t v, unsigned n) {
+            for (unsigned i = 0; i < n; ++i)
+                emitByte(static_cast<std::uint8_t>(v >> (8 * i)));
+        };
+
+        for (const Line &line : lines) {
+            ctx.line = line.number;
+            if (!line.label.empty()) {
+                if (!resolve) {
+                    fatalIf(ctx.symbols.count(line.label),
+                            strfmt("asm line %d: duplicate label %s",
+                                   line.number, line.label.c_str()));
+                    ctx.symbols[line.label] = pc();
+                }
+            }
+            if (line.op.empty())
+                continue;
+
+            if (line.op[0] == '.') {
+                const std::string &d = line.op;
+                if (d == ".text") {
+                    in_text = true;
+                } else if (d == ".data") {
+                    in_text = false;
+                } else if (d == ".align") {
+                    std::int64_t n = parseNumber(line.args.at(0), ctx);
+                    Addr align = 1ULL << n;
+                    while (pc() % align)
+                        emitByte(0);
+                } else if (d == ".byte" || d == ".half" || d == ".word" ||
+                           d == ".dword") {
+                    unsigned n = d == ".byte" ? 1
+                                 : d == ".half" ? 2
+                                 : d == ".word" ? 4 : 8;
+                    for (const auto &arg : line.args)
+                        emitData(static_cast<std::uint64_t>(
+                                     parseImm(arg, ctx, resolve)),
+                                 n);
+                } else if (d == ".asciiz" || d == ".string") {
+                    for (std::uint8_t b :
+                         parseStringLiteral(line.args.at(0), ctx))
+                        emitByte(b);
+                } else if (d == ".space") {
+                    std::int64_t n = parseNumber(line.args.at(0), ctx);
+                    for (std::int64_t i = 0; i < n; ++i)
+                        emitByte(0);
+                } else if (d == ".globl" || d == ".global" ||
+                           d == ".section") {
+                    // Accepted and ignored.
+                } else if (d == ".equ") {
+                    if (!resolve)
+                        ctx.symbols[line.args.at(0)] = static_cast<Addr>(
+                            parseNumber(line.args.at(1), ctx));
+                } else {
+                    ctx.error("unknown directive: " + d);
+                }
+                continue;
+            }
+
+            if (!in_text)
+                ctx.error("instructions must be in .text");
+            if (!resolve) {
+                pc() += 4 * instrLength(line, ctx);
+            } else {
+                std::vector<std::uint32_t> words;
+                encodeInstr(line, pc(), ctx, true, words);
+                for (std::uint32_t w : words) {
+                    emitData(w, 4);
+                }
+            }
+        }
+
+        if (resolve) {
+            if (!text_bytes.empty())
+                prog.segments.push_back(
+                    Program::Segment{textBase_, std::move(text_bytes)});
+            if (!data_bytes.empty())
+                prog.segments.push_back(
+                    Program::Segment{dataBase_, std::move(data_bytes)});
+        }
+    }
+
+    prog.symbols = ctx.symbols;
+    auto start = ctx.symbols.find("_start");
+    prog.entry = start != ctx.symbols.end() ? start->second : textBase_;
+    return prog;
+}
+
+} // namespace smappic::riscv

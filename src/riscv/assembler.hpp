@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Two-pass RV64IMA assembler.
+ *
+ * The prototype has no cross-compiler dependency: examples and tests author
+ * guest programs in assembly and load the resulting Program image into the
+ * platform's memory. Supports the full instruction set implemented by
+ * RvCore, the usual pseudo-instructions (li, la, mv, call, ret, branch
+ * aliases), sections (.text/.data) and data directives.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace smappic::riscv
+{
+
+/** Assembled image: one or more loadable segments plus symbols. */
+struct Program
+{
+    struct Segment
+    {
+        Addr base = 0;
+        std::vector<std::uint8_t> bytes;
+    };
+
+    std::vector<Segment> segments;
+    Addr entry = 0;
+    std::map<std::string, Addr> symbols;
+
+    /** Address of @p name. @throws FatalError when undefined. */
+    Addr symbol(const std::string &name) const;
+};
+
+/** The assembler. Stateless between assemble() calls except bases. */
+class Assembler
+{
+  public:
+    explicit Assembler(Addr text_base = 0x80000000,
+                       Addr data_base = 0x80400000)
+        : textBase_(text_base), dataBase_(data_base)
+    {
+    }
+
+    /**
+     * Assembles @p source.
+     * @throws FatalError with a line-numbered message on any syntax error.
+     */
+    Program assemble(const std::string &source) const;
+
+  private:
+    Addr textBase_;
+    Addr dataBase_;
+};
+
+} // namespace smappic::riscv

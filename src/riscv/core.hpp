@@ -1,0 +1,224 @@
+/**
+ * @file
+ * RV64IMA core model with Ariane-like timing.
+ *
+ * The functional layer is a full interpreter (RV64IMA + Zicsr, M/S/U
+ * privilege with traps to M, Sv39 translation); the timing layer models the
+ * paper's Table 2 core: in-order single-issue 6-stage pipeline, 128-entry
+ * branch history table, 16-entry I/D TLBs. Memory operation latencies come
+ * from the attached MemPort (usually the platform's coherent memory
+ * system), so cache/NoC/inter-node behaviour shows up directly in core
+ * cycle counts.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "riscv/isa.hpp"
+#include "sim/stats.hpp"
+#include "sim/types.hpp"
+
+namespace smappic::riscv
+{
+
+/** Memory access types as seen by the translation/permission logic. */
+enum class MemAccess : std::uint8_t
+{
+    kFetch,
+    kLoad,
+    kStore,
+};
+
+/**
+ * The core's window onto the memory system. Latencies returned through
+ * @p lat are in core cycles and include the full miss path.
+ */
+class MemPort
+{
+  public:
+    virtual ~MemPort() = default;
+
+    virtual std::uint64_t load(Addr addr, std::uint32_t bytes, Cycles now,
+                               Cycles &lat) = 0;
+    virtual void store(Addr addr, std::uint32_t bytes, std::uint64_t value,
+                       Cycles now, Cycles &lat) = 0;
+    virtual std::uint32_t fetch(Addr addr, Cycles now, Cycles &lat) = 0;
+
+    /**
+     * Atomic read-modify-write: returns the old value and stores
+     * @p rmw(old).
+     */
+    virtual std::uint64_t
+    atomic(Addr addr, std::uint32_t bytes,
+           const std::function<std::uint64_t(std::uint64_t)> &rmw,
+           Cycles now, Cycles &lat) = 0;
+};
+
+/** Static configuration of one core (Table 2 defaults). */
+struct CoreConfig
+{
+    std::uint32_t hartId = 0;
+    Addr resetPc = 0x80000000;
+    Cycles baseCycles = 1;        ///< Cycles per instruction before stalls.
+    std::uint32_t bhtEntries = 128;
+    std::uint32_t itlbEntries = 16;
+    std::uint32_t dtlbEntries = 16;
+    Cycles mispredictPenalty = 5; ///< 6-stage frontend flush.
+    Cycles jalrPenalty = 3;       ///< Indirect target redirect.
+    Cycles mulLatency = 2;
+    Cycles divLatency = 20;
+    Cycles tlbWalkBase = 6;       ///< Walker overhead beyond PTE loads.
+};
+
+/** Why run() returned. */
+enum class HaltReason : std::uint8_t
+{
+    kInstrBudget, ///< Instruction budget exhausted; call run() again.
+    kExited,      ///< Environment requested exit (see exitCode()).
+    kEbreak,      ///< Hit an ebreak.
+    kWfi,         ///< Waiting for interrupt with none pending.
+};
+
+/** RV64IMA hart. */
+class RvCore
+{
+  public:
+    /** Environment-call hook: return true when the ecall was absorbed. */
+    using EcallHandler = std::function<bool(RvCore &)>;
+
+    /** Instruction trace hook, fired once per decoded instruction. */
+    using TraceFn = std::function<void(Addr pc, const DecodedInst &)>;
+
+    RvCore(const CoreConfig &cfg, MemPort &port,
+           sim::StatRegistry *stats = nullptr);
+
+    /** Executes instructions until a halt condition. */
+    HaltReason run(std::uint64_t max_instructions);
+
+    /** Executes one instruction; returns the cycles it consumed. */
+    Cycles step();
+
+    // Architectural state access.
+    std::uint64_t reg(unsigned idx) const { return regs_[idx]; }
+    void setReg(unsigned idx, std::uint64_t v);
+    Addr pc() const { return pc_; }
+    void setPc(Addr pc) { pc_ = pc; }
+    std::uint64_t csr(std::uint16_t num) const;
+    void setCsr(std::uint16_t num, std::uint64_t value);
+
+    Cycles cycles() const { return cycles_; }
+    std::uint64_t instret() const { return instret_; }
+    bool exited() const { return exited_; }
+    std::int64_t exitCode() const { return exitCode_; }
+    std::uint32_t hartId() const { return cfg_.hartId; }
+    unsigned privilege() const { return priv_; }
+
+    /** Requests environment exit (used by ecall handlers). */
+    void requestExit(std::int64_t code)
+    {
+        exited_ = true;
+        exitCode_ = code;
+    }
+
+    void setEcallHandler(EcallHandler h) { ecall_ = std::move(h); }
+
+    /** Installs an instruction-trace callback (empty to disable). */
+    void setTraceFn(TraceFn fn) { trace_ = std::move(fn); }
+
+    /**
+     * Drives an interrupt wire (from the interrupt depacketizer).
+     * @param irq One of kIrqMsi / kIrqMti / kIrqMei.
+     */
+    void setIrqLine(std::uint32_t irq, bool level);
+
+    /** True when an enabled interrupt is pending. */
+    bool interruptPending() const;
+
+    const CoreConfig &config() const { return cfg_; }
+
+  private:
+    struct TlbEntry
+    {
+        std::uint64_t vpn = 0;
+        std::uint64_t pageBase = 0; ///< Physical base of the page.
+        std::uint64_t pageSize = 0;
+        std::uint8_t perms = 0;     ///< PTE R/W/X/U bits.
+        bool valid = false;
+        std::uint64_t lastUse = 0;
+    };
+
+    struct TranslateResult
+    {
+        Addr paddr = 0;
+        bool fault = false;
+        std::uint64_t cause = 0;
+    };
+
+    bool translationActive() const;
+    TranslateResult translate(Addr vaddr, MemAccess access, Cycles &lat);
+    TlbEntry *tlbLookup(std::vector<TlbEntry> &tlb, Addr vaddr);
+    void tlbFill(std::vector<TlbEntry> &tlb, std::uint64_t vpn,
+                 std::uint64_t page_base, std::uint64_t page_size,
+                 std::uint8_t perms);
+    void tlbFlush();
+
+    void takeTrap(std::uint64_t cause, std::uint64_t tval);
+    bool maybeTakeInterrupt();
+    bool predictTaken(Addr pc);
+    void trainBht(Addr pc, bool taken);
+
+    std::uint64_t readCsr(std::uint16_t num) const;
+    void writeCsr(std::uint16_t num, std::uint64_t value);
+
+    CoreConfig cfg_;
+    MemPort &port_;
+    sim::StatRegistry *stats_;
+
+    std::uint64_t regs_[32] = {};
+    Addr pc_;
+    Cycles cycles_ = 0;
+    std::uint64_t instret_ = 0;
+    unsigned priv_ = 3; ///< M-mode at reset.
+
+    // CSRs.
+    std::uint64_t mstatus_ = 0;
+    std::uint64_t mie_ = 0;
+    std::uint64_t mip_ = 0;
+    std::uint64_t mtvec_ = 0;
+    std::uint64_t mepc_ = 0;
+    std::uint64_t mcause_ = 0;
+    std::uint64_t mtval_ = 0;
+    std::uint64_t mscratch_ = 0;
+    std::uint64_t satp_ = 0;
+
+    // Reservation for LR/SC.
+    bool hasReservation_ = false;
+    Addr reservation_ = 0;
+
+    // Predictors and TLBs.
+    std::vector<std::uint8_t> bht_; ///< 2-bit counters.
+    std::vector<TlbEntry> itlb_;
+    std::vector<TlbEntry> dtlb_;
+    std::uint64_t tlbClock_ = 0;
+
+    /** Why the last step() made no forward progress. */
+    enum class Stall : std::uint8_t
+    {
+        kNone,
+        kWfi,
+        kEbreak,
+    };
+
+    bool exited_ = false;
+    std::int64_t exitCode_ = 0;
+    std::uint32_t lastWord_ = 0; ///< Last fetched instruction (halt info).
+    Stall lastStall_ = Stall::kNone;
+    EcallHandler ecall_;
+    TraceFn trace_;
+};
+
+} // namespace smappic::riscv

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Core model presets. BYOC integrates many cores (Ariane, OpenSPARC T1,
+ * PicoRV32, ao486, AnyCore, BlackParrot — paper section 2.2); SMAPPIC
+ * ships a couple out of the box and lets users pick per-tile. The presets
+ * here parameterize the RV64 timing model to match the distinct
+ * microarchitectural characters of the RISC-V cores in that list.
+ */
+
+#pragma once
+
+#include <string>
+
+#include "riscv/core.hpp"
+
+namespace smappic::riscv
+{
+
+/** Selectable core models. */
+enum class CoreModel : std::uint8_t
+{
+    /** Ariane: 6-stage in-order application core (Table 2 default). */
+    kAriane,
+    /**
+     * PicoRV32-class: a tiny multi-cycle microcontroller core — no branch
+     * prediction to speak of, several cycles per instruction, long
+     * multiply/divide.
+     */
+    kPicoRv32,
+    /**
+     * BlackParrot-class: in-order superscalar-ish application core with a
+     * better frontend than Ariane.
+     */
+    kBlackParrot,
+};
+
+/** Timing preset for @p model (hart id / reset pc left to the caller). */
+inline CoreConfig
+corePreset(CoreModel model)
+{
+    CoreConfig cfg;
+    switch (model) {
+      case CoreModel::kAriane:
+        // Table 2 defaults.
+        break;
+      case CoreModel::kPicoRv32:
+        cfg.baseCycles = 4;        // Multi-cycle FSM core.
+        cfg.bhtEntries = 1;        // Effectively unpredicted branches.
+        cfg.mispredictPenalty = 3; // Short pipeline to refill...
+        cfg.jalrPenalty = 3;
+        cfg.mulLatency = 32;       // Iterative multiplier.
+        cfg.divLatency = 64;
+        cfg.tlbWalkBase = 0;       // No MMU: bare physical mode.
+        cfg.itlbEntries = 1;
+        cfg.dtlbEntries = 1;
+        break;
+      case CoreModel::kBlackParrot:
+        cfg.bhtEntries = 512;
+        cfg.mispredictPenalty = 7;
+        cfg.jalrPenalty = 2;
+        cfg.mulLatency = 3;
+        cfg.divLatency = 16;
+        break;
+    }
+    return cfg;
+}
+
+inline std::string
+coreModelName(CoreModel model)
+{
+    switch (model) {
+      case CoreModel::kAriane:
+        return "ariane";
+      case CoreModel::kPicoRv32:
+        return "picorv32";
+      case CoreModel::kBlackParrot:
+        return "blackparrot";
+    }
+    return "?";
+}
+
+} // namespace smappic::riscv

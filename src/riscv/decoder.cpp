@@ -1,0 +1,436 @@
+#include "riscv/isa.hpp"
+
+namespace smappic::riscv
+{
+
+namespace
+{
+
+std::int64_t
+signExtend(std::uint64_t value, unsigned bits)
+{
+    std::uint64_t mask = 1ULL << (bits - 1);
+    return static_cast<std::int64_t>((value ^ mask) - mask);
+}
+
+std::int64_t
+immI(std::uint32_t w)
+{
+    return signExtend(w >> 20, 12);
+}
+
+std::int64_t
+immS(std::uint32_t w)
+{
+    return signExtend(((w >> 25) << 5) | ((w >> 7) & 0x1f), 12);
+}
+
+std::int64_t
+immB(std::uint32_t w)
+{
+    std::uint64_t v = (((w >> 31) & 1) << 12) | (((w >> 7) & 1) << 11) |
+                      (((w >> 25) & 0x3f) << 5) | (((w >> 8) & 0xf) << 1);
+    return signExtend(v, 13);
+}
+
+std::int64_t
+immU(std::uint32_t w)
+{
+    return signExtend(w & 0xfffff000u, 32);
+}
+
+std::int64_t
+immJ(std::uint32_t w)
+{
+    std::uint64_t v = (((w >> 31) & 1) << 20) | (((w >> 12) & 0xff) << 12) |
+                      (((w >> 20) & 1) << 11) | (((w >> 21) & 0x3ff) << 1);
+    return signExtend(v, 21);
+}
+
+} // namespace
+
+bool
+DecodedInst::isLoad() const
+{
+    switch (op) {
+      case Op::kLb: case Op::kLh: case Op::kLw: case Op::kLd:
+      case Op::kLbu: case Op::kLhu: case Op::kLwu:
+      case Op::kLrW: case Op::kLrD:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+DecodedInst::isStore() const
+{
+    switch (op) {
+      case Op::kSb: case Op::kSh: case Op::kSw: case Op::kSd:
+      case Op::kScW: case Op::kScD:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+DecodedInst::isAmo() const
+{
+    switch (op) {
+      case Op::kAmoSwapW: case Op::kAmoAddW: case Op::kAmoXorW:
+      case Op::kAmoAndW: case Op::kAmoOrW: case Op::kAmoMinW:
+      case Op::kAmoMaxW: case Op::kAmoMinuW: case Op::kAmoMaxuW:
+      case Op::kAmoSwapD: case Op::kAmoAddD: case Op::kAmoXorD:
+      case Op::kAmoAndD: case Op::kAmoOrD: case Op::kAmoMinD:
+      case Op::kAmoMaxD: case Op::kAmoMinuD: case Op::kAmoMaxuD:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+DecodedInst::isBranch() const
+{
+    switch (op) {
+      case Op::kBeq: case Op::kBne: case Op::kBlt: case Op::kBge:
+      case Op::kBltu: case Op::kBgeu:
+        return true;
+      default:
+        return false;
+    }
+}
+
+DecodedInst
+decode(std::uint32_t w)
+{
+    DecodedInst d;
+    d.raw = w;
+    d.rd = static_cast<std::uint8_t>((w >> 7) & 0x1f);
+    d.rs1 = static_cast<std::uint8_t>((w >> 15) & 0x1f);
+    d.rs2 = static_cast<std::uint8_t>((w >> 20) & 0x1f);
+    std::uint32_t opcode = w & 0x7f;
+    std::uint32_t f3 = (w >> 12) & 0x7;
+    std::uint32_t f7 = (w >> 25) & 0x7f;
+
+    switch (opcode) {
+      case 0x37:
+        d.op = Op::kLui;
+        d.imm = immU(w);
+        return d;
+      case 0x17:
+        d.op = Op::kAuipc;
+        d.imm = immU(w);
+        return d;
+      case 0x6f:
+        d.op = Op::kJal;
+        d.imm = immJ(w);
+        return d;
+      case 0x67:
+        if (f3 == 0) {
+            d.op = Op::kJalr;
+            d.imm = immI(w);
+        }
+        return d;
+      case 0x63: {
+          d.imm = immB(w);
+          switch (f3) {
+            case 0: d.op = Op::kBeq; break;
+            case 1: d.op = Op::kBne; break;
+            case 4: d.op = Op::kBlt; break;
+            case 5: d.op = Op::kBge; break;
+            case 6: d.op = Op::kBltu; break;
+            case 7: d.op = Op::kBgeu; break;
+            default: break;
+          }
+          return d;
+      }
+      case 0x03: {
+          d.imm = immI(w);
+          switch (f3) {
+            case 0: d.op = Op::kLb; break;
+            case 1: d.op = Op::kLh; break;
+            case 2: d.op = Op::kLw; break;
+            case 3: d.op = Op::kLd; break;
+            case 4: d.op = Op::kLbu; break;
+            case 5: d.op = Op::kLhu; break;
+            case 6: d.op = Op::kLwu; break;
+            default: break;
+          }
+          return d;
+      }
+      case 0x23: {
+          d.imm = immS(w);
+          switch (f3) {
+            case 0: d.op = Op::kSb; break;
+            case 1: d.op = Op::kSh; break;
+            case 2: d.op = Op::kSw; break;
+            case 3: d.op = Op::kSd; break;
+            default: break;
+          }
+          return d;
+      }
+      case 0x13: {
+          d.imm = immI(w);
+          switch (f3) {
+            case 0: d.op = Op::kAddi; break;
+            case 2: d.op = Op::kSlti; break;
+            case 3: d.op = Op::kSltiu; break;
+            case 4: d.op = Op::kXori; break;
+            case 6: d.op = Op::kOri; break;
+            case 7: d.op = Op::kAndi; break;
+            case 1:
+              if ((w >> 26) == 0) {
+                  d.op = Op::kSlli;
+                  d.imm = (w >> 20) & 0x3f;
+              }
+              break;
+            case 5:
+              if ((w >> 26) == 0) {
+                  d.op = Op::kSrli;
+                  d.imm = (w >> 20) & 0x3f;
+              } else if ((w >> 26) == 0x10) {
+                  d.op = Op::kSrai;
+                  d.imm = (w >> 20) & 0x3f;
+              }
+              break;
+            default: break;
+          }
+          return d;
+      }
+      case 0x1b: {
+          d.imm = immI(w);
+          switch (f3) {
+            case 0: d.op = Op::kAddiw; break;
+            case 1:
+              if (f7 == 0) {
+                  d.op = Op::kSlliw;
+                  d.imm = (w >> 20) & 0x1f;
+              }
+              break;
+            case 5:
+              if (f7 == 0) {
+                  d.op = Op::kSrliw;
+                  d.imm = (w >> 20) & 0x1f;
+              } else if (f7 == 0x20) {
+                  d.op = Op::kSraiw;
+                  d.imm = (w >> 20) & 0x1f;
+              }
+              break;
+            default: break;
+          }
+          return d;
+      }
+      case 0x33: {
+          if (f7 == 0x01) {
+              switch (f3) {
+                case 0: d.op = Op::kMul; break;
+                case 1: d.op = Op::kMulh; break;
+                case 2: d.op = Op::kMulhsu; break;
+                case 3: d.op = Op::kMulhu; break;
+                case 4: d.op = Op::kDiv; break;
+                case 5: d.op = Op::kDivu; break;
+                case 6: d.op = Op::kRem; break;
+                case 7: d.op = Op::kRemu; break;
+                default: break;
+              }
+              return d;
+          }
+          switch (f3) {
+            case 0: d.op = (f7 == 0x20) ? Op::kSub : Op::kAdd; break;
+            case 1: d.op = Op::kSll; break;
+            case 2: d.op = Op::kSlt; break;
+            case 3: d.op = Op::kSltu; break;
+            case 4: d.op = Op::kXor; break;
+            case 5: d.op = (f7 == 0x20) ? Op::kSra : Op::kSrl; break;
+            case 6: d.op = Op::kOr; break;
+            case 7: d.op = Op::kAnd; break;
+            default: break;
+          }
+          return d;
+      }
+      case 0x3b: {
+          if (f7 == 0x01) {
+              switch (f3) {
+                case 0: d.op = Op::kMulw; break;
+                case 4: d.op = Op::kDivw; break;
+                case 5: d.op = Op::kDivuw; break;
+                case 6: d.op = Op::kRemw; break;
+                case 7: d.op = Op::kRemuw; break;
+                default: break;
+              }
+              return d;
+          }
+          switch (f3) {
+            case 0: d.op = (f7 == 0x20) ? Op::kSubw : Op::kAddw; break;
+            case 1: d.op = Op::kSllw; break;
+            case 5: d.op = (f7 == 0x20) ? Op::kSraw : Op::kSrlw; break;
+            default: break;
+          }
+          return d;
+      }
+      case 0x0f:
+        d.op = (f3 == 1) ? Op::kFenceI : Op::kFence;
+        return d;
+      case 0x73: {
+          d.csr = static_cast<std::uint16_t>(w >> 20);
+          switch (f3) {
+            case 0:
+              if (w == 0x00000073)
+                  d.op = Op::kEcall;
+              else if (w == 0x00100073)
+                  d.op = Op::kEbreak;
+              else if (w == 0x30200073)
+                  d.op = Op::kMret;
+              else if (w == 0x10200073)
+                  d.op = Op::kSret;
+              else if (w == 0x10500073)
+                  d.op = Op::kWfi;
+              else if (f7 == 0x09)
+                  d.op = Op::kSfenceVma;
+              break;
+            case 1: d.op = Op::kCsrrw; break;
+            case 2: d.op = Op::kCsrrs; break;
+            case 3: d.op = Op::kCsrrc; break;
+            case 5: d.op = Op::kCsrrwi; d.imm = d.rs1; break;
+            case 6: d.op = Op::kCsrrsi; d.imm = d.rs1; break;
+            case 7: d.op = Op::kCsrrci; d.imm = d.rs1; break;
+            default: break;
+          }
+          return d;
+      }
+      case 0x2f: {
+          std::uint32_t f5 = w >> 27;
+          bool is64 = f3 == 3;
+          if (f3 != 2 && f3 != 3)
+              return d;
+          switch (f5) {
+            case 0x02: d.op = is64 ? Op::kLrD : Op::kLrW; break;
+            case 0x03: d.op = is64 ? Op::kScD : Op::kScW; break;
+            case 0x01: d.op = is64 ? Op::kAmoSwapD : Op::kAmoSwapW; break;
+            case 0x00: d.op = is64 ? Op::kAmoAddD : Op::kAmoAddW; break;
+            case 0x04: d.op = is64 ? Op::kAmoXorD : Op::kAmoXorW; break;
+            case 0x0c: d.op = is64 ? Op::kAmoAndD : Op::kAmoAndW; break;
+            case 0x08: d.op = is64 ? Op::kAmoOrD : Op::kAmoOrW; break;
+            case 0x10: d.op = is64 ? Op::kAmoMinD : Op::kAmoMinW; break;
+            case 0x14: d.op = is64 ? Op::kAmoMaxD : Op::kAmoMaxW; break;
+            case 0x18: d.op = is64 ? Op::kAmoMinuD : Op::kAmoMinuW; break;
+            case 0x1c: d.op = is64 ? Op::kAmoMaxuD : Op::kAmoMaxuW; break;
+            default: break;
+          }
+          return d;
+      }
+      default:
+        return d;
+    }
+}
+
+std::string
+mnemonic(Op op)
+{
+    switch (op) {
+      case Op::kIllegal: return "illegal";
+      case Op::kLui: return "lui";
+      case Op::kAuipc: return "auipc";
+      case Op::kJal: return "jal";
+      case Op::kJalr: return "jalr";
+      case Op::kBeq: return "beq";
+      case Op::kBne: return "bne";
+      case Op::kBlt: return "blt";
+      case Op::kBge: return "bge";
+      case Op::kBltu: return "bltu";
+      case Op::kBgeu: return "bgeu";
+      case Op::kLb: return "lb";
+      case Op::kLh: return "lh";
+      case Op::kLw: return "lw";
+      case Op::kLd: return "ld";
+      case Op::kLbu: return "lbu";
+      case Op::kLhu: return "lhu";
+      case Op::kLwu: return "lwu";
+      case Op::kSb: return "sb";
+      case Op::kSh: return "sh";
+      case Op::kSw: return "sw";
+      case Op::kSd: return "sd";
+      case Op::kAddi: return "addi";
+      case Op::kSlti: return "slti";
+      case Op::kSltiu: return "sltiu";
+      case Op::kXori: return "xori";
+      case Op::kOri: return "ori";
+      case Op::kAndi: return "andi";
+      case Op::kSlli: return "slli";
+      case Op::kSrli: return "srli";
+      case Op::kSrai: return "srai";
+      case Op::kAdd: return "add";
+      case Op::kSub: return "sub";
+      case Op::kSll: return "sll";
+      case Op::kSlt: return "slt";
+      case Op::kSltu: return "sltu";
+      case Op::kXor: return "xor";
+      case Op::kSrl: return "srl";
+      case Op::kSra: return "sra";
+      case Op::kOr: return "or";
+      case Op::kAnd: return "and";
+      case Op::kAddiw: return "addiw";
+      case Op::kSlliw: return "slliw";
+      case Op::kSrliw: return "srliw";
+      case Op::kSraiw: return "sraiw";
+      case Op::kAddw: return "addw";
+      case Op::kSubw: return "subw";
+      case Op::kSllw: return "sllw";
+      case Op::kSrlw: return "srlw";
+      case Op::kSraw: return "sraw";
+      case Op::kFence: return "fence";
+      case Op::kFenceI: return "fence.i";
+      case Op::kEcall: return "ecall";
+      case Op::kEbreak: return "ebreak";
+      case Op::kCsrrw: return "csrrw";
+      case Op::kCsrrs: return "csrrs";
+      case Op::kCsrrc: return "csrrc";
+      case Op::kCsrrwi: return "csrrwi";
+      case Op::kCsrrsi: return "csrrsi";
+      case Op::kCsrrci: return "csrrci";
+      case Op::kMret: return "mret";
+      case Op::kSret: return "sret";
+      case Op::kWfi: return "wfi";
+      case Op::kSfenceVma: return "sfence.vma";
+      case Op::kMul: return "mul";
+      case Op::kMulh: return "mulh";
+      case Op::kMulhsu: return "mulhsu";
+      case Op::kMulhu: return "mulhu";
+      case Op::kDiv: return "div";
+      case Op::kDivu: return "divu";
+      case Op::kRem: return "rem";
+      case Op::kRemu: return "remu";
+      case Op::kMulw: return "mulw";
+      case Op::kDivw: return "divw";
+      case Op::kDivuw: return "divuw";
+      case Op::kRemw: return "remw";
+      case Op::kRemuw: return "remuw";
+      case Op::kLrW: return "lr.w";
+      case Op::kScW: return "sc.w";
+      case Op::kLrD: return "lr.d";
+      case Op::kScD: return "sc.d";
+      case Op::kAmoSwapW: return "amoswap.w";
+      case Op::kAmoAddW: return "amoadd.w";
+      case Op::kAmoXorW: return "amoxor.w";
+      case Op::kAmoAndW: return "amoand.w";
+      case Op::kAmoOrW: return "amoor.w";
+      case Op::kAmoMinW: return "amomin.w";
+      case Op::kAmoMaxW: return "amomax.w";
+      case Op::kAmoMinuW: return "amominu.w";
+      case Op::kAmoMaxuW: return "amomaxu.w";
+      case Op::kAmoSwapD: return "amoswap.d";
+      case Op::kAmoAddD: return "amoadd.d";
+      case Op::kAmoXorD: return "amoxor.d";
+      case Op::kAmoAndD: return "amoand.d";
+      case Op::kAmoOrD: return "amoor.d";
+      case Op::kAmoMinD: return "amomin.d";
+      case Op::kAmoMaxD: return "amomax.d";
+      case Op::kAmoMinuD: return "amominu.d";
+      case Op::kAmoMaxuD: return "amomaxu.d";
+    }
+    return "?";
+}
+
+} // namespace smappic::riscv

@@ -1,0 +1,75 @@
+#include "riscv/disasm.hpp"
+
+#include "sim/log.hpp"
+
+namespace smappic::riscv
+{
+
+const char *
+regName(unsigned idx)
+{
+    static const char *kNames[32] = {
+        "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2",
+        "s0",   "s1", "a0", "a1", "a2", "a3", "a4", "a5",
+        "a6",   "a7", "s2", "s3", "s4", "s5", "s6", "s7",
+        "s8",   "s9", "s10", "s11", "t3", "t4", "t5", "t6",
+    };
+    panicIf(idx >= 32, "register index out of range");
+    return kNames[idx];
+}
+
+std::string
+disassemble(const DecodedInst &d)
+{
+    const std::string m = mnemonic(d.op);
+    auto rd = regName(d.rd);
+    auto rs1 = regName(d.rs1);
+    auto rs2 = regName(d.rs2);
+    long long imm = static_cast<long long>(d.imm);
+
+    switch (d.op) {
+      case Op::kIllegal:
+        return strfmt("illegal 0x%08x", d.raw);
+      case Op::kLui:
+      case Op::kAuipc:
+        return strfmt("%s %s, 0x%llx", m.c_str(), rd,
+                      static_cast<unsigned long long>(
+                          (static_cast<std::uint64_t>(d.imm) >> 12) &
+                          0xfffff));
+      case Op::kJal:
+        return strfmt("%s %s, %lld", m.c_str(), rd, imm);
+      case Op::kJalr:
+        return strfmt("%s %s, %lld(%s)", m.c_str(), rd, imm, rs1);
+      case Op::kBeq: case Op::kBne: case Op::kBlt: case Op::kBge:
+      case Op::kBltu: case Op::kBgeu:
+        return strfmt("%s %s, %s, %lld", m.c_str(), rs1, rs2, imm);
+      case Op::kLb: case Op::kLh: case Op::kLw: case Op::kLd:
+      case Op::kLbu: case Op::kLhu: case Op::kLwu:
+        return strfmt("%s %s, %lld(%s)", m.c_str(), rd, imm, rs1);
+      case Op::kSb: case Op::kSh: case Op::kSw: case Op::kSd:
+        return strfmt("%s %s, %lld(%s)", m.c_str(), rs2, imm, rs1);
+      case Op::kAddi: case Op::kSlti: case Op::kSltiu: case Op::kXori:
+      case Op::kOri: case Op::kAndi: case Op::kSlli: case Op::kSrli:
+      case Op::kSrai: case Op::kAddiw: case Op::kSlliw: case Op::kSrliw:
+      case Op::kSraiw:
+        return strfmt("%s %s, %s, %lld", m.c_str(), rd, rs1, imm);
+      case Op::kFence: case Op::kFenceI: case Op::kEcall:
+      case Op::kEbreak: case Op::kMret: case Op::kSret: case Op::kWfi:
+      case Op::kSfenceVma:
+        return m;
+      case Op::kCsrrw: case Op::kCsrrs: case Op::kCsrrc:
+        return strfmt("%s %s, 0x%x, %s", m.c_str(), rd, d.csr, rs1);
+      case Op::kCsrrwi: case Op::kCsrrsi: case Op::kCsrrci:
+        return strfmt("%s %s, 0x%x, %lld", m.c_str(), rd, d.csr, imm);
+      case Op::kLrW: case Op::kLrD:
+        return strfmt("%s %s, (%s)", m.c_str(), rd, rs1);
+      default:
+        break;
+    }
+    if (d.isAmo() || d.op == Op::kScW || d.op == Op::kScD)
+        return strfmt("%s %s, %s, (%s)", m.c_str(), rd, rs2, rs1);
+    // R-type default.
+    return strfmt("%s %s, %s, %s", m.c_str(), rd, rs1, rs2);
+}
+
+} // namespace smappic::riscv

@@ -1,0 +1,22 @@
+/**
+ * @file
+ * RISC-V disassembler for traces and debugging: renders decoded
+ * instructions in standard assembly syntax with ABI register names.
+ */
+
+#pragma once
+
+#include <string>
+
+#include "riscv/isa.hpp"
+
+namespace smappic::riscv
+{
+
+/** ABI name of integer register @p idx ("zero", "ra", "a0", ...). */
+const char *regName(unsigned idx);
+
+/** Renders @p inst as assembly text, e.g. "addi a0, a1, -3". */
+std::string disassemble(const DecodedInst &inst);
+
+} // namespace smappic::riscv

@@ -1,0 +1,136 @@
+#include "riscv/interrupts.hpp"
+
+#include "sim/log.hpp"
+
+namespace smappic::riscv
+{
+
+ClintController::ClintController(std::uint32_t harts)
+{
+    fatalIf(harts == 0, "CLINT needs at least one hart");
+    msip_.assign(harts, false);
+    mtip_.assign(harts, false);
+    meip_.assign(harts, false);
+    mtimecmp_.assign(harts, ~0ULL);
+}
+
+void
+ClintController::setWire(std::vector<bool> &wires, std::uint32_t hart,
+                         std::uint32_t irq, bool level)
+{
+    panicIf(hart >= wires.size(), "CLINT hart index out of range");
+    if (wires[hart] == level)
+        return;
+    wires[hart] = level;
+    if (wireFn_)
+        wireFn_(hart, irq, level);
+}
+
+std::uint64_t
+ClintController::read(Addr offset) const
+{
+    if (offset >= kClintMsipBase && offset < kClintMsipBase + 4 * harts())
+        return msip_[(offset - kClintMsipBase) / 4] ? 1 : 0;
+    if (offset >= kClintMtimecmpBase &&
+        offset < kClintMtimecmpBase + 8 * harts())
+        return mtimecmp_[(offset - kClintMtimecmpBase) / 8];
+    if (offset == kClintMtime)
+        return mtime_;
+    return 0;
+}
+
+void
+ClintController::write(Addr offset, std::uint64_t value, std::uint32_t)
+{
+    if (offset >= kClintMsipBase && offset < kClintMsipBase + 4 * harts()) {
+        auto hart = static_cast<std::uint32_t>((offset - kClintMsipBase) /
+                                               4);
+        setWire(msip_, hart, kIrqMsi, (value & 1) != 0);
+        return;
+    }
+    if (offset >= kClintMtimecmpBase &&
+        offset < kClintMtimecmpBase + 8 * harts()) {
+        auto hart = static_cast<std::uint32_t>(
+            (offset - kClintMtimecmpBase) / 8);
+        mtimecmp_[hart] = value;
+        evaluateTimers();
+        return;
+    }
+    if (offset == kClintMtime) {
+        mtime_ = value;
+        evaluateTimers();
+        return;
+    }
+}
+
+void
+ClintController::setTime(std::uint64_t mtime)
+{
+    mtime_ = mtime;
+    evaluateTimers();
+}
+
+void
+ClintController::evaluateTimers()
+{
+    for (std::uint32_t h = 0; h < harts(); ++h)
+        setWire(mtip_, h, kIrqMti, mtime_ >= mtimecmp_[h]);
+}
+
+void
+ClintController::setExternal(std::uint32_t hart, bool level)
+{
+    setWire(meip_, hart, kIrqMei, level);
+}
+
+void
+IrqPacketizer::onWireChange(std::uint32_t hart, std::uint32_t irq,
+                            bool level)
+{
+    auto [node, tile] = loc_(hart);
+    noc::Packet pkt = encode(node_, node, tile, hart, irq, level);
+    if (send_)
+        send_(pkt);
+}
+
+noc::Packet
+IrqPacketizer::encode(NodeId src_node, NodeId dst_node, TileId dst_tile,
+                      std::uint32_t hart, std::uint32_t irq, bool level)
+{
+    noc::Packet pkt;
+    pkt.noc = noc::NocIndex::kNoc2;
+    pkt.srcNode = src_node;
+    pkt.srcTile = noc::kOffChipTile;
+    pkt.dstNode = dst_node;
+    pkt.dstTile = dst_tile;
+    pkt.type = noc::MsgType::kInterrupt;
+    pkt.sizeLog2 = 3;
+    // Payload flit: [16:1] hart, [8 bits at 17] irq, [0] level.
+    pkt.payload.push_back((static_cast<std::uint64_t>(hart) << 1) |
+                          (static_cast<std::uint64_t>(irq) << 17) |
+                          (level ? 1 : 0));
+    return pkt;
+}
+
+IrqDepacketizer::Decoded
+IrqDepacketizer::decode(const noc::Packet &pkt)
+{
+    panicIf(pkt.type != noc::MsgType::kInterrupt,
+            "depacketizer got a non-interrupt packet");
+    panicIf(pkt.payload.empty(), "interrupt packet without payload");
+    std::uint64_t w = pkt.payload[0];
+    Decoded d;
+    d.level = (w & 1) != 0;
+    d.hart = static_cast<std::uint32_t>((w >> 1) & 0xffff);
+    d.irq = static_cast<std::uint32_t>((w >> 17) & 0xff);
+    return d;
+}
+
+void
+IrqDepacketizer::apply(const noc::Packet &pkt, RvCore &core)
+{
+    Decoded d = decode(pkt);
+    core.setIrqLine(d.irq, d.level);
+}
+
+} // namespace smappic::riscv

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * RV64IMA(+Zicsr) instruction-set definitions: opcodes, decoded form,
+ * CSR numbers, trap causes and interrupt bits.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/types.hpp"
+
+namespace smappic::riscv
+{
+
+/** Decoded operation kinds. */
+enum class Op : std::uint16_t
+{
+    kIllegal = 0,
+    // RV32I/RV64I base.
+    kLui, kAuipc, kJal, kJalr,
+    kBeq, kBne, kBlt, kBge, kBltu, kBgeu,
+    kLb, kLh, kLw, kLd, kLbu, kLhu, kLwu,
+    kSb, kSh, kSw, kSd,
+    kAddi, kSlti, kSltiu, kXori, kOri, kAndi, kSlli, kSrli, kSrai,
+    kAdd, kSub, kSll, kSlt, kSltu, kXor, kSrl, kSra, kOr, kAnd,
+    kAddiw, kSlliw, kSrliw, kSraiw,
+    kAddw, kSubw, kSllw, kSrlw, kSraw,
+    kFence, kFenceI, kEcall, kEbreak,
+    // Zicsr.
+    kCsrrw, kCsrrs, kCsrrc, kCsrrwi, kCsrrsi, kCsrrci,
+    // Privileged.
+    kMret, kSret, kWfi, kSfenceVma,
+    // M extension.
+    kMul, kMulh, kMulhsu, kMulhu, kDiv, kDivu, kRem, kRemu,
+    kMulw, kDivw, kDivuw, kRemw, kRemuw,
+    // A extension.
+    kLrW, kScW, kLrD, kScD,
+    kAmoSwapW, kAmoAddW, kAmoXorW, kAmoAndW, kAmoOrW,
+    kAmoMinW, kAmoMaxW, kAmoMinuW, kAmoMaxuW,
+    kAmoSwapD, kAmoAddD, kAmoXorD, kAmoAndD, kAmoOrD,
+    kAmoMinD, kAmoMaxD, kAmoMinuD, kAmoMaxuD,
+};
+
+/** One decoded instruction. */
+struct DecodedInst
+{
+    Op op = Op::kIllegal;
+    std::uint8_t rd = 0;
+    std::uint8_t rs1 = 0;
+    std::uint8_t rs2 = 0;
+    std::int64_t imm = 0;    ///< Sign-extended immediate.
+    std::uint16_t csr = 0;   ///< CSR number for Zicsr ops.
+    std::uint32_t raw = 0;   ///< Raw encoding.
+
+    bool isLoad() const;
+    bool isStore() const;
+    bool isAmo() const;
+    bool isBranch() const;
+};
+
+/** Decodes one 32-bit instruction word. */
+DecodedInst decode(std::uint32_t word);
+
+/** Human-readable mnemonic (for traces and tests). */
+std::string mnemonic(Op op);
+
+// CSR numbers used by the model.
+inline constexpr std::uint16_t kCsrMstatus = 0x300;
+inline constexpr std::uint16_t kCsrMisa = 0x301;
+inline constexpr std::uint16_t kCsrMie = 0x304;
+inline constexpr std::uint16_t kCsrMtvec = 0x305;
+inline constexpr std::uint16_t kCsrMscratch = 0x340;
+inline constexpr std::uint16_t kCsrMepc = 0x341;
+inline constexpr std::uint16_t kCsrMcause = 0x342;
+inline constexpr std::uint16_t kCsrMtval = 0x343;
+inline constexpr std::uint16_t kCsrMip = 0x344;
+inline constexpr std::uint16_t kCsrMhartid = 0xf14;
+inline constexpr std::uint16_t kCsrSatp = 0x180;
+inline constexpr std::uint16_t kCsrCycle = 0xc00;
+inline constexpr std::uint16_t kCsrTime = 0xc01;
+inline constexpr std::uint16_t kCsrInstret = 0xc02;
+inline constexpr std::uint16_t kCsrMcycle = 0xb00;
+inline constexpr std::uint16_t kCsrMinstret = 0xb02;
+
+// Trap causes (mcause values).
+inline constexpr std::uint64_t kCauseMisalignedFetch = 0;
+inline constexpr std::uint64_t kCauseIllegalInst = 2;
+inline constexpr std::uint64_t kCauseBreakpoint = 3;
+inline constexpr std::uint64_t kCauseLoadFault = 5;
+inline constexpr std::uint64_t kCauseStoreFault = 7;
+inline constexpr std::uint64_t kCauseEcallU = 8;
+inline constexpr std::uint64_t kCauseEcallM = 11;
+inline constexpr std::uint64_t kCauseInstPageFault = 12;
+inline constexpr std::uint64_t kCauseLoadPageFault = 13;
+inline constexpr std::uint64_t kCauseStorePageFault = 15;
+inline constexpr std::uint64_t kInterruptBit = 1ULL << 63;
+
+// Interrupt numbers (mip/mie bit positions).
+inline constexpr std::uint32_t kIrqMsi = 3;  ///< Machine software.
+inline constexpr std::uint32_t kIrqMti = 7;  ///< Machine timer.
+inline constexpr std::uint32_t kIrqMei = 11; ///< Machine external.
+
+} // namespace smappic::riscv

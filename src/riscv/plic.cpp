@@ -1,0 +1,174 @@
+#include "riscv/plic.hpp"
+
+#include "sim/log.hpp"
+
+namespace smappic::riscv
+{
+
+PlicController::PlicController(std::uint32_t sources, std::uint32_t harts)
+{
+    fatalIf(sources == 0 || sources > 63,
+            "PLIC supports 1..63 sources (source 0 is reserved)");
+    fatalIf(harts == 0, "PLIC needs at least one hart context");
+    priority_.assign(sources + 1, 0);
+    level_.assign(sources + 1, false);
+    pending_.assign(sources + 1, false);
+    inService_.assign(sources + 1, false);
+    enable_.assign(harts, 0);
+    threshold_.assign(harts, 0);
+    wireLevel_.assign(harts, false);
+}
+
+void
+PlicController::setSourceLevel(std::uint32_t src, bool level)
+{
+    panicIf(src == 0 || src >= level_.size(),
+            "PLIC source index out of range");
+    bool was = level_[src];
+    level_[src] = level;
+    // Level-triggered gateway: a rising edge latches pending unless the
+    // source is still in service.
+    if (!was && level && !inService_[src])
+        pending_[src] = true;
+    evaluate();
+}
+
+std::uint32_t
+PlicController::bestPending(std::uint32_t hart) const
+{
+    // Highest-priority enabled pending source above the hart's
+    // threshold; ties break toward the lowest source id (spec behavior).
+    std::uint32_t best = 0;
+    for (std::uint32_t s = 1; s < pending_.size(); ++s) {
+        if (!pending_[s] || inService_[s])
+            continue;
+        if (!(enable_.at(hart) & (1ULL << s)))
+            continue;
+        if (priority_[s] <= threshold_.at(hart))
+            continue;
+        if (best == 0 || priority_[s] > priority_[best])
+            best = s;
+    }
+    return best;
+}
+
+std::uint32_t
+PlicController::claim(std::uint32_t hart)
+{
+    std::uint32_t src = bestPending(hart);
+    if (src != 0) {
+        pending_[src] = false;
+        inService_[src] = true;
+    }
+    evaluate();
+    return src;
+}
+
+void
+PlicController::complete(std::uint32_t hart, std::uint32_t src)
+{
+    (void)hart;
+    if (src == 0 || src >= inService_.size())
+        return;
+    inService_[src] = false;
+    // Still-asserted level re-latches immediately (level triggered).
+    if (level_[src])
+        pending_[src] = true;
+    evaluate();
+}
+
+void
+PlicController::evaluate()
+{
+    for (std::uint32_t h = 0; h < harts(); ++h) {
+        bool level = bestPending(h) != 0;
+        if (level != wireLevel_[h]) {
+            wireLevel_[h] = level;
+            if (wireFn_)
+                wireFn_(h, level);
+        }
+    }
+}
+
+std::uint32_t
+PlicController::read(Addr offset, std::uint32_t hart_hint)
+{
+    if (offset >= kPlicPriorityBase &&
+        offset < kPlicPriorityBase + 4 * (sources() + 1)) {
+        return priority_[offset / 4];
+    }
+    if (offset >= kPlicPendingBase && offset < kPlicPendingBase + 8) {
+        std::uint32_t word = static_cast<std::uint32_t>(
+            (offset - kPlicPendingBase) / 4);
+        std::uint32_t bits = 0;
+        for (std::uint32_t s = word * 32; s < (word + 1) * 32 &&
+                                          s < pending_.size();
+             ++s) {
+            if (pending_[s])
+                bits |= 1u << (s % 32);
+        }
+        return bits;
+    }
+    if (offset >= kPlicEnableBase &&
+        offset < kPlicEnableBase + kPlicEnableStride * harts()) {
+        auto hart = static_cast<std::uint32_t>(
+            (offset - kPlicEnableBase) / kPlicEnableStride);
+        std::uint32_t word = ((offset - kPlicEnableBase) %
+                              kPlicEnableStride) / 4;
+        return static_cast<std::uint32_t>(enable_[hart] >> (32 * word));
+    }
+    if (offset >= kPlicContextBase) {
+        auto hart = static_cast<std::uint32_t>(
+            (offset - kPlicContextBase) / kPlicContextStride);
+        if (hart >= harts())
+            return 0;
+        Addr reg = (offset - kPlicContextBase) % kPlicContextStride;
+        if (reg == 0)
+            return threshold_[hart];
+        if (reg == 4)
+            return claim(hart);
+    }
+    (void)hart_hint;
+    return 0;
+}
+
+void
+PlicController::write(Addr offset, std::uint32_t value)
+{
+    if (offset >= kPlicPriorityBase &&
+        offset < kPlicPriorityBase + 4 * (sources() + 1)) {
+        std::uint32_t src = static_cast<std::uint32_t>(offset / 4);
+        if (src != 0)
+            priority_[src] = value;
+        evaluate();
+        return;
+    }
+    if (offset >= kPlicEnableBase &&
+        offset < kPlicEnableBase + kPlicEnableStride * harts()) {
+        auto hart = static_cast<std::uint32_t>(
+            (offset - kPlicEnableBase) / kPlicEnableStride);
+        std::uint32_t word = ((offset - kPlicEnableBase) %
+                              kPlicEnableStride) / 4;
+        std::uint64_t mask = 0xffffffffULL << (32 * word);
+        enable_[hart] = (enable_[hart] & ~mask) |
+                        (static_cast<std::uint64_t>(value) << (32 * word));
+        enable_[hart] &= ~1ULL; // Source 0 cannot be enabled.
+        evaluate();
+        return;
+    }
+    if (offset >= kPlicContextBase) {
+        auto hart = static_cast<std::uint32_t>(
+            (offset - kPlicContextBase) / kPlicContextStride);
+        if (hart >= harts())
+            return;
+        Addr reg = (offset - kPlicContextBase) % kPlicContextStride;
+        if (reg == 0) {
+            threshold_[hart] = value;
+            evaluate();
+        } else if (reg == 4) {
+            complete(hart, value);
+        }
+    }
+}
+
+} // namespace smappic::riscv

@@ -1,0 +1,58 @@
+#include "sim/event_queue.hpp"
+
+#include "sim/log.hpp"
+
+namespace smappic::sim
+{
+
+void
+EventQueue::scheduleAt(Cycles when, EventFn fn)
+{
+    panicIf(when < now_, "event scheduled in the past");
+    heap_.push(Entry{when, nextSeq_++, std::move(fn)});
+}
+
+std::uint64_t
+EventQueue::run(Cycles limit)
+{
+    Cycles deadline = (limit == ~Cycles{0}) ? ~Cycles{0} : now_ + limit;
+    std::uint64_t executed = 0;
+    while (!heap_.empty() && heap_.top().when <= deadline) {
+        // priority_queue exposes only a const top(); the move is safe
+        // because the entry is popped immediately afterwards.
+        auto &top = const_cast<Entry &>(heap_.top());
+        now_ = top.when;
+        EventFn fn = std::move(top.fn);
+        heap_.pop();
+        fn();
+        ++executed;
+    }
+    return executed;
+}
+
+std::uint64_t
+EventQueue::runUntil(Cycles until)
+{
+    std::uint64_t executed = 0;
+    while (!heap_.empty() && heap_.top().when <= until) {
+        auto &top = const_cast<Entry &>(heap_.top());
+        now_ = top.when;
+        EventFn fn = std::move(top.fn);
+        heap_.pop();
+        fn();
+        ++executed;
+    }
+    if (now_ < until)
+        now_ = until;
+    return executed;
+}
+
+void
+EventQueue::reset()
+{
+    heap_ = {};
+    now_ = 0;
+    nextSeq_ = 0;
+}
+
+} // namespace smappic::sim

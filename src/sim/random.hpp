@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation (xoroshiro128++).
+ *
+ * Every stochastic decision in the simulator draws from a seeded instance of
+ * this generator so results are bit-reproducible across runs and hosts.
+ */
+
+#pragma once
+
+#include <cstdint>
+
+namespace smappic::sim
+{
+
+/** xoroshiro128++ generator (Blackman & Vigna), small and very fast. */
+class Xoroshiro
+{
+  public:
+    /** Seeds the generator; a splitmix64 pass whitens the raw seed. */
+    explicit Xoroshiro(std::uint64_t seed = 0x5eedULL)
+    {
+        std::uint64_t x = seed;
+        s0_ = splitmix(x);
+        s1_ = splitmix(x);
+        if (s0_ == 0 && s1_ == 0)
+            s1_ = 1;
+    }
+
+    /** Returns the next 64 uniformly distributed bits. */
+    std::uint64_t
+    next()
+    {
+        std::uint64_t a = s0_;
+        std::uint64_t b = s1_;
+        std::uint64_t result = rotl(a + b, 17) + a;
+        b ^= a;
+        s0_ = rotl(a, 49) ^ b ^ (b << 21);
+        s1_ = rotl(b, 28);
+        return result;
+    }
+
+    /** Returns a uniform integer in [0, bound). @p bound must be nonzero. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        // Multiply-shift reduction; bias is negligible for simulator use.
+        return static_cast<std::uint64_t>(
+            (static_cast<unsigned __int128>(next()) * bound) >> 64);
+    }
+
+    /** Returns a uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Returns true with probability @p p. */
+    bool
+    chance(double p)
+    {
+        return uniform() < p;
+    }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t v, int k)
+    {
+        return (v << k) | (v >> (64 - k));
+    }
+
+    static std::uint64_t
+    splitmix(std::uint64_t &x)
+    {
+        x += 0x9e3779b97f4a7c15ULL;
+        std::uint64_t z = x;
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return z ^ (z >> 31);
+    }
+
+    std::uint64_t s0_;
+    std::uint64_t s1_;
+};
+
+} // namespace smappic::sim

@@ -1,0 +1,121 @@
+#include "sim/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/log.hpp"
+
+namespace smappic::sim
+{
+
+Histogram::Histogram(std::size_t buckets, double width)
+    : counts_(buckets, 0), width_(width)
+{
+    fatalIf(buckets == 0, "histogram needs at least one bucket");
+    fatalIf(width <= 0.0, "histogram bucket width must be positive");
+}
+
+void
+Histogram::sample(double v)
+{
+    summary_.sample(v);
+    if (v < 0.0) {
+        counts_[0] += 1;
+        return;
+    }
+    auto idx = static_cast<std::size_t>(v / width_);
+    if (idx >= counts_.size())
+        overflow_ += 1;
+    else
+        counts_[idx] += 1;
+}
+
+double
+Histogram::percentile(double p) const
+{
+    p = std::clamp(p, 0.0, 1.0);
+    std::uint64_t total = summary_.count();
+    if (total == 0)
+        return 0.0;
+    auto threshold =
+        static_cast<std::uint64_t>(std::ceil(p * static_cast<double>(total)));
+    threshold = std::max<std::uint64_t>(threshold, 1);
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        seen += counts_[i];
+        if (seen >= threshold)
+            return (static_cast<double>(i) + 1.0) * width_;
+    }
+    return summary_.max();
+}
+
+void
+Histogram::reset()
+{
+    std::fill(counts_.begin(), counts_.end(), 0);
+    overflow_ = 0;
+    summary_.reset();
+}
+
+std::uint64_t
+StatRegistry::counterValue(const std::string &name) const
+{
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second.value();
+}
+
+void
+StatRegistry::dump(std::ostream &os) const
+{
+    for (const auto &[name, c] : counters_)
+        os << name << " " << c.value() << "\n";
+    for (const auto &[name, s] : summaries_) {
+        os << name << ".mean " << s.mean() << "\n";
+        os << name << ".count " << s.count() << "\n";
+    }
+    for (const auto &[name, h] : histograms_) {
+        os << name << ".mean " << h.summary().mean() << "\n";
+        os << name << ".p50 " << h.percentile(0.5) << "\n";
+        os << name << ".p99 " << h.percentile(0.99) << "\n";
+    }
+}
+
+void
+StatRegistry::dumpJson(std::ostream &os) const
+{
+    os << "{";
+    bool first = true;
+    auto emit = [&](const std::string &name, double value) {
+        if (!first)
+            os << ",";
+        first = false;
+        os << "\"" << name << "\":" << value;
+    };
+    for (const auto &[name, c] : counters_)
+        emit(name, static_cast<double>(c.value()));
+    for (const auto &[name, s] : summaries_) {
+        emit(name + ".mean", s.mean());
+        emit(name + ".count", static_cast<double>(s.count()));
+        emit(name + ".min", s.min());
+        emit(name + ".max", s.max());
+    }
+    for (const auto &[name, h] : histograms_) {
+        emit(name + ".mean", h.summary().mean());
+        emit(name + ".p50", h.percentile(0.5));
+        emit(name + ".p99", h.percentile(0.99));
+    }
+    os << "}";
+}
+
+void
+StatRegistry::resetAll()
+{
+    for (auto &[name, c] : counters_)
+        c.reset();
+    for (auto &[name, s] : summaries_)
+        s.reset();
+    for (auto &[name, h] : histograms_)
+        h.reset();
+}
+
+} // namespace smappic::sim

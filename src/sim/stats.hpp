@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Lightweight statistics package: named counters, scalar samples and
+ * histograms that components register into a StatRegistry and that benches
+ * and tests read back after a run.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace smappic::sim
+{
+
+/** Monotonic event counter. */
+class Counter
+{
+  public:
+    void increment(std::uint64_t by = 1) { value_ += by; }
+    std::uint64_t value() const { return value_; }
+    void reset() { value_ = 0; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/** Streaming summary of a scalar sample set (min/max/mean/stddev). */
+class Summary
+{
+  public:
+    /** Records one observation. */
+    void
+    sample(double v)
+    {
+        count_ += 1;
+        sum_ += v;
+        sumSq_ += v * v;
+        if (v < min_)
+            min_ = v;
+        if (v > max_)
+            max_ = v;
+    }
+
+    std::uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+
+    /** Population variance of the observations. */
+    double
+    variance() const
+    {
+        if (count_ == 0)
+            return 0.0;
+        double m = mean();
+        return sumSq_ / count_ - m * m;
+    }
+
+    void
+    reset()
+    {
+        count_ = 0;
+        sum_ = 0.0;
+        sumSq_ = 0.0;
+        min_ = std::numeric_limits<double>::infinity();
+        max_ = -std::numeric_limits<double>::infinity();
+    }
+
+  private:
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double sumSq_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/** Fixed-width-bucket histogram over [0, buckets * width). */
+class Histogram
+{
+  public:
+    /**
+     * @param buckets Number of finite buckets.
+     * @param width Width of each bucket; samples beyond the last bucket are
+     *        accumulated in an overflow bin.
+     */
+    explicit Histogram(std::size_t buckets = 32, double width = 1.0);
+
+    void sample(double v);
+
+    std::uint64_t bucketCount(std::size_t i) const { return counts_.at(i); }
+    std::uint64_t overflow() const { return overflow_; }
+    std::size_t buckets() const { return counts_.size(); }
+    double bucketWidth() const { return width_; }
+    const Summary &summary() const { return summary_; }
+
+    /** Returns the smallest value v with CDF(v) >= p, bucket-quantized. */
+    double percentile(double p) const;
+
+    void reset();
+
+  private:
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t overflow_ = 0;
+    double width_;
+    Summary summary_;
+};
+
+/**
+ * Flat name -> stat registry. Components register their stats under
+ * hierarchical dotted names ("node0.tile3.bpc.misses"); benches read them
+ * back or dump the whole registry.
+ */
+class StatRegistry
+{
+  public:
+    Counter &counter(const std::string &name) { return counters_[name]; }
+    Summary &summaryStat(const std::string &name) { return summaries_[name]; }
+
+    Histogram &
+    histogram(const std::string &name, std::size_t buckets = 32,
+              double width = 1.0)
+    {
+        auto it = histograms_.find(name);
+        if (it == histograms_.end())
+            it = histograms_.emplace(name, Histogram(buckets, width)).first;
+        return it->second;
+    }
+
+    /** Returns the counter's value, or 0 if never registered. */
+    std::uint64_t counterValue(const std::string &name) const;
+
+    /** Writes all stats in "name value" lines, sorted by name. */
+    void dump(std::ostream &os) const;
+
+    /** Writes all stats as a flat JSON object (for tooling). */
+    void dumpJson(std::ostream &os) const;
+
+    /** Zeroes every registered stat, keeping registrations. */
+    void resetAll();
+
+    const std::map<std::string, Counter> &counters() const
+    {
+        return counters_;
+    }
+    const std::map<std::string, Summary> &summaries() const
+    {
+        return summaries_;
+    }
+
+  private:
+    std::map<std::string, Counter> counters_;
+    std::map<std::string, Summary> summaries_;
+    std::map<std::string, Histogram> histograms_;
+};
+
+} // namespace smappic::sim

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every SMAPPIC module.
+ */
+
+#pragma once
+
+#include <cstdint>
+
+namespace smappic
+{
+
+/** Physical/simulated byte address inside a prototype. */
+using Addr = std::uint64_t;
+
+/** Simulated time measured in target clock cycles. */
+using Cycles = std::uint64_t;
+
+/** Simulated time measured in picoseconds (used by cross-clock links). */
+using Picos = std::uint64_t;
+
+/** Identifier of a node (one chip/die of the target system). */
+using NodeId = std::uint32_t;
+
+/** Identifier of a tile within a node. */
+using TileId = std::uint32_t;
+
+/** Flat identifier of a tile across the whole prototype. */
+using GlobalTileId = std::uint32_t;
+
+/** Identifier of an FPGA inside the F1 instance. */
+using FpgaId = std::uint32_t;
+
+/** Cache line size used throughout the BYOC-style memory system. */
+inline constexpr std::uint32_t kCacheLineBytes = 64;
+
+/** Returns the cache-line-aligned base of @p addr. */
+constexpr Addr
+lineAlign(Addr addr)
+{
+    return addr & ~static_cast<Addr>(kCacheLineBytes - 1);
+}
+
+/** Returns true when @p addr is aligned to @p bytes (power of two). */
+constexpr bool
+isAligned(Addr addr, std::uint64_t bytes)
+{
+    return (addr & (bytes - 1)) == 0;
+}
+
+} // namespace smappic

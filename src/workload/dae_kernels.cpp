@@ -1,0 +1,189 @@
+#include "workload/dae_kernels.hpp"
+
+#include <algorithm>
+
+#include "sim/log.hpp"
+#include "sim/random.hpp"
+
+namespace smappic::workload
+{
+
+std::string
+daeKernelName(DaeKernel k)
+{
+    switch (k) {
+      case DaeKernel::kSpmv: return "SPMV";
+      case DaeKernel::kSpmm: return "SPMM";
+      case DaeKernel::kSdhp: return "SDHP";
+      case DaeKernel::kBfs: return "BFS";
+    }
+    return "?";
+}
+
+std::string
+daeModeName(DaeMode m)
+{
+    switch (m) {
+      case DaeMode::kSingleThread: return "1 thread";
+      case DaeMode::kMaple: return "MAPLE";
+      case DaeMode::kTwoThreads: return "2 threads";
+    }
+    return "?";
+}
+
+namespace
+{
+
+/** Per-kernel cost/shape parameters. */
+struct KernelShape
+{
+    Cycles computePerElem;    ///< Execute-side ALU work per element.
+    std::uint32_t elemBytes;  ///< Gather granularity.
+    bool denseTrailer;        ///< SPMM: extra sequential dense loads.
+};
+
+KernelShape
+shapeOf(DaeKernel k, const DaeConfig &cfg)
+{
+    // Execute-side cycles per element are sized for the kernels' real
+    // arithmetic on an in-order core: an FP multiply-accumulate plus row
+    // bookkeeping (SPMV), K column MACs (SPMM), hash+compare (SDHP) and
+    // frontier bookkeeping (BFS).
+    switch (k) {
+      case DaeKernel::kSpmv:
+        return {26, 8, false};
+      case DaeKernel::kSpmm:
+        return {static_cast<Cycles>(8 * cfg.denseColumns), 8, true};
+      case DaeKernel::kSdhp:
+        return {22, 8, false};
+      case DaeKernel::kBfs:
+        return {18, 1, false};
+    }
+    return {8, 8, false};
+}
+
+} // namespace
+
+DaeResult
+runDaeKernel(os::GuestSystem &os, DaeKernel kernel, DaeMode mode,
+             const std::vector<GlobalTileId> &tiles,
+             accel::MapleEngine *engine, const DaeConfig &cfg)
+{
+    fatalIf(tiles.empty(), "DAE kernel needs at least one core tile");
+    fatalIf(mode == DaeMode::kTwoThreads && tiles.size() < 2,
+            "two-thread mode needs two core tiles");
+    fatalIf(mode == DaeMode::kMaple && engine == nullptr,
+            "MAPLE mode needs an engine");
+
+    auto &cs = os.memorySystem();
+    NodeId node = tiles[0] / cs.geometry().tilesPerNode;
+    KernelShape shape = shapeOf(kernel, cfg);
+    std::uint64_t stride =
+        shape.denseTrailer ? cfg.denseColumns : 1;
+
+    // Data: an index stream (CSR columns / hash slots / adjacency) and a
+    // gather table (dense vector / hash table / visited map). Placed on
+    // the core's node with physically contiguous frames so the engine can
+    // be programmed with physical bases, as real MAPLE is.
+    Addr idx_va = os.vmAlloc(cfg.elements * 8, os::AllocPolicy::kOnNode,
+                             node);
+    Addr table_va = os.vmAlloc(cfg.tableSize * stride * shape.elemBytes,
+                               os::AllocPolicy::kOnNode, node);
+
+    sim::Xoroshiro rng(cfg.seed);
+    auto &mem = cs.memory();
+    for (std::uint64_t i = 0; i < cfg.elements; ++i)
+        mem.store(os.translate(idx_va + i * 8, node), 8,
+                  rng.below(cfg.tableSize));
+    for (std::uint64_t t = 0; t < cfg.tableSize * stride; ++t) {
+        Addr pa = os.translate(table_va + t * shape.elemBytes, node);
+        mem.store(pa, shape.elemBytes,
+                  (t * 0x9e3779b97f4a7c15ULL) >> 32);
+    }
+
+    if (mode == DaeMode::kMaple) {
+        Addr idx_pa = os.translate(idx_va, node);
+        Addr table_pa = os.translate(table_va, node);
+        engine->programIndirect(idx_pa, cfg.elements, table_pa,
+                                shape.elemBytes * (shape.denseTrailer
+                                                       ? cfg.denseColumns
+                                                       : 1),
+                                os.elapsed(),
+                                shape.denseTrailer ? cfg.denseColumns : 1);
+    }
+
+    Cycles start = os.elapsed();
+    std::uint64_t checksum = 0;
+
+    auto body = [&](os::Worker &w, std::uint64_t begin, std::uint64_t end,
+                    bool use_maple) {
+        std::uint64_t sum = 0;
+        for (std::uint64_t i = begin; i < end; ++i) {
+            std::uint64_t v;
+            std::uint64_t index = 0;
+            if (use_maple) {
+                // Decoupled: the engine consumed the index stream; the
+                // execute side just pops supplied values.
+                Cycles lat = 0;
+                v = engine->consume(w.tile(), w.now(), lat);
+                w.compute(lat);
+            } else {
+                index = w.load(idx_va + i * 8);
+                v = w.load(table_va +
+                               index * stride * shape.elemBytes,
+                           shape.elemBytes);
+            }
+            sum += v + i;
+            w.compute(shape.computePerElem);
+            if (shape.denseTrailer) {
+                // SPMM: the remaining dense columns of the gathered row.
+                for (std::uint32_t k = 1; k < cfg.denseColumns; ++k) {
+                    std::uint64_t col;
+                    if (use_maple) {
+                        Cycles lat = 0;
+                        col = engine->consume(w.tile(), w.now(), lat,
+                                              /*streaming=*/true);
+                        w.compute(lat);
+                    } else {
+                        col = w.load(table_va +
+                                     (index * stride + k) *
+                                         shape.elemBytes,
+                                     shape.elemBytes);
+                    }
+                    sum += col;
+                }
+            }
+        }
+        checksum += sum;
+    };
+
+    switch (mode) {
+      case DaeMode::kSingleThread:
+        os.serialSection(tiles[0], [&](os::Worker &w) {
+            body(w, 0, cfg.elements, false);
+        });
+        break;
+      case DaeMode::kMaple:
+        os.serialSection(tiles[0], [&](os::Worker &w) {
+            body(w, 0, cfg.elements, true);
+        });
+        break;
+      case DaeMode::kTwoThreads: {
+          std::uint64_t half = cfg.elements / 2;
+          os.parallelPhase({tiles[0], tiles[1]}, [&](os::Worker &w) {
+              if (w.tile() == tiles[0])
+                  body(w, 0, half, false);
+              else
+                  body(w, half, cfg.elements, false);
+          });
+          break;
+      }
+    }
+
+    DaeResult r;
+    r.cycles = os.elapsed() - start;
+    r.checksum = checksum;
+    return r;
+}
+
+} // namespace smappic::workload

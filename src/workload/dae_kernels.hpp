@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Decoupled Access/Execute kernels used to evaluate MAPLE (paper section
+ * 4.3, Fig. 11): SPMV, SPMM, SDHP (sparse hash probe) and BFS — the same
+ * benchmark set as the original MAPLE work. Each kernel runs in three
+ * modes: single thread, single thread + MAPLE engine, and two threads.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "accel/maple.hpp"
+#include "os/guest_system.hpp"
+#include "sim/types.hpp"
+
+namespace smappic::workload
+{
+
+/** Execution modes from Fig. 11. */
+enum class DaeMode : std::uint8_t
+{
+    kSingleThread,
+    kMaple,
+    kTwoThreads,
+};
+
+/** The four kernels. */
+enum class DaeKernel : std::uint8_t
+{
+    kSpmv,
+    kSpmm,
+    kSdhp,
+    kBfs,
+};
+
+/** Workload scale knobs. */
+struct DaeConfig
+{
+    std::uint64_t elements = 20000; ///< Nonzeros / keys / edges.
+    std::uint64_t tableSize = 1 << 14; ///< Gather-target elements.
+    std::uint64_t seed = 7;
+    std::uint32_t denseColumns = 4; ///< SPMM dense width.
+};
+
+/** Result of one kernel run. */
+struct DaeResult
+{
+    Cycles cycles = 0;
+    std::uint64_t checksum = 0; ///< Mode-independent functional result.
+};
+
+std::string daeKernelName(DaeKernel k);
+std::string daeModeName(DaeMode m);
+
+/**
+ * Runs @p kernel in @p mode.
+ * @param tiles Core tiles: tiles[0] is the main core; tiles[1] is the
+ *        second core (used only by kTwoThreads).
+ * @param engine MAPLE engine (used only by kMaple).
+ */
+DaeResult runDaeKernel(os::GuestSystem &os, DaeKernel kernel, DaeMode mode,
+                       const std::vector<GlobalTileId> &tiles,
+                       accel::MapleEngine *engine, const DaeConfig &cfg);
+
+} // namespace smappic::workload

@@ -1,0 +1,115 @@
+#include "workload/noise.hpp"
+
+#include "sim/log.hpp"
+
+namespace smappic::workload
+{
+
+const char *
+gngModeName(GngMode m)
+{
+    switch (m) {
+      case GngMode::kSoftware: return "SW";
+      case GngMode::kFetch1: return "1";
+      case GngMode::kFetch2: return "2";
+      case GngMode::kFetch4: return "4";
+    }
+    return "?";
+}
+
+namespace
+{
+
+std::uint32_t
+samplesPerFetch(GngMode m)
+{
+    switch (m) {
+      case GngMode::kFetch2:
+        return 2;
+      case GngMode::kFetch4:
+        return 4;
+      default:
+        return 1;
+    }
+}
+
+} // namespace
+
+NoiseResult
+runNoiseGenerator(os::GuestSystem &os, GlobalTileId tile, GngMode mode,
+                  const NoiseConfig &cfg)
+{
+    Addr buf = os.vmAlloc(cfg.samples * 2);
+    Cycles start = os.elapsed();
+
+    os.serialSection(tile, [&](os::Worker &w) {
+        if (mode == GngMode::kSoftware) {
+            accel::TauswortheGenerator sw(99);
+            for (std::uint64_t i = 0; i < cfg.samples; ++i) {
+                // Box-Muller on the core (soft-float log/sqrt/sin).
+                w.compute(accel::GngAccelerator::kSoftwareCyclesPerSample);
+                w.store(buf + i * 2, sw.next() & 0xffff, 2);
+            }
+            return;
+        }
+        std::uint32_t per = samplesPerFetch(mode);
+        std::uint32_t bytes = per * 2;
+        for (std::uint64_t i = 0; i < cfg.samples; i += per) {
+            std::uint64_t packed = w.ncLoad(cfg.deviceBase, bytes);
+            for (std::uint32_t k = 0; k < per && i + k < cfg.samples;
+                 ++k) {
+                w.compute(1); // Unpack shift.
+                w.store(buf + (i + k) * 2, (packed >> (16 * k)) & 0xffff,
+                        2);
+            }
+        }
+    });
+
+    return NoiseResult{os.elapsed() - start, cfg.samples};
+}
+
+NoiseResult
+runNoiseApplier(os::GuestSystem &os, GlobalTileId tile, GngMode mode,
+                const NoiseConfig &cfg)
+{
+    Addr seq = os.vmAlloc(cfg.samples);
+    // Pre-touch the sequence (it exists before noise is applied).
+    NodeId node = tile / os.memorySystem().geometry().tilesPerNode;
+    for (std::uint64_t i = 0; i < cfg.samples;
+         i += os::GuestSystem::kPageBytes) {
+        os.translate(seq + i, node);
+    }
+
+    Cycles start = os.elapsed();
+    os.serialSection(tile, [&](os::Worker &w) {
+        accel::TauswortheGenerator sw(123);
+        std::uint32_t per = samplesPerFetch(mode);
+        std::uint64_t packed = 0;
+        std::uint32_t avail = 0;
+        for (std::uint64_t i = 0; i < cfg.samples; ++i) {
+            std::uint64_t sample;
+            if (mode == GngMode::kSoftware) {
+                w.compute(accel::GngAccelerator::kSoftwareCyclesPerSample);
+                sample = sw.next() & 0xffff;
+            } else {
+                if (avail == 0) {
+                    packed = w.ncLoad(cfg.deviceBase, per * 2);
+                    avail = per;
+                }
+                sample = packed & 0xffff;
+                packed >>= 16;
+                --avail;
+                w.compute(1);
+            }
+            // Convert to 8-bit (saturating fixed-point scale) and apply
+            // to the sequence element: ~14 ALU ops on the in-order core.
+            std::uint64_t v = w.load(seq + i, 1);
+            w.compute(14);
+            w.store(seq + i, (v + (sample >> 8)) & 0xff, 1);
+        }
+    });
+
+    return NoiseResult{os.elapsed() - start, cfg.samples};
+}
+
+} // namespace smappic::workload

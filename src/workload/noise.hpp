@@ -1,0 +1,52 @@
+/**
+ * @file
+ * GNG accelerator evaluation workloads (paper section 4.2, Fig. 10):
+ * benchmark A ("Noise generator") produces a buffer of Gaussian noise;
+ * benchmark B ("Noise applier") converts noise to 8-bit integers and adds
+ * it to a byte sequence. Each runs in four modes: software generation on
+ * the core, and hardware fetches returning 1, 2 or 4 packed samples.
+ */
+
+#pragma once
+
+#include <cstdint>
+
+#include "accel/gng.hpp"
+#include "os/guest_system.hpp"
+#include "sim/types.hpp"
+
+namespace smappic::workload
+{
+
+/** Fig. 10's execution modes. */
+enum class GngMode : std::uint8_t
+{
+    kSoftware, ///< Box-Muller in software on the core.
+    kFetch1,   ///< One 16-bit sample per non-cacheable load.
+    kFetch2,   ///< Two samples packed in a 32-bit load.
+    kFetch4,   ///< Four samples packed in a 64-bit load.
+};
+
+struct NoiseConfig
+{
+    std::uint64_t samples = 1 << 16; ///< Paper: 64 MB / 32 MB (scaled).
+    Addr deviceBase = 0;             ///< GNG MMIO window (VA == PA).
+};
+
+struct NoiseResult
+{
+    Cycles cycles = 0;
+    std::uint64_t samplesProduced = 0;
+};
+
+const char *gngModeName(GngMode m);
+
+/** Benchmark A: generate cfg.samples noise samples into a buffer. */
+NoiseResult runNoiseGenerator(os::GuestSystem &os, GlobalTileId tile,
+                              GngMode mode, const NoiseConfig &cfg);
+
+/** Benchmark B: apply noise to a byte sequence of cfg.samples elements. */
+NoiseResult runNoiseApplier(os::GuestSystem &os, GlobalTileId tile,
+                            GngMode mode, const NoiseConfig &cfg);
+
+} // namespace smappic::workload

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * STREAM-style bandwidth workload (McCalpin's kernels: Copy, Scale, Add,
+ * Triad). The standard tool for characterizing NUMA memory systems —
+ * exactly the kind of study the paper's 48-core prototype is built for:
+ * per-thread arrays are placed by the active NUMA policy and the four
+ * kernels stream through them, exposing local vs remote bandwidth and
+ * inter-node link limits.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "os/guest_system.hpp"
+#include "sim/types.hpp"
+
+namespace smappic::workload
+{
+
+/** The four STREAM kernels. */
+enum class StreamKernel : std::uint8_t
+{
+    kCopy,  ///< c = a
+    kScale, ///< b = s * c
+    kAdd,   ///< c = a + b
+    kTriad, ///< a = b + s * c
+};
+
+const char *streamKernelName(StreamKernel k);
+
+struct StreamConfig
+{
+    std::uint64_t elementsPerThread = 1 << 13; ///< 64 KiB per array.
+    Cycles computePerElement = 2;              ///< FP op cost.
+};
+
+struct StreamResult
+{
+    Cycles cycles = 0;
+    std::uint64_t bytesMoved = 0;
+    /** Modeled bandwidth in bytes per cycle across all threads. */
+    double bytesPerCycle = 0;
+    bool correct = false;
+};
+
+/**
+ * Runs one kernel with one worker per tile. Arrays are allocated under
+ * the guest's NUMA policy (first touch by each worker in an init phase).
+ */
+StreamResult runStream(os::GuestSystem &os,
+                       const std::vector<GlobalTileId> &tiles,
+                       StreamKernel kernel, const StreamConfig &cfg);
+
+} // namespace smappic::workload

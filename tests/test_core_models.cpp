@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Tests for the selectable core models (the BYOC multi-core story):
+ * presets differ in the right directions and plug into prototypes.
+ */
+
+#include <gtest/gtest.h>
+
+#include "platform/prototype.hpp"
+#include "riscv/core_models.hpp"
+
+namespace smappic::riscv
+{
+namespace
+{
+
+Cycles
+runOn(CoreModel model, const char *src)
+{
+    platform::PrototypeConfig cfg = platform::PrototypeConfig::parse(
+        "1x1x2");
+    cfg.coreModel = model;
+    platform::Prototype proto(cfg);
+    proto.loadSource(src);
+    EXPECT_EQ(proto.runCore(0), HaltReason::kExited);
+    EXPECT_EQ(proto.core(0).exitCode(), 0);
+    return proto.core(0).cycles();
+}
+
+const char *kComputeLoop = R"(
+_start:
+    li t0, 0
+    li t1, 500
+loop:
+    addi t0, t0, 1
+    mul t2, t0, t0
+    blt t0, t1, loop
+    li a0, 0
+    li a7, 93
+    ecall
+)";
+
+TEST(CoreModels, PicoIsMuchSlowerThanAriane)
+{
+    Cycles ariane = runOn(CoreModel::kAriane, kComputeLoop);
+    Cycles pico = runOn(CoreModel::kPicoRv32, kComputeLoop);
+    // Multi-cycle FSM core with a 32-cycle multiplier: >4x slower.
+    EXPECT_GT(pico, ariane * 4);
+}
+
+TEST(CoreModels, RelativeOrderOnBranchyCode)
+{
+    // Alternating-direction branches defeat 2-bit counters in every
+    // model; the application cores stay within a pipeline's difference
+    // of each other while the FSM core trails far behind.
+    const char *branchy = R"(
+_start:
+    li t0, 0
+    li t1, 2000
+    li t3, 0
+loop:
+    andi t2, t0, 1
+    beqz t2, even
+    addi t3, t3, 2
+    j next
+even:
+    addi t3, t3, 1
+next:
+    addi t0, t0, 1
+    blt t0, t1, loop
+    li a0, 0
+    li a7, 93
+    ecall
+)";
+    Cycles ariane = runOn(CoreModel::kAriane, branchy);
+    Cycles bp = runOn(CoreModel::kBlackParrot, branchy);
+    Cycles pico = runOn(CoreModel::kPicoRv32, branchy);
+    EXPECT_LT(bp, ariane * 13 / 10);
+    EXPECT_GT(bp, ariane * 7 / 10);
+    EXPECT_GT(pico, ariane * 2);
+}
+
+TEST(CoreModels, AllModelsAreFunctionallyIdentical)
+{
+    // Timing presets must never change architectural results.
+    const char *program = R"(
+_start:
+    li t0, 123456789
+    li t1, 987
+    mul t2, t0, t1
+    div t3, t2, t1
+    sub a0, t3, t0     # 0 when correct
+    li a7, 93
+    ecall
+)";
+    for (CoreModel m : {CoreModel::kAriane, CoreModel::kPicoRv32,
+                        CoreModel::kBlackParrot}) {
+        platform::PrototypeConfig cfg =
+            platform::PrototypeConfig::parse("1x1x2");
+        cfg.coreModel = m;
+        platform::Prototype proto(cfg);
+        proto.loadSource(program);
+        proto.runCore(0);
+        EXPECT_EQ(proto.core(0).exitCode(), 0) << coreModelName(m);
+    }
+}
+
+TEST(CoreModels, NamesAreStable)
+{
+    EXPECT_EQ(coreModelName(CoreModel::kAriane), "ariane");
+    EXPECT_EQ(coreModelName(CoreModel::kPicoRv32), "picorv32");
+    EXPECT_EQ(coreModelName(CoreModel::kBlackParrot), "blackparrot");
+}
+
+} // namespace
+} // namespace smappic::riscv

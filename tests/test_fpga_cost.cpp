@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Tests for the FPGA resource model (Table 4) and the cost model
+ * (Tables 1 and 3, Figs 13-14, Verilator comparison).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cost/cost_model.hpp"
+#include "fpga/resource_model.hpp"
+#include "sim/log.hpp"
+
+namespace smappic
+{
+namespace
+{
+
+TEST(ResourceModel, ReproducesTable4Utilization)
+{
+    fpga::ResourceModel model;
+    struct Row
+    {
+        std::uint32_t b, c;
+        double util;
+        std::uint32_t freq;
+    };
+    // Paper Table 4.
+    const Row rows[] = {
+        {1, 12, 0.97, 75}, {1, 10, 0.83, 100}, {2, 4, 0.73, 100},
+        {2, 5, 0.88, 75},  {4, 2, 0.87, 100},
+    };
+    for (const Row &r : rows) {
+        auto e = model.estimate(r.b, r.c);
+        EXPECT_TRUE(e.fits);
+        EXPECT_NEAR(e.utilization, r.util, 0.05)
+            << r.b << "x" << r.c;
+        EXPECT_EQ(e.freqMhz, r.freq) << r.b << "x" << r.c;
+    }
+}
+
+TEST(ResourceModel, TwelveTilesIsTheLimit)
+{
+    // Paper section 4.8: F1 fits at most 12 Ariane tiles (at 75 MHz).
+    fpga::ResourceModel model;
+    EXPECT_EQ(model.maxTilesPerNode(75), 12u);
+    EXPECT_FALSE(model.estimate(1, 14).fits);
+    EXPECT_EQ(model.maxTilesPerNode(100), 10u);
+}
+
+TEST(ResourceModel, UtilizationMonotonicInTilesAndNodes)
+{
+    fpga::ResourceModel model;
+    double prev = 0;
+    for (std::uint32_t c = 1; c <= 12; ++c) {
+        double u = model.estimate(1, c).utilization;
+        EXPECT_GT(u, prev);
+        prev = u;
+    }
+    EXPECT_GT(model.estimate(2, 4).utilization,
+              model.estimate(1, 4).utilization);
+}
+
+TEST(BuildFlow, MatchesPaperTimes)
+{
+    fpga::BuildFlow flow;
+    EXPECT_NEAR(flow.totalHours(), 4.0, 0.01);
+    EXPECT_EQ(flow.bitstreamLoadSeconds, 10.0);
+    EXPECT_EQ(flow.synthesisMemoryGb, 32.0);
+}
+
+TEST(CostModel, Table1InstanceCatalog)
+{
+    const auto &f1 = cost::instanceNamed("f1.2xlarge");
+    EXPECT_EQ(f1.vcpus, 8u);
+    EXPECT_EQ(f1.fpgas, 1u);
+    EXPECT_DOUBLE_EQ(f1.pricePerHour, 1.65);
+    EXPECT_DOUBLE_EQ(f1.hardwarePrice, 8000);
+
+    const auto &f16 = cost::instanceNamed("f1.16xlarge");
+    EXPECT_EQ(f16.fpgas, 8u);
+    EXPECT_DOUBLE_EQ(f16.pricePerHour, 13.20);
+    // $1.65 per FPGA-hour across the family.
+    EXPECT_NEAR(f16.pricePerHour / f16.fpgas, 1.65, 0.001);
+}
+
+TEST(CostModel, Table3CheapestInstances)
+{
+    // Sniper: 2 vCPU / 8 GB / no FPGA -> t3 class.
+    EXPECT_EQ(cost::cheapestInstanceFor(2, 8, 0).name, "t3.large");
+    // gem5: 64 GB -> r5.2xlarge.
+    EXPECT_EQ(cost::cheapestInstanceFor(1, 64, 0).name, "r5.2xlarge");
+    // SMAPPIC/FireSim: one FPGA -> f1.2xlarge.
+    EXPECT_EQ(cost::cheapestInstanceFor(1, 8, 1).name, "f1.2xlarge");
+    EXPECT_THROW(cost::cheapestInstanceFor(1, 8, 100), FatalError);
+}
+
+TEST(CostModel, Fig13CostOrdering)
+{
+    const auto &smappic = cost::toolNamed("SMAPPIC");
+    const auto &fs_single = cost::toolNamed("FireSim single-node");
+    const auto &fs_super = cost::toolNamed("FireSim supernode");
+    const auto &gem5 = cost::toolNamed("gem5");
+
+    for (const auto &b : cost::specint2017()) {
+        double c_smappic = cost::modelingCostDollars(smappic, b);
+        double c_single = cost::modelingCostDollars(fs_single, b);
+        double c_super = cost::modelingCostDollars(fs_super, b);
+        double c_gem5 = cost::modelingCostDollars(gem5, b);
+
+        // SMAPPIC is the cheapest FPGA method; FireSim single-node costs
+        // about 4x more (paper: "about four times better").
+        EXPECT_LT(c_smappic, c_single) << b.name;
+        EXPECT_NEAR(c_single / c_smappic, 4.0, 0.8) << b.name;
+        // Supernode sits between.
+        EXPECT_GT(c_super, c_smappic) << b.name;
+        EXPECT_LT(c_super, c_single) << b.name;
+        // gem5 is 4-5 orders of magnitude worse than SMAPPIC.
+        double orders = std::log10(c_gem5 / c_smappic);
+        EXPECT_GE(orders, 2.5) << b.name;
+    }
+}
+
+TEST(CostModel, Gem5McfNeedsHugeHost)
+{
+    const auto &gem5 = cost::toolNamed("gem5");
+    const cost::Benchmark *mcf = nullptr;
+    for (const auto &b : cost::specint2017()) {
+        if (b.name == "mcf")
+            mcf = &b;
+    }
+    ASSERT_NE(mcf, nullptr);
+    // mcf cannot fit in 64 GB: the chosen instance must have >= 350 GB.
+    double cost_mcf = cost::modelingCostDollars(gem5, *mcf);
+    double time_h = cost::modelingTimeHours(gem5, *mcf);
+    EXPECT_GT(cost_mcf / time_h, 3.0); // $/hr of a 384+ GB instance.
+}
+
+TEST(CostModel, Fig14CrossoverAround200Days)
+{
+    double days = cost::crossoverDays();
+    EXPECT_NEAR(days, 202.0, 3.0); // 8000 / (24 * 1.65).
+    EXPECT_LT(cost::cloudCostDollars(100), cost::onPremCostDollars(100));
+    EXPECT_GT(cost::cloudCostDollars(300), cost::onPremCostDollars(300));
+}
+
+TEST(CostModel, VerilatorComparisonAround1600x)
+{
+    EXPECT_DOUBLE_EQ(cost::verilatorHelloSeconds(), 65.0);
+    EXPECT_DOUBLE_EQ(cost::smappicHelloSeconds(), 0.004);
+    double ratio = cost::verilatorCostEfficiencyRatio();
+    EXPECT_GT(ratio, 1200);
+    EXPECT_LT(ratio, 2100);
+}
+
+TEST(CostModel, SmallBenchmarksAreCheapOnSniper)
+{
+    // Fig 13 shows Sniper under $0.01 for the smallest test workloads.
+    const auto &sniper = cost::toolNamed("Sniper");
+    const cost::Benchmark *omnetpp = nullptr;
+    for (const auto &b : cost::specint2017()) {
+        if (b.name == "omnetpp")
+            omnetpp = &b;
+    }
+    ASSERT_NE(omnetpp, nullptr);
+    EXPECT_LT(cost::modelingCostDollars(sniper, *omnetpp), 0.02);
+}
+
+} // namespace
+} // namespace smappic

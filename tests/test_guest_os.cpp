@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Tests for the guest-OS model: page placement under both NUMA modes,
+ * explicit policies, phase scheduling, and the placement effects the
+ * paper's Figs 8-9 rely on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "os/guest_system.hpp"
+#include "sim/log.hpp"
+
+namespace smappic::os
+{
+namespace
+{
+
+cache::Geometry
+geo4x4()
+{
+    cache::Geometry g;
+    g.nodes = 4;
+    g.tilesPerNode = 4;
+    g.memPerNode = 256ULL << 20;
+    return g;
+}
+
+TEST(GuestSystem, FirstTouchPlacesLocally)
+{
+    cache::CoherentSystem cs(geo4x4(), cache::TimingParams{},
+                             cache::HomingPolicy::kAddressNode);
+    GuestSystem os(cs, NumaMode::kOn);
+    Addr va = os.vmAlloc(4 * GuestSystem::kPageBytes);
+
+    // Touch page 0 from node 0, page 1 from node 2.
+    GlobalTileId t_node0 = 0;
+    GlobalTileId t_node2 = 9; // Node 2, tile 1.
+    os.parallelPhase({t_node0}, [&](Worker &w) { w.load(va); });
+    os.parallelPhase({t_node2}, [&](Worker &w) {
+        w.load(va + GuestSystem::kPageBytes);
+    });
+
+    EXPECT_EQ(os.pageNode(va), 0);
+    EXPECT_EQ(os.pageNode(va + GuestSystem::kPageBytes), 2);
+    EXPECT_EQ(os.pageNode(va + 3 * GuestSystem::kPageBytes), -1);
+}
+
+TEST(GuestSystem, NumaOffIgnoresToucher)
+{
+    cache::CoherentSystem cs(geo4x4(), cache::TimingParams{},
+                             cache::HomingPolicy::kAddressNode);
+    GuestSystem os(cs, NumaMode::kOff, 7);
+    Addr va = os.vmAlloc(256 * GuestSystem::kPageBytes);
+    // All touches from node 0; pages should still scatter.
+    os.parallelPhase({0}, [&](Worker &w) {
+        for (int p = 0; p < 256; ++p)
+            w.load(va + static_cast<Addr>(p) * GuestSystem::kPageBytes);
+    });
+    auto per_node = os.pagesPerNode();
+    int nodes_used = 0;
+    for (auto n : per_node)
+        nodes_used += n > 0 ? 1 : 0;
+    EXPECT_EQ(nodes_used, 4);
+}
+
+TEST(GuestSystem, ExplicitPolicies)
+{
+    cache::CoherentSystem cs(geo4x4(), cache::TimingParams{},
+                             cache::HomingPolicy::kAddressNode);
+    GuestSystem os(cs, NumaMode::kOn);
+
+    Addr on3 = os.vmAlloc(8 * GuestSystem::kPageBytes,
+                          AllocPolicy::kOnNode, 3);
+    for (int p = 0; p < 8; ++p)
+        EXPECT_EQ(os.pageNode(on3 + static_cast<Addr>(p) *
+                                        GuestSystem::kPageBytes),
+                  3);
+
+    Addr il = os.vmAlloc(8 * GuestSystem::kPageBytes,
+                         AllocPolicy::kInterleave);
+    int seen[4] = {0, 0, 0, 0};
+    for (int p = 0; p < 8; ++p)
+        seen[os.pageNode(il + static_cast<Addr>(p) *
+                                  GuestSystem::kPageBytes)] += 1;
+    for (int n = 0; n < 4; ++n)
+        EXPECT_EQ(seen[n], 2);
+}
+
+TEST(GuestSystem, OnNodeFramesArePhysicallyContiguous)
+{
+    cache::CoherentSystem cs(geo4x4(), cache::TimingParams{},
+                             cache::HomingPolicy::kAddressNode);
+    GuestSystem os(cs, NumaMode::kOn);
+    Addr va = os.vmAlloc(4 * GuestSystem::kPageBytes, AllocPolicy::kOnNode,
+                         1);
+    Addr pa0 = os.translate(va, 1);
+    for (int p = 1; p < 4; ++p) {
+        Addr pa = os.translate(va + static_cast<Addr>(p) *
+                                        GuestSystem::kPageBytes,
+                               1);
+        EXPECT_EQ(pa, pa0 + static_cast<Addr>(p) * GuestSystem::kPageBytes);
+    }
+}
+
+TEST(GuestSystem, LocalAccessFasterThanRemote)
+{
+    cache::CoherentSystem cs(geo4x4(), cache::TimingParams{},
+                             cache::HomingPolicy::kAddressNode);
+    GuestSystem os(cs, NumaMode::kOn);
+    Addr local = os.vmAlloc(GuestSystem::kPageBytes, AllocPolicy::kOnNode,
+                            0);
+    Addr remote = os.vmAlloc(GuestSystem::kPageBytes, AllocPolicy::kOnNode,
+                             3);
+    Cycles t_local = 0;
+    Cycles t_remote = 0;
+    os.parallelPhase({0}, [&](Worker &w) {
+        Cycles before = w.now();
+        w.load(local);
+        t_local = w.now() - before;
+        before = w.now();
+        w.load(remote);
+        t_remote = w.now() - before;
+    });
+    EXPECT_GT(t_remote, t_local + 100);
+}
+
+TEST(GuestSystem, PhaseBarrierTakesMaxOfClocks)
+{
+    cache::CoherentSystem cs(geo4x4(), cache::TimingParams{},
+                             cache::HomingPolicy::kAddressNode);
+    GuestSystem os(cs, NumaMode::kOn);
+    os.setBarrierCost(100);
+    Cycles before = os.elapsed();
+    os.parallelPhase({0, 1}, [&](Worker &w) {
+        w.compute(w.tile() == 0 ? 1000 : 5000);
+    });
+    EXPECT_EQ(os.elapsed() - before, 5100u);
+}
+
+TEST(GuestSystem, UnmappedAccessIsFatal)
+{
+    cache::CoherentSystem cs(geo4x4(), cache::TimingParams{},
+                             cache::HomingPolicy::kAddressNode);
+    GuestSystem os(cs, NumaMode::kOn);
+    EXPECT_THROW(
+        os.parallelPhase({0}, [&](Worker &w) { w.load(0xdead0000); }),
+        FatalError);
+}
+
+TEST(GuestSystem, AmoAddIsAtomicFunctionally)
+{
+    cache::CoherentSystem cs(geo4x4(), cache::TimingParams{},
+                             cache::HomingPolicy::kAddressNode);
+    GuestSystem os(cs, NumaMode::kOn);
+    Addr ctr = os.vmAlloc(8);
+    std::vector<GlobalTileId> tiles = {0, 4, 8, 12};
+    os.parallelPhase(tiles, [&](Worker &w) {
+        for (int i = 0; i < 10; ++i)
+            w.amoAdd(ctr, 1);
+    });
+    os.parallelPhase({0}, [&](Worker &w) {
+        EXPECT_EQ(w.load(ctr), 40u);
+    });
+}
+
+} // namespace
+} // namespace smappic::os

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Tests for the UART16550 model/tunnel and the virtual SD card.
+ */
+
+#include <gtest/gtest.h>
+
+#include "io/sd_card.hpp"
+#include "io/uart16550.hpp"
+#include "sim/log.hpp"
+
+namespace smappic::io
+{
+namespace
+{
+
+TEST(Uart, TransmitCapturesBytes)
+{
+    Uart16550 uart;
+    VirtualSerial serial;
+    serial.attach(uart);
+    for (char c : std::string("boot ok\n"))
+        uart.writeReg({kUartRbrThr, static_cast<std::uint32_t>(c), 1});
+    EXPECT_EQ(serial.captured(), "boot ok\n");
+    EXPECT_EQ(uart.bytesTransmitted(), 8u);
+    EXPECT_EQ(serial.lines().size(), 1u);
+    EXPECT_EQ(serial.lines()[0], "boot ok");
+}
+
+TEST(Uart, ReceivePathAndLsr)
+{
+    Uart16550 uart;
+    std::uint32_t lsr = 0;
+    uart.readReg(kUartLsr, lsr);
+    EXPECT_EQ(lsr & kLsrDataReady, 0u);
+    EXPECT_NE(lsr & kLsrThrEmpty, 0u);
+
+    uart.pushRxString("hi");
+    uart.readReg(kUartLsr, lsr);
+    EXPECT_NE(lsr & kLsrDataReady, 0u);
+
+    std::uint32_t b = 0;
+    uart.readReg(kUartRbrThr, b);
+    EXPECT_EQ(b, static_cast<std::uint32_t>('h'));
+    uart.readReg(kUartRbrThr, b);
+    EXPECT_EQ(b, static_cast<std::uint32_t>('i'));
+    uart.readReg(kUartLsr, lsr);
+    EXPECT_EQ(lsr & kLsrDataReady, 0u);
+}
+
+TEST(Uart, DivisorLatchAccess)
+{
+    Uart16550 uart;
+    // Set DLAB, program divisor 0x1b2, clear DLAB.
+    uart.writeReg({kUartLcr, 0x83, 1});
+    uart.writeReg({kUartRbrThr, 0xb2, 1});
+    uart.writeReg({kUartIer, 0x01, 1});
+    uart.writeReg({kUartLcr, 0x03, 1});
+    EXPECT_EQ(uart.divisor(), 0x1b2);
+    // With DLAB clear, THR writes transmit rather than touch the divisor.
+    uart.writeReg({kUartRbrThr, 'x', 1});
+    EXPECT_EQ(uart.divisor(), 0x1b2);
+    EXPECT_EQ(uart.bytesTransmitted(), 1u);
+}
+
+TEST(Uart, RxInterruptLevel)
+{
+    Uart16550 uart;
+    bool level = false;
+    uart.setIrqFn([&](bool l) { level = l; });
+    uart.writeReg({kUartIer, 0x1, 1}); // Enable RX interrupt.
+    EXPECT_FALSE(level);
+    uart.pushRx('a');
+    EXPECT_TRUE(level);
+    std::uint32_t b = 0;
+    uart.readReg(kUartRbrThr, b);
+    EXPECT_FALSE(level);
+}
+
+TEST(Uart, OverclockedDataUartIsFaster)
+{
+    Uart16550 console(115200);
+    Uart16550 data(1'000'000);
+    // The paper's overclocked device moves bytes ~8.7x faster.
+    EXPECT_GT(console.byteTime(), data.byteTime() * 8);
+}
+
+TEST(SdCard, BlockReadWriteRoundTrip)
+{
+    mem::MainMemory memory;
+    VirtualSdCard sd(memory, 0x10000000, 1 << 20);
+    EXPECT_EQ(sd.blocks(), (1u << 20) / 512);
+
+    std::vector<std::uint8_t> block(512);
+    for (int i = 0; i < 512; ++i)
+        block[static_cast<std::size_t>(i)] =
+            static_cast<std::uint8_t>(i * 3);
+    sd.writeBlock(7, block);
+    std::vector<std::uint8_t> back;
+    sd.readBlock(7, back);
+    EXPECT_EQ(back, block);
+}
+
+TEST(SdCard, MmioCommandsDma)
+{
+    mem::MainMemory memory;
+    VirtualSdCard sd(memory, 0x10000000, 1 << 20);
+    std::vector<std::uint8_t> block(512, 0x5a);
+    sd.writeBlock(2, block);
+
+    Cycles service = 0;
+    sd.ncStore(kSdRegLba, 8, 2, 0, service);
+    sd.ncStore(kSdRegBuffer, 8, 0x1000, 0, service);
+    sd.ncStore(kSdRegCommand, 8, kSdCmdRead, 0, service);
+    EXPECT_EQ(sd.ncLoad(kSdRegStatus, 8, 0, service), 1u);
+    EXPECT_EQ(memory.load(0x1000, 1), 0x5au);
+    EXPECT_EQ(memory.load(0x11ff, 1), 0x5au);
+
+    // Write path: modify the buffer, write back to block 4.
+    memory.store(0x1000, 1, 0x77);
+    sd.ncStore(kSdRegLba, 8, 4, 0, service);
+    sd.ncStore(kSdRegCommand, 8, kSdCmdWrite, 0, service);
+    std::vector<std::uint8_t> back;
+    sd.readBlock(4, back);
+    EXPECT_EQ(back[0], 0x77);
+    EXPECT_EQ(sd.commandsServed(), 2u);
+}
+
+TEST(SdCard, OutOfRangeCommandSetsErrorStatus)
+{
+    mem::MainMemory memory;
+    VirtualSdCard sd(memory, 0x10000000, 1 << 20);
+    Cycles service = 0;
+    sd.ncStore(kSdRegLba, 8, sd.blocks() + 5, 0, service);
+    sd.ncStore(kSdRegCommand, 8, kSdCmdRead, 0, service);
+    EXPECT_EQ(sd.ncLoad(kSdRegStatus, 8, 0, service), 0u);
+}
+
+TEST(SdCard, RejectsBadGeometry)
+{
+    mem::MainMemory memory;
+    EXPECT_THROW(VirtualSdCard(memory, 0, 100), FatalError);
+}
+
+} // namespace
+} // namespace smappic::io

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Tests for the sparse functional backing store.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "mem/main_memory.hpp"
+#include "sim/log.hpp"
+
+namespace smappic::mem
+{
+namespace
+{
+
+TEST(MainMemory, ZeroInitialized)
+{
+    MainMemory m;
+    EXPECT_EQ(m.load(0x1234, 8), 0u);
+    EXPECT_EQ(m.pagesAllocated(), 0u);
+}
+
+TEST(MainMemory, StoreLoadRoundTrip)
+{
+    MainMemory m;
+    m.store(0x1000, 8, 0x1122334455667788ULL);
+    EXPECT_EQ(m.load(0x1000, 8), 0x1122334455667788ULL);
+    EXPECT_EQ(m.load(0x1000, 4), 0x55667788ULL);
+    EXPECT_EQ(m.load(0x1004, 4), 0x11223344ULL);
+    EXPECT_EQ(m.load(0x1000, 1), 0x88ULL);
+}
+
+TEST(MainMemory, SubByteWidths)
+{
+    MainMemory m;
+    m.store(0x10, 1, 0xab);
+    m.store(0x11, 2, 0xcdef);
+    EXPECT_EQ(m.load(0x10, 1), 0xabULL);
+    EXPECT_EQ(m.load(0x11, 2), 0xcdefULL);
+    EXPECT_THROW(m.load(0x10, 0), PanicError);
+    EXPECT_THROW(m.load(0x10, 9), PanicError);
+}
+
+TEST(MainMemory, CrossPageAccess)
+{
+    MainMemory m;
+    Addr boundary = MainMemory::kPageBytes - 4;
+    m.store(boundary, 8, 0xdeadbeefcafebabeULL);
+    EXPECT_EQ(m.load(boundary, 8), 0xdeadbeefcafebabeULL);
+    EXPECT_EQ(m.pagesAllocated(), 2u);
+}
+
+TEST(MainMemory, BulkReadWrite)
+{
+    MainMemory m;
+    std::vector<std::uint8_t> data(10000);
+    for (std::size_t i = 0; i < data.size(); ++i)
+        data[i] = static_cast<std::uint8_t>(i * 7);
+    m.writeBytes(0x100000, data.data(), data.size());
+    std::vector<std::uint8_t> back(data.size());
+    m.readBytes(0x100000, back.data(), back.size());
+    EXPECT_EQ(data, back);
+}
+
+TEST(MainMemory, SparseFootprint)
+{
+    MainMemory m;
+    // Touch two bytes 1 GiB apart: only two pages materialize.
+    m.store(0, 1, 1);
+    m.store(1ULL << 30, 1, 1);
+    EXPECT_EQ(m.pagesAllocated(), 2u);
+}
+
+TEST(MainMemory, ClearDropsContents)
+{
+    MainMemory m;
+    m.store(0x40, 8, 42);
+    m.clear();
+    EXPECT_EQ(m.load(0x40, 8), 0u);
+    EXPECT_EQ(m.pagesAllocated(), 0u);
+}
+
+} // namespace
+} // namespace smappic::mem

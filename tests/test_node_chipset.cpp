@@ -1,0 +1,272 @@
+/**
+ * @file
+ * Full-stack packet-level integration tests: memory transactions travel
+ * as real flits through mesh routers, the chipset hub, the NoC-AXI4
+ * memory controller and DRAM — and, across nodes, through the inter-node
+ * bridge's AXI4 encapsulation and the PCIe fabric. This validates the
+ * complete section 3.1/3.2 data path end to end.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "platform/node_chipset.hpp"
+#include "riscv/interrupts.hpp"
+#include "sim/random.hpp"
+
+namespace smappic::platform
+{
+namespace
+{
+
+/** Single-node harness: chipset + memctrl + DRAM. */
+struct OneNode
+{
+    sim::EventQueue eq;
+    sim::StatRegistry stats;
+    mem::MainMemory memory;
+    mem::AxiDram dram;
+    mem::NocAxiMemController memctrl;
+    NodeChipset chipset;
+    std::map<TileId, std::vector<noc::Packet>> at;
+
+    explicit OneNode(std::uint32_t tiles = 4)
+        : dram(eq, memory, 0, 1 << 30, mem::DramTiming{}),
+          memctrl(0, eq, dram, mem::MemCtrlConfig{}, &stats),
+          chipset(0, tiles, eq, memctrl, nullptr)
+    {
+        for (TileId t = 0; t < tiles; ++t)
+            chipset.setTileDeliverFn(t, [this, t](const noc::Packet &p) {
+                at[t].push_back(p);
+            });
+    }
+
+    noc::Packet
+    memRead(TileId src, Addr addr, std::uint8_t mshr)
+    {
+        noc::Packet p;
+        p.noc = noc::NocIndex::kNoc1;
+        p.srcNode = 0;
+        p.srcTile = src;
+        p.dstNode = 0;
+        p.dstTile = noc::kOffChipTile;
+        p.type = noc::MsgType::kMemRd;
+        p.mshr = mshr;
+        p.sizeLog2 = 6;
+        p.addr = addr;
+        return p;
+    }
+};
+
+TEST(NodeChipset, FlitLevelMemoryReadRoundTrip)
+{
+    OneNode h;
+    h.memory.store(0x4000, 8, 0xfeedfacecafef00dULL);
+    h.chipset.injectFromTile(h.memRead(3, 0x4000, 9));
+    ASSERT_TRUE(h.chipset.runUntilIdle());
+
+    ASSERT_EQ(h.at[3].size(), 1u);
+    const noc::Packet &r = h.at[3][0];
+    EXPECT_EQ(r.type, noc::MsgType::kMemRdResp);
+    EXPECT_EQ(r.mshr, 9);
+    EXPECT_EQ(r.noc, noc::NocIndex::kNoc2); // Responses use NoC2.
+    ASSERT_EQ(r.payload.size(), 8u);
+    EXPECT_EQ(r.payload[0], 0xfeedfacecafef00dULL);
+    EXPECT_EQ(h.chipset.packetsToMemory(), 1u);
+    // Latency sanity: mesh traversal + DRAM.
+    EXPECT_GT(h.chipset.now(), mem::DramTiming{}.latency);
+}
+
+TEST(NodeChipset, FlitLevelMemoryWriteThenRead)
+{
+    OneNode h;
+    noc::Packet w = h.memRead(1, 0x8000, 2);
+    w.type = noc::MsgType::kMemWr;
+    w.payload.assign(8, 0x1111111111111111ULL);
+    h.chipset.injectFromTile(w);
+    ASSERT_TRUE(h.chipset.runUntilIdle());
+    ASSERT_EQ(h.at[1].size(), 1u);
+    EXPECT_EQ(h.at[1][0].type, noc::MsgType::kMemWrResp);
+    EXPECT_EQ(h.memory.load(0x8000, 8), 0x1111111111111111ULL);
+
+    h.chipset.injectFromTile(h.memRead(2, 0x8000, 3));
+    ASSERT_TRUE(h.chipset.runUntilIdle());
+    ASSERT_EQ(h.at[2].size(), 1u);
+    EXPECT_EQ(h.at[2][0].payload[0], 0x1111111111111111ULL);
+}
+
+TEST(NodeChipset, ManyOutstandingRequestsAllReturn)
+{
+    OneNode h(9);
+    sim::Xoroshiro rng(4);
+    int expected = 0;
+    for (int i = 0; i < 40; ++i) {
+        Addr addr = 0x10000 + static_cast<Addr>(i) * 64;
+        h.memory.store(addr, 8, addr);
+        h.chipset.injectFromTile(
+            h.memRead(static_cast<TileId>(rng.below(9)), addr,
+                      static_cast<std::uint8_t>(i)));
+        ++expected;
+    }
+    ASSERT_TRUE(h.chipset.runUntilIdle());
+    int got = 0;
+    for (auto &[tile, pkts] : h.at) {
+        for (const auto &p : pkts) {
+            EXPECT_EQ(p.payload[0], p.addr); // Data matches request addr.
+            ++got;
+        }
+    }
+    EXPECT_EQ(got, expected);
+}
+
+/** Two-node harness: two chipsets joined by bridges over a PCIe fabric. */
+struct TwoNodes
+{
+    sim::EventQueue eq;
+    sim::StatRegistry stats;
+    mem::MainMemory memory;
+    pcie::PcieFabric fabric;
+    mem::AxiDram dram0, dram1;
+    mem::NocAxiMemController mc0, mc1;
+    bridge::InterNodeBridge b0, b1;
+    NodeChipset n0, n1;
+    std::map<int, std::vector<noc::Packet>> at; // node*100+tile.
+
+    TwoNodes()
+        : fabric(eq, 63, 16.0, &stats),
+          dram0(eq, memory, 0, 1 << 28, mem::DramTiming{}),
+          dram1(eq, memory, 1 << 28, 1 << 28, mem::DramTiming{}),
+          mc0(0, eq, dram0, mem::MemCtrlConfig{}, &stats),
+          mc1(1, eq, dram1, mem::MemCtrlConfig{}, &stats),
+          b0(0, 0, 0x0, eq, fabric, bridge::BridgeConfig{}, &stats),
+          b1(1, 1, 0x1000000, eq, fabric, bridge::BridgeConfig{}, &stats),
+          n0(0, 4, eq, mc0, &b0), n1(1, 4, eq, mc1, &b1)
+    {
+        b0.addPeer(1, b1.windowBase());
+        b1.addPeer(0, b0.windowBase());
+        for (int node = 0; node < 2; ++node) {
+            NodeChipset &c = node == 0 ? n0 : n1;
+            for (TileId t = 0; t < 4; ++t)
+                c.setTileDeliverFn(
+                    t, [this, node, t](const noc::Packet &p) {
+                        at[node * 100 + static_cast<int>(t)].push_back(p);
+                    });
+        }
+    }
+
+    /** Ticks both chipsets in lockstep until both are idle. */
+    bool
+    run(Cycles max_cycles = 200000)
+    {
+        for (Cycles c = 0; c < max_cycles; ++c) {
+            n0.tick();
+            n1.tick();
+            bool idle = eq.empty() && mc0.idle() && mc1.idle() &&
+                        b0.sendIdle() && b1.sendIdle();
+            idle = idle && n0.network(noc::NocIndex::kNoc1).idle() &&
+                   n1.network(noc::NocIndex::kNoc1).idle() &&
+                   n0.network(noc::NocIndex::kNoc2).idle() &&
+                   n1.network(noc::NocIndex::kNoc2).idle();
+            if (idle)
+                return true;
+        }
+        return false;
+    }
+};
+
+TEST(NodeChipset, CrossNodeMemoryReadThroughBridge)
+{
+    TwoNodes h;
+    // Tile 2 on node 0 reads an address served by node 1's controller:
+    // mesh -> hub -> bridge -> AXI4/PCIe -> bridge -> memctrl -> back.
+    Addr addr = (1 << 28) + 0x2000;
+    h.memory.store(addr, 8, 0xabcdef0123456789ULL);
+
+    noc::Packet p;
+    p.noc = noc::NocIndex::kNoc1;
+    p.srcNode = 0;
+    p.srcTile = 2;
+    p.dstNode = 1;
+    p.dstTile = noc::kOffChipTile;
+    p.type = noc::MsgType::kMemRd;
+    p.mshr = 5;
+    p.sizeLog2 = 6;
+    p.addr = addr;
+    h.n0.injectFromTile(p);
+
+    ASSERT_TRUE(h.run());
+    ASSERT_EQ(h.at[2].size(), 1u); // Node 0, tile 2.
+    const noc::Packet &r = h.at[2][0];
+    EXPECT_EQ(r.type, noc::MsgType::kMemRdResp);
+    EXPECT_EQ(r.mshr, 5);
+    EXPECT_EQ(r.payload[0], 0xabcdef0123456789ULL);
+    EXPECT_EQ(h.n0.packetsToBridge(), 1u);
+    EXPECT_EQ(h.n1.packetsFromOffChip(), 1u);
+    // The whole path crossed PCIe twice (request + response).
+    EXPECT_GE(h.eq.now(), 2u * 63u);
+}
+
+TEST(NodeChipset, CrossNodeTileToTileMessage)
+{
+    TwoNodes h;
+    noc::Packet p;
+    p.noc = noc::NocIndex::kNoc2;
+    p.srcNode = 0;
+    p.srcTile = 1;
+    p.dstNode = 1;
+    p.dstTile = 3;
+    p.type = noc::MsgType::kDataResp;
+    p.addr = 0x1234;
+    p.payload.assign(8, 0x77);
+    h.n0.injectFromTile(p);
+
+    ASSERT_TRUE(h.run());
+    ASSERT_EQ(h.at[103].size(), 1u); // Node 1, tile 3.
+    EXPECT_EQ(h.at[103][0], p);
+}
+
+TEST(NodeChipset, BidirectionalCrossNodeStress)
+{
+    TwoNodes h;
+    sim::Xoroshiro rng(11);
+    std::map<int, int> expected;
+    for (int i = 0; i < 60; ++i) {
+        int src_node = static_cast<int>(rng.below(2));
+        noc::Packet p;
+        p.noc = static_cast<noc::NocIndex>(rng.below(3));
+        p.srcNode = static_cast<NodeId>(src_node);
+        p.srcTile = static_cast<TileId>(rng.below(4));
+        p.dstNode = static_cast<NodeId>(1 - src_node);
+        p.dstTile = static_cast<TileId>(rng.below(4));
+        p.type = noc::MsgType::kDataResp;
+        p.addr = rng.next();
+        p.payload.assign(rng.below(8), i);
+        (src_node == 0 ? h.n0 : h.n1).injectFromTile(p);
+        expected[(1 - src_node) * 100 + static_cast<int>(p.dstTile)] += 1;
+    }
+    ASSERT_TRUE(h.run());
+    for (auto &[key, n] : expected)
+        EXPECT_EQ(static_cast<int>(h.at[key].size()), n) << "sink " << key;
+}
+
+TEST(NodeChipset, InterruptPacketCrossesNodes)
+{
+    TwoNodes h;
+    noc::Packet irq =
+        riscv::IrqPacketizer::encode(0, 1, 2, 6, riscv::kIrqMsi, true);
+    h.n0.injectFromTile([&] {
+        noc::Packet p = irq;
+        p.srcTile = 0; // Enters at tile 0 (the CLINT's packetizer).
+        return p;
+    }());
+    ASSERT_TRUE(h.run());
+    ASSERT_EQ(h.at[102].size(), 1u);
+    auto d = riscv::IrqDepacketizer::decode(h.at[102][0]);
+    EXPECT_EQ(d.hart, 6u);
+    EXPECT_TRUE(d.level);
+}
+
+} // namespace
+} // namespace smappic::platform

@@ -1,0 +1,713 @@
+/**
+ * @file
+ * Tests for the RISC-V decoder, assembler and core: programs are assembled
+ * from source, loaded into a flat test memory and executed, checking both
+ * architectural results and timing behaviour (BHT, TLB, load latencies).
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/main_memory.hpp"
+#include "riscv/assembler.hpp"
+#include "riscv/core.hpp"
+#include "riscv/isa.hpp"
+#include "sim/log.hpp"
+
+namespace smappic::riscv
+{
+namespace
+{
+
+/** Flat memory port with a fixed per-access latency. */
+class FlatPort : public MemPort
+{
+  public:
+    explicit FlatPort(Cycles mem_lat = 1) : memLat_(mem_lat) {}
+
+    std::uint64_t
+    load(Addr addr, std::uint32_t bytes, Cycles, Cycles &lat) override
+    {
+        lat = memLat_;
+        ++loads_;
+        return memory.load(addr, bytes);
+    }
+
+    void
+    store(Addr addr, std::uint32_t bytes, std::uint64_t value, Cycles,
+          Cycles &lat) override
+    {
+        lat = memLat_;
+        ++stores_;
+        memory.store(addr, bytes, value);
+    }
+
+    std::uint32_t
+    fetch(Addr addr, Cycles, Cycles &lat) override
+    {
+        lat = 1;
+        return static_cast<std::uint32_t>(memory.load(addr, 4));
+    }
+
+    std::uint64_t
+    atomic(Addr addr, std::uint32_t bytes,
+           const std::function<std::uint64_t(std::uint64_t)> &rmw,
+           Cycles, Cycles &lat) override
+    {
+        lat = memLat_;
+        std::uint64_t old = memory.load(addr, bytes);
+        memory.store(addr, bytes, rmw(old));
+        return old;
+    }
+
+    mem::MainMemory memory;
+    std::uint64_t loads_ = 0;
+    std::uint64_t stores_ = 0;
+
+  private:
+    Cycles memLat_;
+};
+
+void
+loadProgram(mem::MainMemory &mem, const Program &prog)
+{
+    for (const auto &seg : prog.segments)
+        mem.writeBytes(seg.base, seg.bytes.data(), seg.bytes.size());
+}
+
+/** Assembles, runs to completion (ecall a7=93), returns the core. */
+struct RunResult
+{
+    std::int64_t exitCode;
+    Cycles cycles;
+    std::uint64_t instret;
+};
+
+RunResult
+runProgram(const std::string &src, FlatPort &port,
+           std::uint64_t budget = 2'000'000)
+{
+    Assembler as;
+    Program prog = as.assemble(src);
+    loadProgram(port.memory, prog);
+    CoreConfig cfg;
+    cfg.resetPc = prog.entry;
+    RvCore core(cfg, port);
+    core.setEcallHandler([](RvCore &c) {
+        if (c.reg(17) == 93) { // a7 == SYS_exit
+            c.requestExit(static_cast<std::int64_t>(c.reg(10)));
+            return true;
+        }
+        return false;
+    });
+    HaltReason r = core.run(budget);
+    EXPECT_EQ(r, HaltReason::kExited) << "program did not exit";
+    return RunResult{core.exitCode(), core.cycles(), core.instret()};
+}
+
+RunResult
+runProgram(const std::string &src)
+{
+    FlatPort port;
+    return runProgram(src, port);
+}
+
+// ---------- decoder ----------
+
+TEST(Decoder, BasicFormats)
+{
+    // addi x1, x2, -3
+    DecodedInst d = decode(0xffd10093);
+    EXPECT_EQ(d.op, Op::kAddi);
+    EXPECT_EQ(d.rd, 1);
+    EXPECT_EQ(d.rs1, 2);
+    EXPECT_EQ(d.imm, -3);
+
+    // add x3, x4, x5
+    d = decode(0x005201b3);
+    EXPECT_EQ(d.op, Op::kAdd);
+    EXPECT_EQ(d.rd, 3);
+    EXPECT_EQ(d.rs1, 4);
+    EXPECT_EQ(d.rs2, 5);
+
+    // lui x6, 0x12345
+    d = decode(0x12345337);
+    EXPECT_EQ(d.op, Op::kLui);
+    EXPECT_EQ(d.imm, 0x12345000);
+
+    // ecall / ebreak / mret / wfi
+    EXPECT_EQ(decode(0x00000073).op, Op::kEcall);
+    EXPECT_EQ(decode(0x00100073).op, Op::kEbreak);
+    EXPECT_EQ(decode(0x30200073).op, Op::kMret);
+    EXPECT_EQ(decode(0x10500073).op, Op::kWfi);
+}
+
+TEST(Decoder, IllegalEncodings)
+{
+    EXPECT_EQ(decode(0x00000000).op, Op::kIllegal);
+    EXPECT_EQ(decode(0xffffffff).op, Op::kIllegal);
+}
+
+TEST(Decoder, ClassPredicates)
+{
+    EXPECT_TRUE(decode(0x0000b303).isLoad()); // ld
+    EXPECT_TRUE(decode(0x0062b423).isStore()); // sd
+    EXPECT_TRUE(decode(0x00628263).isBranch()); // beq
+}
+
+// ---------- assembler + execution ----------
+
+TEST(AsmExec, ArithmeticChain)
+{
+    auto r = runProgram(R"(
+_start:
+    li a0, 10
+    li a1, 32
+    add a0, a0, a1    # 42
+    li a7, 93
+    ecall
+)");
+    EXPECT_EQ(r.exitCode, 42);
+}
+
+TEST(AsmExec, Li64BitConstants)
+{
+    auto r = runProgram(R"(
+_start:
+    li t0, 0x123456789abcdef0
+    li t1, 0x123456789abcdef0
+    bne t0, t1, fail
+    srli a0, t0, 32      # 0x12345678
+    li t2, 0x12345678
+    bne a0, t2, fail
+    li a0, 0
+    j done
+fail:
+    li a0, 1
+done:
+    li a7, 93
+    ecall
+)");
+    EXPECT_EQ(r.exitCode, 0);
+}
+
+TEST(AsmExec, LoadsAndStoresAllWidths)
+{
+    auto r = runProgram(R"(
+.data
+buf: .space 64
+.text
+_start:
+    la t0, buf
+    li t1, -2
+    sb t1, 0(t0)
+    sh t1, 8(t0)
+    sw t1, 16(t0)
+    sd t1, 24(t0)
+    lb a0, 0(t0)       # -2 sign extended
+    lbu a1, 0(t0)      # 0xfe
+    lh a2, 8(t0)
+    lhu a3, 8(t0)      # 0xfffe
+    lw a4, 16(t0)
+    lwu a5, 16(t0)
+    ld a6, 24(t0)
+    # Check: a0 == -2, a1 == 0xfe, a3 == 0xfffe, a6 == -2.
+    li t2, -2
+    bne a0, t2, fail
+    li t2, 0xfe
+    bne a1, t2, fail
+    li t2, 0xfffe
+    bne a3, t2, fail
+    li t2, -2
+    bne a6, t2, fail
+    bne a4, a6, fail   # lw sign-extends
+    li a0, 0
+    j done
+fail:
+    li a0, 1
+done:
+    li a7, 93
+    ecall
+)");
+    EXPECT_EQ(r.exitCode, 0);
+}
+
+TEST(AsmExec, BranchesAndLoop)
+{
+    // Sum 1..100 = 5050; exit code 5050 % 256 checked via register instead.
+    auto r = runProgram(R"(
+_start:
+    li t0, 0          # sum
+    li t1, 1          # i
+    li t2, 100
+loop:
+    add t0, t0, t1
+    addi t1, t1, 1
+    ble t1, t2, loop
+    li t3, 5050
+    sub a0, t0, t3    # 0 when correct
+    li a7, 93
+    ecall
+)");
+    EXPECT_EQ(r.exitCode, 0);
+}
+
+TEST(AsmExec, MulDivRemEdgeCases)
+{
+    auto r = runProgram(R"(
+_start:
+    li t0, -7
+    li t1, 2
+    div t2, t0, t1     # -3
+    rem t3, t0, t1     # -1
+    li t4, -3
+    bne t2, t4, fail
+    li t4, -1
+    bne t3, t4, fail
+    # Division by zero: quotient all ones, remainder = dividend.
+    li t1, 0
+    div t2, t0, t1
+    li t4, -1
+    bne t2, t4, fail
+    rem t3, t0, t1
+    bne t3, t0, fail
+    # mulh of large values.
+    li t0, 0x4000000000000000
+    li t1, 4
+    mulh t2, t0, t1    # == 1
+    li t4, 1
+    bne t2, t4, fail
+    li a0, 0
+    j done
+fail:
+    li a0, 1
+done:
+    li a7, 93
+    ecall
+)");
+    EXPECT_EQ(r.exitCode, 0);
+}
+
+TEST(AsmExec, Word32Operations)
+{
+    auto r = runProgram(R"(
+_start:
+    li t0, 0x7fffffff
+    addiw t1, t0, 1       # overflows to -2^31 (sign extended)
+    li t2, -2147483648
+    bne t1, t2, fail
+    li t0, 0xffffffff
+    srliw t1, t0, 4       # 0x0fffffff
+    li t2, 0x0fffffff
+    bne t1, t2, fail
+    sraiw t1, t0, 4       # -1
+    li t2, -1
+    bne t1, t2, fail
+    li a0, 0
+    j done
+fail:
+    li a0, 1
+done:
+    li a7, 93
+    ecall
+)");
+    EXPECT_EQ(r.exitCode, 0);
+}
+
+TEST(AsmExec, FunctionCallAndStack)
+{
+    auto r = runProgram(R"(
+_start:
+    li sp, 0x80800000
+    li a0, 5
+    call square
+    # a0 = 25
+    li t0, 25
+    sub a0, a0, t0
+    li a7, 93
+    ecall
+square:
+    addi sp, sp, -16
+    sd ra, 8(sp)
+    mul a0, a0, a0
+    ld ra, 8(sp)
+    addi sp, sp, 16
+    ret
+)");
+    EXPECT_EQ(r.exitCode, 0);
+}
+
+TEST(AsmExec, AtomicsAmoAndLrSc)
+{
+    auto r = runProgram(R"(
+.data
+.align 3
+counter: .dword 10
+.text
+_start:
+    la t0, counter
+    li t1, 5
+    amoadd.d t2, t1, (t0)   # t2 = 10, mem = 15
+    li t3, 10
+    bne t2, t3, fail
+    ld t4, 0(t0)
+    li t3, 15
+    bne t4, t3, fail
+    # amomax
+    li t1, 100
+    amomax.d t2, t1, (t0)   # mem = 100
+    ld t4, 0(t0)
+    bne t4, t1, fail
+    # LR/SC success path.
+retry:
+    lr.d t2, (t0)
+    addi t2, t2, 1
+    sc.d t5, t2, (t0)
+    bnez t5, retry
+    ld t4, 0(t0)
+    li t3, 101
+    bne t4, t3, fail
+    li a0, 0
+    j done
+fail:
+    li a0, 1
+done:
+    li a7, 93
+    ecall
+)");
+    EXPECT_EQ(r.exitCode, 0);
+}
+
+TEST(AsmExec, CsrAccessAndHartid)
+{
+    auto r = runProgram(R"(
+_start:
+    csrr a0, 0xf14        # mhartid == 0
+    csrw 0x340, a0        # mscratch
+    li t0, 77
+    csrw 0x340, t0
+    csrr a0, 0x340        # 77
+    li t1, 77
+    sub a0, a0, t1
+    li a7, 93
+    ecall
+)");
+    EXPECT_EQ(r.exitCode, 0);
+}
+
+TEST(AsmExec, TrapHandlerEcall)
+{
+    // Install a trap handler, take an unhandled ecall from M-mode,
+    // observe mcause == 11 and mret back.
+    auto r = runProgram(R"(
+_start:
+    la t0, handler
+    csrw 0x305, t0      # mtvec
+    ecall               # traps (no handler registered for a7=0)
+after:
+    li a7, 93
+    ecall               # exits via the test's ecall hook? No: a7=93.
+    j after
+handler:
+    csrr t1, 0x342      # mcause == 11 (ecall from M)
+    li t2, 11
+    bne t1, t2, bad
+    csrr t3, 0x341      # mepc
+    addi t3, t3, 4
+    csrw 0x341, t3
+    li a0, 0
+    mret
+bad:
+    li a0, 1
+    csrr t3, 0x341
+    addi t3, t3, 4
+    csrw 0x341, t3
+    mret
+)");
+    EXPECT_EQ(r.exitCode, 0);
+}
+
+TEST(AsmExec, IllegalInstructionTraps)
+{
+    FlatPort port;
+    Assembler as;
+    Program prog = as.assemble(R"(
+_start:
+    la t0, handler
+    csrw 0x305, t0
+    .word 0xffffffff    # illegal
+    li a0, 99
+    li a7, 93
+    ecall
+handler:
+    csrr a0, 0x342      # mcause == 2
+    li a7, 93
+    ecall
+)");
+    loadProgram(port.memory, prog);
+    CoreConfig cfg;
+    cfg.resetPc = prog.entry;
+    RvCore core(cfg, port);
+    core.setEcallHandler([](RvCore &c) {
+        if (c.reg(17) == 93) {
+            c.requestExit(static_cast<std::int64_t>(c.reg(10)));
+            return true;
+        }
+        return false;
+    });
+    core.run(1000);
+    EXPECT_TRUE(core.exited());
+    EXPECT_EQ(core.exitCode(), 2); // kCauseIllegalInst.
+}
+
+TEST(AsmExec, EbreakHalts)
+{
+    FlatPort port;
+    Assembler as;
+    Program prog = as.assemble("_start:\n ebreak\n");
+    loadProgram(port.memory, prog);
+    CoreConfig cfg;
+    cfg.resetPc = prog.entry;
+    RvCore core(cfg, port);
+    EXPECT_EQ(core.run(100), HaltReason::kEbreak);
+}
+
+// ---------- timing ----------
+
+TEST(CoreTiming, BranchPredictorLearnsLoop)
+{
+    // A long loop: after warmup the backward branch predicts taken, so
+    // cycles per iteration approach the instruction count.
+    FlatPort port;
+    auto r = runProgram(R"(
+_start:
+    li t0, 0
+    li t1, 1000
+loop:
+    addi t0, t0, 1
+    blt t0, t1, loop
+    li a0, 0
+    li a7, 93
+    ecall
+)", port);
+    // 2 instructions per iteration; mispredicts only at warmup and exit.
+    double cpi = static_cast<double>(r.cycles) /
+                 static_cast<double>(r.instret);
+    EXPECT_LT(cpi, 1.6);
+}
+
+TEST(CoreTiming, MemoryLatencyShowsUpInCycles)
+{
+    FlatPort fast(1);
+    FlatPort slow(100);
+    const char *src = R"(
+.data
+buf: .space 8
+.text
+_start:
+    la t0, buf
+    li t1, 0
+    li t2, 100
+loop:
+    ld t3, 0(t0)
+    addi t1, t1, 1
+    blt t1, t2, loop
+    li a0, 0
+    li a7, 93
+    ecall
+)";
+    auto rf = runProgram(src, fast);
+    auto rs = runProgram(src, slow);
+    EXPECT_GT(rs.cycles, rf.cycles + 99 * 90);
+}
+
+TEST(CoreTiming, WfiStallsUntilInterrupt)
+{
+    FlatPort port;
+    Assembler as;
+    Program prog = as.assemble(R"(
+_start:
+    wfi
+    li a0, 7
+    li a7, 93
+    ecall
+)");
+    loadProgram(port.memory, prog);
+    CoreConfig cfg;
+    cfg.resetPc = prog.entry;
+    RvCore core(cfg, port);
+    core.setEcallHandler([](RvCore &c) {
+        if (c.reg(17) == 93) {
+            c.requestExit(static_cast<std::int64_t>(c.reg(10)));
+            return true;
+        }
+        return false;
+    });
+    EXPECT_EQ(core.run(100), HaltReason::kWfi);
+    // Raise a timer interrupt line: wfi completes even with MIE=0
+    // because wfi resumes on pending (not enabled) interrupts.
+    core.setCsr(kCsrMie, 1ULL << kIrqMti);
+    core.setIrqLine(kIrqMti, true);
+    core.setCsr(kCsrMie, 0); // Keep it pending-only so no trap is taken.
+    EXPECT_EQ(core.run(100), HaltReason::kWfi); // mie=0: still waits.
+    core.setCsr(kCsrMie, 1ULL << kIrqMti);
+    core.setCsr(kCsrMtvec, 0x80000000); // Handler = _start; irrelevant.
+    // With the interrupt enabled the core traps instead of exiting; just
+    // check it makes progress now.
+    Cycles before = core.cycles();
+    core.run(10);
+    EXPECT_GT(core.cycles(), before);
+}
+
+// ---------- Sv39 ----------
+
+TEST(Sv39, IdentityMapTranslatesAndFaults)
+{
+    FlatPort port;
+    // Build a one-level gigapage table at 0x1000 mapping VA 0 -> PA 0
+    // (R/W/X/U) in entry 0 and leaving entry 1 invalid.
+    std::uint64_t root = 0x1000;
+    std::uint64_t pte0 = (0ULL << 10) | 0xdf; // V R W X U A D, ppn=0.
+    port.memory.store(root + 0, 8, pte0);
+    // Identity gigapage for the code region at 0x80000000 (VPN[2] = 2).
+    std::uint64_t pte2 = ((0x80000000ULL >> 12) << 10) | 0xdf;
+    port.memory.store(root + 16, 8, pte2);
+
+    Assembler as;
+    Program prog = as.assemble(R"(
+_start:
+    la t0, handler
+    csrw 0x305, t0        # mtvec
+    # satp: mode=8, ppn = 0x1 (root at 0x1000).
+    li t1, 0x8000000000000001
+    csrw 0x180, t1
+    # Drop to U-mode at user_code: mstatus.MPP=0, mepc=user_code.
+    la t2, user_code
+    csrw 0x341, t2        # mepc
+    csrr t3, 0x300
+    li t4, 0x1800
+    not t4, t4
+    and t3, t3, t4        # clear MPP
+    csrw 0x300, t3
+    mret
+user_code:
+    # Runs translated (identity gigapage). Touch memory, then fault by
+    # loading from the second (unmapped) gigapage.
+    li t0, 0x100000
+    li t1, 1234
+    sd t1, 0(t0)
+    ld t2, 0(t0)
+    bne t1, t2, user_fail
+    li t0, 0x40000000     # 1 GiB: unmapped -> load page fault (13).
+    ld t3, 0(t0)
+user_fail:
+    .word 0xffffffff
+handler:
+    csrr a0, 0x342        # mcause
+    li a7, 93
+    ecall
+)");
+    loadProgram(port.memory, prog);
+    CoreConfig cfg;
+    cfg.resetPc = prog.entry;
+    RvCore core(cfg, port);
+    core.setEcallHandler([](RvCore &c) {
+        if (c.reg(17) == 93) {
+            c.requestExit(static_cast<std::int64_t>(c.reg(10)));
+            return true;
+        }
+        return false;
+    });
+    core.run(10000);
+    ASSERT_TRUE(core.exited());
+    EXPECT_EQ(core.exitCode(),
+              static_cast<std::int64_t>(kCauseLoadPageFault));
+}
+
+// ---------- interrupts end to end ----------
+
+TEST(Interrupts, TimerInterruptVectorsToHandler)
+{
+    FlatPort port;
+    Assembler as;
+    Program prog = as.assemble(R"(
+_start:
+    la t0, handler
+    csrw 0x305, t0
+    li t1, 0x80          # mie.MTIE
+    csrw 0x304, t1
+    csrr t2, 0x300
+    ori t2, t2, 8        # mstatus.MIE
+    csrw 0x300, t2
+spin:
+    j spin
+handler:
+    csrr a0, 0x342       # mcause = interrupt bit | 7
+    li a7, 93
+    ecall
+)");
+    loadProgram(port.memory, prog);
+    CoreConfig cfg;
+    cfg.resetPc = prog.entry;
+    RvCore core(cfg, port);
+    core.setEcallHandler([](RvCore &c) {
+        if (c.reg(17) == 93) {
+            c.requestExit(static_cast<std::int64_t>(c.reg(10)));
+            return true;
+        }
+        return false;
+    });
+    core.run(50); // Enter the spin loop.
+    EXPECT_FALSE(core.exited());
+    core.setIrqLine(kIrqMti, true);
+    core.run(100);
+    ASSERT_TRUE(core.exited());
+    EXPECT_EQ(static_cast<std::uint64_t>(core.exitCode()),
+              kInterruptBit | kIrqMti);
+}
+
+TEST(Assembler, ErrorsAreLineNumbered)
+{
+    Assembler as;
+    try {
+        as.assemble("_start:\n  bogus x1, x2\n");
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+    }
+    EXPECT_THROW(as.assemble("_start:\n  addi x1, x2, 10000\n"), FatalError);
+    EXPECT_THROW(as.assemble("lab:\nlab:\n"), FatalError);
+}
+
+TEST(Assembler, DataDirectivesAndSymbols)
+{
+    Assembler as;
+    Program p = as.assemble(R"(
+.data
+vals: .word 1, 2, 3
+str:  .asciiz "hi"
+.align 3
+big:  .dword 0xdeadbeefcafebabe
+.text
+_start:
+    nop
+)");
+    EXPECT_EQ(p.symbol("vals") + 12, p.symbol("str"));
+    EXPECT_EQ(p.symbol("big") % 8, 0u);
+    // Find the data segment and verify contents.
+    bool checked = false;
+    for (const auto &seg : p.segments) {
+        if (seg.base != 0x80400000)
+            continue;
+        EXPECT_EQ(seg.bytes[0], 1);
+        EXPECT_EQ(seg.bytes[4], 2);
+        std::size_t stroff = p.symbol("str") - seg.base;
+        EXPECT_EQ(seg.bytes[stroff], 'h');
+        EXPECT_EQ(seg.bytes[stroff + 1], 'i');
+        EXPECT_EQ(seg.bytes[stroff + 2], 0);
+        checked = true;
+    }
+    EXPECT_TRUE(checked);
+}
+
+} // namespace
+} // namespace smappic::riscv

@@ -1,0 +1,272 @@
+/**
+ * @file
+ * Unit tests for the simulation kernel: event queue ordering, stats,
+ * deterministic RNG, queueing servers and traffic shapers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "sim/log.hpp"
+#include "sim/random.hpp"
+#include "sim/server.hpp"
+#include "sim/stats.hpp"
+
+namespace smappic::sim
+{
+namespace
+{
+
+TEST(EventQueue, ExecutesInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(10, [&] { order.push_back(2); });
+    eq.schedule(5, [&] { order.push_back(1); });
+    eq.schedule(20, [&] { order.push_back(3); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.now(), 20u);
+}
+
+TEST(EventQueue, SameCycleFifoOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 8; ++i)
+        eq.schedule(7, [&order, i] { order.push_back(i); });
+    eq.run();
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, EventsCanScheduleEvents)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(1, [&] {
+        ++fired;
+        eq.schedule(1, [&] { ++fired; });
+    });
+    eq.run();
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(eq.now(), 2u);
+}
+
+TEST(EventQueue, RunUntilAdvancesTime)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(100, [&] { ++fired; });
+    eq.runUntil(50);
+    EXPECT_EQ(fired, 0);
+    EXPECT_EQ(eq.now(), 50u);
+    eq.runUntil(150);
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(eq.now(), 150u);
+}
+
+TEST(EventQueue, ScheduleInPastPanics)
+{
+    EventQueue eq;
+    eq.schedule(10, [] {});
+    eq.run();
+    EXPECT_THROW(eq.scheduleAt(5, [] {}), PanicError);
+}
+
+TEST(EventQueue, ResetClearsEverything)
+{
+    EventQueue eq;
+    eq.schedule(10, [] {});
+    eq.reset();
+    EXPECT_TRUE(eq.empty());
+    EXPECT_EQ(eq.now(), 0u);
+}
+
+TEST(Random, Deterministic)
+{
+    Xoroshiro a(42);
+    Xoroshiro b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Random, DifferentSeedsDiffer)
+{
+    Xoroshiro a(1);
+    Xoroshiro b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += (a.next() == b.next());
+    EXPECT_LT(same, 3);
+}
+
+TEST(Random, BelowStaysInRange)
+{
+    Xoroshiro rng(7);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(rng.below(13), 13u);
+}
+
+TEST(Random, UniformCoversUnitInterval)
+{
+    Xoroshiro rng(9);
+    double lo = 1.0;
+    double hi = 0.0;
+    for (int i = 0; i < 10000; ++i) {
+        double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        lo = std::min(lo, u);
+        hi = std::max(hi, u);
+    }
+    EXPECT_LT(lo, 0.01);
+    EXPECT_GT(hi, 0.99);
+}
+
+TEST(Stats, SummaryMoments)
+{
+    Summary s;
+    for (double v : {1.0, 2.0, 3.0, 4.0})
+        s.sample(v);
+    EXPECT_EQ(s.count(), 4u);
+    EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+    EXPECT_DOUBLE_EQ(s.min(), 1.0);
+    EXPECT_DOUBLE_EQ(s.max(), 4.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 1.25);
+}
+
+TEST(Stats, HistogramBucketsAndPercentiles)
+{
+    Histogram h(10, 10.0);
+    for (int i = 0; i < 100; ++i)
+        h.sample(i);
+    EXPECT_EQ(h.bucketCount(0), 10u);
+    EXPECT_EQ(h.bucketCount(9), 10u);
+    EXPECT_EQ(h.overflow(), 0u);
+    EXPECT_DOUBLE_EQ(h.percentile(0.5), 50.0);
+    h.sample(1e9);
+    EXPECT_EQ(h.overflow(), 1u);
+}
+
+TEST(Stats, RegistryDumpAndReset)
+{
+    StatRegistry reg;
+    reg.counter("a.hits").increment(5);
+    reg.counter("a.misses").increment();
+    EXPECT_EQ(reg.counterValue("a.hits"), 5u);
+    EXPECT_EQ(reg.counterValue("absent"), 0u);
+
+    std::ostringstream os;
+    reg.dump(os);
+    EXPECT_NE(os.str().find("a.hits 5"), std::string::npos);
+
+    reg.resetAll();
+    EXPECT_EQ(reg.counterValue("a.hits"), 0u);
+}
+
+TEST(QueueServer, NoContentionNoQueueing)
+{
+    QueueServer s;
+    auto g = s.offer(100, 10);
+    EXPECT_EQ(g.start, 100u);
+    EXPECT_EQ(g.done, 110u);
+    EXPECT_EQ(g.queued, 0u);
+}
+
+TEST(QueueServer, BackToBackRequestsQueue)
+{
+    QueueServer s;
+    s.offer(0, 10);
+    auto g = s.offer(2, 10);
+    EXPECT_EQ(g.start, 10u);
+    EXPECT_EQ(g.done, 20u);
+    EXPECT_EQ(g.queued, 8u);
+    EXPECT_EQ(s.requests(), 2u);
+    EXPECT_EQ(s.queuedCycles(), 8u);
+}
+
+TEST(QueueServer, IdleGapResetsQueueing)
+{
+    QueueServer s;
+    s.offer(0, 10);
+    auto g = s.offer(1000, 10);
+    EXPECT_EQ(g.queued, 0u);
+    EXPECT_EQ(g.start, 1000u);
+}
+
+TEST(TrafficShaper, LatencyOnlyPath)
+{
+    TrafficShaper shaper(125, 0.0);
+    EXPECT_EQ(shaper.send(0, 64), 125u);
+    EXPECT_EQ(shaper.send(10, 64), 135u);
+}
+
+TEST(TrafficShaper, BandwidthSerializes)
+{
+    // 8 bytes/cycle: a 64-byte message needs 8 cycles of link occupancy.
+    TrafficShaper shaper(100, 8.0);
+    EXPECT_EQ(shaper.send(0, 64), 108u);
+    // Second message queues behind the first.
+    EXPECT_EQ(shaper.send(0, 64), 116u);
+    EXPECT_EQ(shaper.bytesSent(), 128u);
+}
+
+TEST(TrafficShaper, SaturationGrowsQueueLinearly)
+{
+    TrafficShaper shaper(0, 1.0); // 1 byte/cycle.
+    Cycles last = 0;
+    for (int i = 0; i < 10; ++i)
+        last = shaper.send(0, 100);
+    EXPECT_EQ(last, 1000u);
+}
+
+TEST(Log, PanicAndFatalThrowDistinctTypes)
+{
+    EXPECT_THROW(panic("x"), PanicError);
+    EXPECT_THROW(fatal("y"), FatalError);
+    EXPECT_THROW(panicIf(true, "x"), PanicError);
+    EXPECT_NO_THROW(panicIf(false, "x"));
+    EXPECT_THROW(fatalIf(true, "y"), FatalError);
+    EXPECT_NO_THROW(fatalIf(false, "y"));
+}
+
+TEST(Log, StrfmtFormats)
+{
+    EXPECT_EQ(strfmt("a=%d b=%s", 3, "xyz"), "a=3 b=xyz");
+    EXPECT_EQ(strfmt("%08x", 0x1234), "00001234");
+}
+
+} // namespace
+} // namespace smappic::sim
+
+namespace smappic::sim
+{
+namespace
+{
+
+TEST(Stats, JsonDumpIsWellFormed)
+{
+    StatRegistry reg;
+    reg.counter("a.hits").increment(5);
+    reg.summaryStat("lat").sample(10.0);
+    reg.summaryStat("lat").sample(20.0);
+    reg.histogram("h", 4, 10.0).sample(15.0);
+
+    std::ostringstream os;
+    reg.dumpJson(os);
+    std::string json = os.str();
+    EXPECT_EQ(json.front(), '{');
+    EXPECT_EQ(json.back(), '}');
+    EXPECT_NE(json.find("\"a.hits\":5"), std::string::npos);
+    EXPECT_NE(json.find("\"lat.mean\":15"), std::string::npos);
+    EXPECT_NE(json.find("\"h.p50\":20"), std::string::npos);
+    // No trailing comma before the closing brace.
+    EXPECT_EQ(json.find(",}"), std::string::npos);
+}
+
+} // namespace
+} // namespace smappic::sim
