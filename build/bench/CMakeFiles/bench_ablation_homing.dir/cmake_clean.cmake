@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_homing.dir/bench_ablation_homing.cpp.o"
+  "CMakeFiles/bench_ablation_homing.dir/bench_ablation_homing.cpp.o.d"
+  "bench_ablation_homing"
+  "bench_ablation_homing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_homing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_traffic_shaper.dir/bench_ablation_traffic_shaper.cpp.o"
+  "CMakeFiles/bench_ablation_traffic_shaper.dir/bench_ablation_traffic_shaper.cpp.o.d"
+  "bench_ablation_traffic_shaper"
+  "bench_ablation_traffic_shaper.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_traffic_shaper.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

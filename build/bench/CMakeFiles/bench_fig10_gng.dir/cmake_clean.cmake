@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_gng.dir/bench_fig10_gng.cpp.o"
+  "CMakeFiles/bench_fig10_gng.dir/bench_fig10_gng.cpp.o.d"
+  "bench_fig10_gng"
+  "bench_fig10_gng.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_gng.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

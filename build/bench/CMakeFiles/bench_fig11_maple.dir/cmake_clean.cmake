@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_maple.dir/bench_fig11_maple.cpp.o"
+  "CMakeFiles/bench_fig11_maple.dir/bench_fig11_maple.cpp.o.d"
+  "bench_fig11_maple"
+  "bench_fig11_maple.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_maple.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

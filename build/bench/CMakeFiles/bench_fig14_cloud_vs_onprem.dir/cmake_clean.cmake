@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_cloud_vs_onprem.dir/bench_fig14_cloud_vs_onprem.cpp.o"
+  "CMakeFiles/bench_fig14_cloud_vs_onprem.dir/bench_fig14_cloud_vs_onprem.cpp.o.d"
+  "bench_fig14_cloud_vs_onprem"
+  "bench_fig14_cloud_vs_onprem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_cloud_vs_onprem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

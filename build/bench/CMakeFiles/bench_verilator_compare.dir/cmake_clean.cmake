@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_verilator_compare.dir/bench_verilator_compare.cpp.o"
+  "CMakeFiles/bench_verilator_compare.dir/bench_verilator_compare.cpp.o.d"
+  "bench_verilator_compare"
+  "bench_verilator_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_verilator_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/accelerator_gng.dir/accelerator_gng.cpp.o"
+  "CMakeFiles/accelerator_gng.dir/accelerator_gng.cpp.o.d"
+  "accelerator_gng"
+  "accelerator_gng.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/accelerator_gng.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

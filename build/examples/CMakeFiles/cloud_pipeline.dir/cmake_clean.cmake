@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloud_pipeline.dir/cloud_pipeline.cpp.o"
+  "CMakeFiles/cloud_pipeline.dir/cloud_pipeline.cpp.o.d"
+  "cloud_pipeline"
+  "cloud_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloud_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_core_tri.dir/custom_core_tri.cpp.o"
+  "CMakeFiles/custom_core_tri.dir/custom_core_tri.cpp.o.d"
+  "custom_core_tri"
+  "custom_core_tri.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_core_tri.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multinode_boot.dir/multinode_boot.cpp.o"
+  "CMakeFiles/multinode_boot.dir/multinode_boot.cpp.o.d"
+  "multinode_boot"
+  "multinode_boot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multinode_boot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,53 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/accel/gng.cpp" "src/CMakeFiles/smappic.dir/accel/gng.cpp.o" "gcc" "src/CMakeFiles/smappic.dir/accel/gng.cpp.o.d"
+  "/root/repo/src/accel/maple.cpp" "src/CMakeFiles/smappic.dir/accel/maple.cpp.o" "gcc" "src/CMakeFiles/smappic.dir/accel/maple.cpp.o.d"
+  "/root/repo/src/axi/crossbar.cpp" "src/CMakeFiles/smappic.dir/axi/crossbar.cpp.o" "gcc" "src/CMakeFiles/smappic.dir/axi/crossbar.cpp.o.d"
+  "/root/repo/src/bridge/inter_node_bridge.cpp" "src/CMakeFiles/smappic.dir/bridge/inter_node_bridge.cpp.o" "gcc" "src/CMakeFiles/smappic.dir/bridge/inter_node_bridge.cpp.o.d"
+  "/root/repo/src/cache/cache_array.cpp" "src/CMakeFiles/smappic.dir/cache/cache_array.cpp.o" "gcc" "src/CMakeFiles/smappic.dir/cache/cache_array.cpp.o.d"
+  "/root/repo/src/cache/coherent_system.cpp" "src/CMakeFiles/smappic.dir/cache/coherent_system.cpp.o" "gcc" "src/CMakeFiles/smappic.dir/cache/coherent_system.cpp.o.d"
+  "/root/repo/src/cost/cost_model.cpp" "src/CMakeFiles/smappic.dir/cost/cost_model.cpp.o" "gcc" "src/CMakeFiles/smappic.dir/cost/cost_model.cpp.o.d"
+  "/root/repo/src/fpga/resource_model.cpp" "src/CMakeFiles/smappic.dir/fpga/resource_model.cpp.o" "gcc" "src/CMakeFiles/smappic.dir/fpga/resource_model.cpp.o.d"
+  "/root/repo/src/io/sd_card.cpp" "src/CMakeFiles/smappic.dir/io/sd_card.cpp.o" "gcc" "src/CMakeFiles/smappic.dir/io/sd_card.cpp.o.d"
+  "/root/repo/src/io/serial_net.cpp" "src/CMakeFiles/smappic.dir/io/serial_net.cpp.o" "gcc" "src/CMakeFiles/smappic.dir/io/serial_net.cpp.o.d"
+  "/root/repo/src/io/uart16550.cpp" "src/CMakeFiles/smappic.dir/io/uart16550.cpp.o" "gcc" "src/CMakeFiles/smappic.dir/io/uart16550.cpp.o.d"
+  "/root/repo/src/io/uart_tunnel.cpp" "src/CMakeFiles/smappic.dir/io/uart_tunnel.cpp.o" "gcc" "src/CMakeFiles/smappic.dir/io/uart_tunnel.cpp.o.d"
+  "/root/repo/src/mem/axi_dram.cpp" "src/CMakeFiles/smappic.dir/mem/axi_dram.cpp.o" "gcc" "src/CMakeFiles/smappic.dir/mem/axi_dram.cpp.o.d"
+  "/root/repo/src/mem/main_memory.cpp" "src/CMakeFiles/smappic.dir/mem/main_memory.cpp.o" "gcc" "src/CMakeFiles/smappic.dir/mem/main_memory.cpp.o.d"
+  "/root/repo/src/mem/noc_axi_memctrl.cpp" "src/CMakeFiles/smappic.dir/mem/noc_axi_memctrl.cpp.o" "gcc" "src/CMakeFiles/smappic.dir/mem/noc_axi_memctrl.cpp.o.d"
+  "/root/repo/src/noc/network.cpp" "src/CMakeFiles/smappic.dir/noc/network.cpp.o" "gcc" "src/CMakeFiles/smappic.dir/noc/network.cpp.o.d"
+  "/root/repo/src/noc/packet.cpp" "src/CMakeFiles/smappic.dir/noc/packet.cpp.o" "gcc" "src/CMakeFiles/smappic.dir/noc/packet.cpp.o.d"
+  "/root/repo/src/os/guest_system.cpp" "src/CMakeFiles/smappic.dir/os/guest_system.cpp.o" "gcc" "src/CMakeFiles/smappic.dir/os/guest_system.cpp.o.d"
+  "/root/repo/src/pcie/pcie_fabric.cpp" "src/CMakeFiles/smappic.dir/pcie/pcie_fabric.cpp.o" "gcc" "src/CMakeFiles/smappic.dir/pcie/pcie_fabric.cpp.o.d"
+  "/root/repo/src/platform/node_chipset.cpp" "src/CMakeFiles/smappic.dir/platform/node_chipset.cpp.o" "gcc" "src/CMakeFiles/smappic.dir/platform/node_chipset.cpp.o.d"
+  "/root/repo/src/platform/prototype.cpp" "src/CMakeFiles/smappic.dir/platform/prototype.cpp.o" "gcc" "src/CMakeFiles/smappic.dir/platform/prototype.cpp.o.d"
+  "/root/repo/src/platform/tri.cpp" "src/CMakeFiles/smappic.dir/platform/tri.cpp.o" "gcc" "src/CMakeFiles/smappic.dir/platform/tri.cpp.o.d"
+  "/root/repo/src/riscv/assembler.cpp" "src/CMakeFiles/smappic.dir/riscv/assembler.cpp.o" "gcc" "src/CMakeFiles/smappic.dir/riscv/assembler.cpp.o.d"
+  "/root/repo/src/riscv/core.cpp" "src/CMakeFiles/smappic.dir/riscv/core.cpp.o" "gcc" "src/CMakeFiles/smappic.dir/riscv/core.cpp.o.d"
+  "/root/repo/src/riscv/decoder.cpp" "src/CMakeFiles/smappic.dir/riscv/decoder.cpp.o" "gcc" "src/CMakeFiles/smappic.dir/riscv/decoder.cpp.o.d"
+  "/root/repo/src/riscv/disasm.cpp" "src/CMakeFiles/smappic.dir/riscv/disasm.cpp.o" "gcc" "src/CMakeFiles/smappic.dir/riscv/disasm.cpp.o.d"
+  "/root/repo/src/riscv/interrupts.cpp" "src/CMakeFiles/smappic.dir/riscv/interrupts.cpp.o" "gcc" "src/CMakeFiles/smappic.dir/riscv/interrupts.cpp.o.d"
+  "/root/repo/src/riscv/plic.cpp" "src/CMakeFiles/smappic.dir/riscv/plic.cpp.o" "gcc" "src/CMakeFiles/smappic.dir/riscv/plic.cpp.o.d"
+  "/root/repo/src/sim/event_queue.cpp" "src/CMakeFiles/smappic.dir/sim/event_queue.cpp.o" "gcc" "src/CMakeFiles/smappic.dir/sim/event_queue.cpp.o.d"
+  "/root/repo/src/sim/log.cpp" "src/CMakeFiles/smappic.dir/sim/log.cpp.o" "gcc" "src/CMakeFiles/smappic.dir/sim/log.cpp.o.d"
+  "/root/repo/src/sim/stats.cpp" "src/CMakeFiles/smappic.dir/sim/stats.cpp.o" "gcc" "src/CMakeFiles/smappic.dir/sim/stats.cpp.o.d"
+  "/root/repo/src/workload/dae_kernels.cpp" "src/CMakeFiles/smappic.dir/workload/dae_kernels.cpp.o" "gcc" "src/CMakeFiles/smappic.dir/workload/dae_kernels.cpp.o.d"
+  "/root/repo/src/workload/intsort.cpp" "src/CMakeFiles/smappic.dir/workload/intsort.cpp.o" "gcc" "src/CMakeFiles/smappic.dir/workload/intsort.cpp.o.d"
+  "/root/repo/src/workload/noise.cpp" "src/CMakeFiles/smappic.dir/workload/noise.cpp.o" "gcc" "src/CMakeFiles/smappic.dir/workload/noise.cpp.o.d"
+  "/root/repo/src/workload/stream.cpp" "src/CMakeFiles/smappic.dir/workload/stream.cpp.o" "gcc" "src/CMakeFiles/smappic.dir/workload/stream.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

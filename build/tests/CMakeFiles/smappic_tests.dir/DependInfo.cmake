@@ -1,0 +1,42 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_cache_array.cpp" "tests/CMakeFiles/smappic_tests.dir/test_cache_array.cpp.o" "gcc" "tests/CMakeFiles/smappic_tests.dir/test_cache_array.cpp.o.d"
+  "/root/repo/tests/test_coherent_system.cpp" "tests/CMakeFiles/smappic_tests.dir/test_coherent_system.cpp.o" "gcc" "tests/CMakeFiles/smappic_tests.dir/test_coherent_system.cpp.o.d"
+  "/root/repo/tests/test_core_models.cpp" "tests/CMakeFiles/smappic_tests.dir/test_core_models.cpp.o" "gcc" "tests/CMakeFiles/smappic_tests.dir/test_core_models.cpp.o.d"
+  "/root/repo/tests/test_disasm_stream.cpp" "tests/CMakeFiles/smappic_tests.dir/test_disasm_stream.cpp.o" "gcc" "tests/CMakeFiles/smappic_tests.dir/test_disasm_stream.cpp.o.d"
+  "/root/repo/tests/test_failure_injection.cpp" "tests/CMakeFiles/smappic_tests.dir/test_failure_injection.cpp.o" "gcc" "tests/CMakeFiles/smappic_tests.dir/test_failure_injection.cpp.o.d"
+  "/root/repo/tests/test_fpga_cost.cpp" "tests/CMakeFiles/smappic_tests.dir/test_fpga_cost.cpp.o" "gcc" "tests/CMakeFiles/smappic_tests.dir/test_fpga_cost.cpp.o.d"
+  "/root/repo/tests/test_guest_os.cpp" "tests/CMakeFiles/smappic_tests.dir/test_guest_os.cpp.o" "gcc" "tests/CMakeFiles/smappic_tests.dir/test_guest_os.cpp.o.d"
+  "/root/repo/tests/test_interrupts.cpp" "tests/CMakeFiles/smappic_tests.dir/test_interrupts.cpp.o" "gcc" "tests/CMakeFiles/smappic_tests.dir/test_interrupts.cpp.o.d"
+  "/root/repo/tests/test_io.cpp" "tests/CMakeFiles/smappic_tests.dir/test_io.cpp.o" "gcc" "tests/CMakeFiles/smappic_tests.dir/test_io.cpp.o.d"
+  "/root/repo/tests/test_main_memory.cpp" "tests/CMakeFiles/smappic_tests.dir/test_main_memory.cpp.o" "gcc" "tests/CMakeFiles/smappic_tests.dir/test_main_memory.cpp.o.d"
+  "/root/repo/tests/test_memctrl.cpp" "tests/CMakeFiles/smappic_tests.dir/test_memctrl.cpp.o" "gcc" "tests/CMakeFiles/smappic_tests.dir/test_memctrl.cpp.o.d"
+  "/root/repo/tests/test_noc.cpp" "tests/CMakeFiles/smappic_tests.dir/test_noc.cpp.o" "gcc" "tests/CMakeFiles/smappic_tests.dir/test_noc.cpp.o.d"
+  "/root/repo/tests/test_node_chipset.cpp" "tests/CMakeFiles/smappic_tests.dir/test_node_chipset.cpp.o" "gcc" "tests/CMakeFiles/smappic_tests.dir/test_node_chipset.cpp.o.d"
+  "/root/repo/tests/test_param_sweeps.cpp" "tests/CMakeFiles/smappic_tests.dir/test_param_sweeps.cpp.o" "gcc" "tests/CMakeFiles/smappic_tests.dir/test_param_sweeps.cpp.o.d"
+  "/root/repo/tests/test_pcie_bridge.cpp" "tests/CMakeFiles/smappic_tests.dir/test_pcie_bridge.cpp.o" "gcc" "tests/CMakeFiles/smappic_tests.dir/test_pcie_bridge.cpp.o.d"
+  "/root/repo/tests/test_platform.cpp" "tests/CMakeFiles/smappic_tests.dir/test_platform.cpp.o" "gcc" "tests/CMakeFiles/smappic_tests.dir/test_platform.cpp.o.d"
+  "/root/repo/tests/test_plic.cpp" "tests/CMakeFiles/smappic_tests.dir/test_plic.cpp.o" "gcc" "tests/CMakeFiles/smappic_tests.dir/test_plic.cpp.o.d"
+  "/root/repo/tests/test_riscv_core.cpp" "tests/CMakeFiles/smappic_tests.dir/test_riscv_core.cpp.o" "gcc" "tests/CMakeFiles/smappic_tests.dir/test_riscv_core.cpp.o.d"
+  "/root/repo/tests/test_riscv_torture.cpp" "tests/CMakeFiles/smappic_tests.dir/test_riscv_torture.cpp.o" "gcc" "tests/CMakeFiles/smappic_tests.dir/test_riscv_torture.cpp.o.d"
+  "/root/repo/tests/test_serial_net.cpp" "tests/CMakeFiles/smappic_tests.dir/test_serial_net.cpp.o" "gcc" "tests/CMakeFiles/smappic_tests.dir/test_serial_net.cpp.o.d"
+  "/root/repo/tests/test_sim.cpp" "tests/CMakeFiles/smappic_tests.dir/test_sim.cpp.o" "gcc" "tests/CMakeFiles/smappic_tests.dir/test_sim.cpp.o.d"
+  "/root/repo/tests/test_tri.cpp" "tests/CMakeFiles/smappic_tests.dir/test_tri.cpp.o" "gcc" "tests/CMakeFiles/smappic_tests.dir/test_tri.cpp.o.d"
+  "/root/repo/tests/test_workloads.cpp" "tests/CMakeFiles/smappic_tests.dir/test_workloads.cpp.o" "gcc" "tests/CMakeFiles/smappic_tests.dir/test_workloads.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/smappic.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
