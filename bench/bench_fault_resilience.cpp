@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Fault-resilience bench: inter-node bridge latency/throughput as the
+ * transient-fault rate rises. Streams fixed packet traffic through a
+ * 2-bridge PCIe fabric with the reliable link layer on, at fault rates of
+ * 0%, 0.1% and 1% (drops plus bit corruptions), and reports delivery
+ * cycles, achieved flit rate and the repair work (retransmits, CRC
+ * rejects) each rate costs — as a table and as a JSON block for tooling.
+ *
+ * The 0% row doubles as the zero-cost check: with no faults and
+ * reliability *off* the cycle count must match the seed bridge exactly.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "bridge/inter_node_bridge.hpp"
+#include "pcie/pcie_fabric.hpp"
+#include "sim/fault.hpp"
+
+using namespace smappic;
+
+namespace
+{
+
+struct RunResult
+{
+    double faultRate = 0;
+    bool reliable = false;
+    Cycles cycles = 0;
+    int delivered = 0;
+    std::uint64_t retransmits = 0;
+    std::uint64_t crcErrors = 0;
+    std::uint64_t duplicates = 0;
+    std::uint64_t faultsInjected = 0;
+};
+
+/** Streams @p packets 10-flit packets one way; returns the run's stats. */
+RunResult
+streamWith(double fault_rate, bool reliable, int packets)
+{
+    sim::EventQueue eq;
+    sim::StatRegistry stats;
+    pcie::PcieFabric fabric(eq, 63, 16.0, &stats);
+
+    sim::FaultPlan plan;
+    plan.seed = 2023;
+    if (fault_rate > 0) {
+        plan.drop("pcie.write", fault_rate / 2);
+        plan.corrupt("bridge.tx", fault_rate / 2);
+    }
+    sim::FaultInjector fi(plan, &stats);
+
+    bridge::BridgeConfig cfg;
+    cfg.creditsPerNoc = 32;
+    cfg.creditPollInterval = 32;
+    cfg.reliability.enabled = reliable;
+    cfg.reliability.ackTimeout = 64;
+    bridge::InterNodeBridge b0(0, 0, 0x0, eq, fabric, cfg, &stats);
+    bridge::InterNodeBridge b1(1, 1, 0x1000000, eq, fabric, cfg, &stats);
+    b0.addPeer(1, b1.windowBase());
+    b1.addPeer(0, b0.windowBase());
+    if (fault_rate > 0) {
+        fabric.setFaultInjector(&fi);
+        b0.setFaultInjector(&fi);
+        b1.setFaultInjector(&fi);
+    }
+
+    RunResult r;
+    r.faultRate = fault_rate;
+    r.reliable = reliable;
+    b1.setDeliverFn([&](const noc::Packet &) { ++r.delivered; });
+
+    for (int i = 0; i < packets; ++i) {
+        noc::Packet p;
+        p.srcNode = 0;
+        p.srcTile = 1;
+        p.dstNode = 1;
+        p.dstTile = 2;
+        p.type = noc::MsgType::kDataResp;
+        p.addr = 0x1000 + static_cast<Addr>(i) * 64;
+        p.payload.assign(8, 0xabcdef);
+        b0.sendPacket(p);
+    }
+    eq.run();
+    r.cycles = eq.now();
+    r.retransmits = b0.retransmits();
+    r.crcErrors = b1.crcErrors();
+    r.duplicates = b1.duplicatesSuppressed();
+    r.faultsInjected = fi.dropsInjected() + fi.corruptionsInjected();
+    return r;
+}
+
+} // namespace
+
+int
+main()
+{
+    const int kPackets = 500;
+    const double rates[] = {0.0, 0.001, 0.01};
+
+    std::printf("=== Fault resilience: reliable bridge link under "
+                "drop+corrupt storms (%d x 10-flit packets) ===\n\n",
+                kPackets);
+
+    // Zero-cost check: reliability off, no faults = the seed bridge.
+    RunResult base = streamWith(0.0, false, kPackets);
+
+    std::printf("%10s %10s %12s %16s %12s %10s %10s\n", "fault rate",
+                "delivered", "cycles", "flits/100cyc", "retransmits",
+                "crc rej", "faults");
+    std::vector<RunResult> results;
+    for (double rate : rates) {
+        RunResult r = streamWith(rate, true, kPackets);
+        results.push_back(r);
+        double flit_rate =
+            100.0 * kPackets * 10 / static_cast<double>(r.cycles);
+        std::printf("%9.2f%% %10d %12llu %15.1f %12llu %10llu %10llu\n",
+                    rate * 100, r.delivered,
+                    static_cast<unsigned long long>(r.cycles), flit_rate,
+                    static_cast<unsigned long long>(r.retransmits),
+                    static_cast<unsigned long long>(r.crcErrors),
+                    static_cast<unsigned long long>(r.faultsInjected));
+    }
+
+    std::printf("\njson: {\"bench\": \"fault_resilience\", "
+                "\"packets\": %d, \"baseline_cycles\": %llu, \"runs\": [",
+                kPackets, static_cast<unsigned long long>(base.cycles));
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const RunResult &r = results[i];
+        std::printf("%s{\"fault_rate\": %g, \"cycles\": %llu, "
+                    "\"delivered\": %d, \"retransmits\": %llu, "
+                    "\"crc_errors\": %llu, \"duplicates\": %llu, "
+                    "\"faults_injected\": %llu}",
+                    i ? ", " : "", r.faultRate,
+                    static_cast<unsigned long long>(r.cycles), r.delivered,
+                    static_cast<unsigned long long>(r.retransmits),
+                    static_cast<unsigned long long>(r.crcErrors),
+                    static_cast<unsigned long long>(r.duplicates),
+                    static_cast<unsigned long long>(r.faultsInjected));
+    }
+    std::printf("]}\n");
+
+    bool all_delivered = true;
+    for (const RunResult &r : results)
+        all_delivered = all_delivered && r.delivered == kPackets;
+    std::printf("\nexpected: delivery stays exactly-once at every rate; "
+                "cycle cost rises with the fault rate (each repair costs "
+                "a backoff plus a PCIe round trip)\n");
+    std::printf("delivery check (every run delivered all %d packets): "
+                "%s\n",
+                kPackets, all_delivered ? "PASS" : "FAIL");
+    std::printf("zero-cost check (fault-free reliable run within 25%% of "
+                "the raw bridge): %s (%llu vs %llu cycles)\n",
+                results[0].cycles <= base.cycles + base.cycles / 4
+                    ? "PASS"
+                    : "FAIL",
+                static_cast<unsigned long long>(results[0].cycles),
+                static_cast<unsigned long long>(base.cycles));
+    return all_delivered ? 0 : 1;
+}

@@ -29,6 +29,13 @@ Crossbar::decode(Addr addr) const
     return nullptr;
 }
 
+void
+Crossbar::setFaultInjector(sim::FaultInjector *fi, std::string site_prefix)
+{
+    fault_ = fi;
+    faultSitePrefix_ = std::move(site_prefix);
+}
+
 WriteResp
 Crossbar::write(const WriteReq &req)
 {
@@ -36,6 +43,25 @@ Crossbar::write(const WriteReq &req)
     if (!w) {
         ++decodeErrors_;
         return WriteResp{Resp::kDecErr, req.id};
+    }
+    if (fault_) {
+        std::string site = faultSitePrefix_ + ".write";
+        sim::FaultDecision fd = fault_->decide(site);
+        if (fd.slvErr) {
+            ++faultedAccesses_;
+            return WriteResp{Resp::kSlvErr, req.id};
+        }
+        if (fd.drop) {
+            ++faultedAccesses_;
+            return WriteResp{Resp::kDecErr, req.id};
+        }
+        if (fd.corrupt && !req.data.empty()) {
+            ++faultedAccesses_;
+            WriteReq bad = req;
+            fault_->corruptBytes(site, bad.data.data(), bad.data.size());
+            ++routedWrites_;
+            return w->target->write(bad);
+        }
     }
     ++routedWrites_;
     return w->target->write(req);
@@ -49,8 +75,27 @@ Crossbar::read(const ReadReq &req)
         ++decodeErrors_;
         return ReadResp{Resp::kDecErr, {}, req.id};
     }
+    sim::FaultDecision fd;
+    std::string site;
+    if (fault_) {
+        site = faultSitePrefix_ + ".read";
+        fd = fault_->decide(site);
+        if (fd.slvErr) {
+            ++faultedAccesses_;
+            return ReadResp{Resp::kSlvErr, {}, req.id};
+        }
+        if (fd.drop) {
+            ++faultedAccesses_;
+            return ReadResp{Resp::kDecErr, {}, req.id};
+        }
+    }
     ++routedReads_;
-    return w->target->read(req);
+    ReadResp resp = w->target->read(req);
+    if (fd.corrupt && !resp.data.empty()) {
+        ++faultedAccesses_;
+        fault_->corruptBytes(site, resp.data.data(), resp.data.size());
+    }
+    return resp;
 }
 
 void

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "axi/axi.hpp"
+#include "sim/fault.hpp"
 #include "sim/stats.hpp"
 
 namespace smappic::axi
@@ -56,16 +57,29 @@ class Crossbar : public Target
     WriteResp write(const WriteReq &req) override;
     ReadResp read(const ReadReq &req) override;
 
+    /**
+     * Attaches a fault injector (null to detach). Sites "<prefix>.write"
+     * and "<prefix>.read": slverr answers SLVERR without routing, drop
+     * answers DECERR without routing (a decode fault), corrupt flips one
+     * bit of the write payload / read response.
+     */
+    void setFaultInjector(sim::FaultInjector *fi,
+                          std::string site_prefix = "xbar");
+
     std::uint64_t decodeErrors() const { return decodeErrors_; }
+    std::uint64_t faultedAccesses() const { return faultedAccesses_; }
     std::uint64_t routedWrites() const { return routedWrites_; }
     std::uint64_t routedReads() const { return routedReads_; }
     const std::vector<Window> &windows() const { return windows_; }
 
   private:
     std::vector<Window> windows_;
+    sim::FaultInjector *fault_ = nullptr;
+    std::string faultSitePrefix_;
     std::uint64_t decodeErrors_ = 0;
     std::uint64_t routedWrites_ = 0;
     std::uint64_t routedReads_ = 0;
+    std::uint64_t faultedAccesses_ = 0;
 };
 
 /** AXI-Lite variant of the crossbar (configuration plane). */

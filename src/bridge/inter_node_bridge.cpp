@@ -1,5 +1,6 @@
 #include "bridge/inter_node_bridge.hpp"
 
+#include <algorithm>
 #include <cstring>
 
 #include "sim/log.hpp"
@@ -13,6 +14,30 @@ namespace
 /** One AXI write carries up to one flit per physical NoC. */
 constexpr std::uint32_t kFlitsPerWrite = noc::kNumNocs;
 constexpr std::uint32_t kFlitBytes = 8;
+constexpr std::uint32_t kFlitPayloadBytes = kFlitsPerWrite * kFlitBytes;
+/** Reliable-link trailer: 32-bit sequence number + CRC32. */
+constexpr std::uint32_t kTrailerBytes = 8;
+constexpr std::uint32_t kFrameBytes = kFlitPayloadBytes + kTrailerBytes;
+/** Credit-return payload: one 32-bit count per NoC (+CRC when reliable). */
+constexpr std::uint32_t kCreditBytes = noc::kNumNocs * 4;
+
+/** CRC over a frame: flit payload + sequence number, bound to the flit
+ *  valid mask and the sending node so a misdecoded address cannot pass. */
+std::uint32_t
+frameCrc(const std::uint8_t *data, std::uint8_t valid_mask, NodeId src)
+{
+    std::uint8_t aux[2] = {valid_mask, static_cast<std::uint8_t>(src)};
+    return sim::crc32(aux, sizeof(aux),
+                      sim::crc32(data, kFlitPayloadBytes + 4));
+}
+
+/** CRC over a credit-return payload, bound to the polling node. */
+std::uint32_t
+creditCrc(const std::uint8_t *data, NodeId poller)
+{
+    std::uint8_t aux = static_cast<std::uint8_t>(poller);
+    return sim::crc32(&aux, 1, sim::crc32(data, kCreditBytes));
+}
 
 } // namespace
 
@@ -25,8 +50,20 @@ InterNodeBridge::InterNodeBridge(NodeId node, FpgaId fpga, Addr window_base,
       fabric_(fabric), cfg_(cfg), stats_(stats)
 {
     fatalIf(cfg.creditsPerNoc == 0, "bridge needs at least one credit");
+    fatalIf(cfg.reliability.enabled && cfg.reliability.replayDepth == 0,
+            "reliable bridge needs a nonzero replay window");
     fabric_.addWindow(window_base, cfg.windowSize, this, fpga,
                       strfmt("bridge.node%u", node));
+    if (stats_ && cfg_.reliability.enabled) {
+        // Register the reliability counters eagerly so a clean run shows
+        // them at zero instead of omitting them.
+        stats_->counter("bridge.retransmits");
+        stats_->counter("bridge.crcErrors");
+        stats_->counter("bridge.duplicates");
+        stats_->counter("bridge.creditTimeouts");
+        stats_->counter("bridge.peerDegraded");
+        stats_->counter("bridge.peerRecovered");
+    }
 }
 
 void
@@ -53,6 +90,18 @@ InterNodeBridge::decodeOffset(Addr offset, NodeId &src,
 {
     src = static_cast<NodeId>((offset >> 12) & 0xff);
     valid_mask = static_cast<std::uint8_t>((offset >> 8) & 0x7);
+}
+
+bool
+InterNodeBridge::hasPendingTraffic(const PeerState &peer)
+{
+    if (!peer.replay.empty())
+        return true;
+    for (const auto &q : peer.outQueue) {
+        if (!q.empty())
+            return true;
+    }
+    return false;
 }
 
 void
@@ -84,6 +133,19 @@ InterNodeBridge::pump()
 {
     bool work_left = false;
     for (auto &[dst, peer] : peers_) {
+        if (peer.degraded) {
+            // Quiesced: don't touch the wire, but keep probing while
+            // traffic waits so recovery re-arms the link.
+            if (hasPendingTraffic(peer))
+                scheduleProbe(dst);
+            continue;
+        }
+        if (reliable() &&
+            peer.replay.size() >= cfg_.reliability.replayDepth) {
+            // Replay window full: the next ACK restarts the pump.
+            continue;
+        }
+
         // Form one AXI4 write per destination per cycle carrying up to one
         // flit from each physical NoC, credits permitting.
         std::uint8_t valid_mask = 0;
@@ -103,17 +165,28 @@ InterNodeBridge::pump()
         }
 
         if (valid_mask != 0) {
-            axi::WriteReq req;
-            req.addr = peer.windowBase + encodeOffset(node_, valid_mask);
-            req.data.resize(kFlitsPerWrite * kFlitBytes);
-            std::memcpy(req.data.data(), flits.data(), req.data.size());
-            fabric_.write(fpga_, std::move(req), nullptr);
             ++axiWritesSent_;
             flitsSent_ += __builtin_popcount(valid_mask);
             if (stats_) {
                 stats_->counter("bridge.axiWrites").increment();
                 stats_->counter("bridge.flitsSent")
                     .increment(__builtin_popcount(valid_mask));
+            }
+            if (reliable()) {
+                PendingFrame frame;
+                frame.seq = peer.nextSeq++;
+                frame.validMask = valid_mask;
+                frame.flits = flits;
+                peer.replay.push_back(frame);
+                transmitFrame(dst, peer, peer.replay.back());
+            } else {
+                axi::WriteReq req;
+                req.addr =
+                    peer.windowBase + encodeOffset(node_, valid_mask);
+                req.data.resize(kFlitPayloadBytes);
+                std::memcpy(req.data.data(), flits.data(),
+                            req.data.size());
+                fabric_.write(fpga_, std::move(req), nullptr);
             }
         }
 
@@ -127,62 +200,266 @@ InterNodeBridge::pump()
 }
 
 void
+InterNodeBridge::transmitFrame(NodeId dst, const PeerState &peer,
+                               const PendingFrame &frame)
+{
+    axi::WriteReq req;
+    req.addr = peer.windowBase + encodeOffset(node_, frame.validMask);
+    req.data.resize(kFrameBytes);
+    std::memcpy(req.data.data(), frame.flits.data(), kFlitPayloadBytes);
+    std::memcpy(req.data.data() + kFlitPayloadBytes, &frame.seq, 4);
+    std::uint32_t crc = frameCrc(req.data.data(), frame.validMask, node_);
+    std::memcpy(req.data.data() + kFlitPayloadBytes + 4, &crc, 4);
+
+    if (fault_ && fault_->decide("bridge.tx").corrupt) {
+        // Flip a bit in the CRC-covered region: the datapath between the
+        // encapsulator and the shell, which the receiver must detect.
+        fault_->corruptBytes("bridge.tx", req.data.data(),
+                             kFlitPayloadBytes + 4);
+    }
+
+    std::uint32_t seq = frame.seq;
+    fabric_.write(fpga_, std::move(req),
+                  [this, dst, seq](pcie::Completion c) {
+                      onFrameCompletion(dst, seq, c.resp);
+                  });
+}
+
+void
+InterNodeBridge::onFrameCompletion(NodeId dst, std::uint32_t seq,
+                                   axi::Resp resp)
+{
+    auto it = peers_.find(dst);
+    if (it == peers_.end())
+        return;
+    PeerState &peer = it->second;
+    if (peer.replay.empty() ||
+        static_cast<std::int32_t>(seq - peer.replay.front().seq) < 0) {
+        // Stale completion for an already-acknowledged frame.
+        return;
+    }
+    if (resp == axi::Resp::kOkay) {
+        // Cumulative ACK: everything up to seq arrived in order.
+        while (!peer.replay.empty() &&
+               static_cast<std::int32_t>(peer.replay.front().seq - seq) <=
+                   0)
+            peer.replay.pop_front();
+        peer.backoffLevel = 0;
+        schedulePump();
+        return;
+    }
+    // NACK (CRC reject, out-of-order reject) or completion timeout for a
+    // frame still in the window: go-back-N after a backoff.
+    scheduleRetransmit(dst);
+}
+
+void
+InterNodeBridge::scheduleRetransmit(NodeId dst)
+{
+    PeerState &peer = peers_.at(dst);
+    if (peer.retransmitScheduled || peer.degraded)
+        return;
+    peer.retransmitScheduled = true;
+    Cycles backoff = cfg_.reliability.ackTimeout
+                     << std::min<std::uint32_t>(peer.backoffLevel, 8);
+    eq_.schedule(backoff, [this, dst] {
+        PeerState &p = peers_.at(dst);
+        p.retransmitScheduled = false;
+        if (p.replay.empty() || p.degraded)
+            return;
+        ++p.backoffLevel;
+        for (PendingFrame &f : p.replay) {
+            ++f.attempts;
+            panicIf(f.attempts > cfg_.reliability.maxRetries,
+                    "bridge link unrecoverable: replay retries exhausted "
+                    "(persistent loss or corruption)");
+            ++retransmits_;
+            if (stats_)
+                stats_->counter("bridge.retransmits").increment();
+            transmitFrame(dst, p, f);
+        }
+    });
+}
+
+void
 InterNodeBridge::scheduleCreditPoll(NodeId peer_id)
 {
     PeerState &peer = peers_.at(peer_id);
-    if (peer.pollInFlight)
+    if (peer.pollInFlight || peer.degraded)
         return;
     peer.pollInFlight = true;
     ++creditReadsSent_;
     if (stats_)
         stats_->counter("bridge.creditReads").increment();
 
-    eq_.schedule(cfg_.creditPollInterval, [this, peer_id] {
-        PeerState &p = peers_.at(peer_id);
-        axi::ReadReq req;
-        req.addr = p.windowBase + encodeOffset(node_, 0);
-        req.bytes = noc::kNumNocs * 4;
-        fabric_.read(fpga_, req, [this, peer_id](pcie::Completion c) {
-            PeerState &p = peers_.at(peer_id);
-            p.pollInFlight = false;
-            if (c.resp != axi::Resp::kOkay ||
-                c.data.size() < noc::kNumNocs * 4) {
-                // Transient fabric error: retry while traffic is pending
-                // so a single failed credit read cannot wedge the link.
-                for (const auto &q : p.outQueue) {
-                    if (!q.empty()) {
-                        scheduleCreditPoll(peer_id);
-                        break;
-                    }
-                }
-                return;
-            }
-            bool gained = false;
-            for (std::size_t n = 0; n < noc::kNumNocs; ++n) {
-                std::uint32_t returned = 0;
-                std::memcpy(&returned, c.data.data() + n * 4, 4);
-                p.credits[n] += returned;
-                panicIf(p.credits[n] > cfg_.creditsPerNoc,
-                        "credit overflow: receiver returned too many");
-                gained = gained || returned > 0;
-            }
-            bool pending = false;
-            for (const auto &q : p.outQueue)
-                pending = pending || !q.empty();
-            if (gained && pending)
-                schedulePump();
-            if (pending) {
-                // Keep polling while traffic is stalled.
-                bool starved = false;
-                for (std::size_t n = 0; n < noc::kNumNocs; ++n) {
-                    starved = starved ||
-                              (!p.outQueue[n].empty() && p.credits[n] == 0);
-                }
-                if (starved)
-                    scheduleCreditPoll(peer_id);
-            }
-        });
+    Cycles wait = cfg_.creditPollInterval;
+    if (reliable() && peer.creditFailures > 0) {
+        // Exponential backoff between failed polls.
+        wait <<= std::min<std::uint32_t>(peer.creditFailures, 6);
+    }
+    eq_.schedule(wait, [this, peer_id] { issueCreditRead(peer_id); });
+}
+
+void
+InterNodeBridge::issueCreditRead(NodeId peer_id)
+{
+    PeerState &peer = peers_.at(peer_id);
+    if (fault_ && fault_->decide("bridge.creditRead").drop) {
+        // The read never makes it to the shell: a poll timeout.
+        peer.pollInFlight = false;
+        onCreditFailure(peer_id);
+        return;
+    }
+    axi::ReadReq req;
+    req.addr = peer.windowBase + encodeOffset(node_, 0);
+    req.bytes = kCreditBytes + (reliable() ? 4 : 0);
+    fabric_.read(fpga_, req, [this, peer_id](pcie::Completion c) {
+        onCreditCompletion(peer_id, std::move(c));
     });
+}
+
+void
+InterNodeBridge::onCreditCompletion(NodeId peer_id, pcie::Completion c)
+{
+    PeerState &peer = peers_.at(peer_id);
+    peer.pollInFlight = false;
+
+    bool ok = c.resp == axi::Resp::kOkay && c.data.size() >= kCreditBytes;
+    if (ok && reliable()) {
+        ok = c.data.size() >= kCreditBytes + 4;
+        if (ok) {
+            std::uint32_t got = 0;
+            std::memcpy(&got, c.data.data() + kCreditBytes, 4);
+            ok = got == creditCrc(c.data.data(), node_);
+            if (!ok) {
+                ++crcErrors_;
+                if (stats_)
+                    stats_->counter("bridge.crcErrors").increment();
+            }
+        }
+    }
+    if (!ok) {
+        onCreditFailure(peer_id);
+        return;
+    }
+
+    peer.creditFailures = 0;
+    if (peer.degraded)
+        recoverPeer(peer_id);
+
+    bool gained = false;
+    for (std::size_t n = 0; n < noc::kNumNocs; ++n) {
+        std::uint32_t returned = 0;
+        std::memcpy(&returned, c.data.data() + n * 4, 4);
+        peer.credits[n] += returned;
+        panicIf(peer.credits[n] > cfg_.creditsPerNoc,
+                "credit overflow: receiver returned too many");
+        gained = gained || returned > 0;
+    }
+    bool pending = false;
+    for (const auto &q : peer.outQueue)
+        pending = pending || !q.empty();
+    if (gained && pending)
+        schedulePump();
+    if (pending) {
+        // Keep polling while traffic is stalled.
+        bool starved = false;
+        for (std::size_t n = 0; n < noc::kNumNocs; ++n) {
+            starved = starved ||
+                      (!peer.outQueue[n].empty() && peer.credits[n] == 0);
+        }
+        if (starved)
+            scheduleCreditPoll(peer_id);
+    }
+}
+
+void
+InterNodeBridge::onCreditFailure(NodeId peer_id)
+{
+    PeerState &peer = peers_.at(peer_id);
+    ++creditTimeouts_;
+    if (stats_)
+        stats_->counter("bridge.creditTimeouts").increment();
+
+    if (!reliable()) {
+        // Legacy behaviour: retry while traffic is pending so a single
+        // failed credit read cannot wedge the link.
+        for (const auto &q : peer.outQueue) {
+            if (!q.empty()) {
+                scheduleCreditPoll(peer_id);
+                break;
+            }
+        }
+        return;
+    }
+
+    ++peer.creditFailures;
+    if (peer.degraded) {
+        // A probe failed; keep probing while traffic waits.
+        scheduleProbe(peer_id);
+        return;
+    }
+    if (peer.creditFailures >= cfg_.reliability.creditRetryLimit) {
+        degradePeer(peer_id);
+        return;
+    }
+    if (hasPendingTraffic(peer))
+        scheduleCreditPoll(peer_id);
+}
+
+void
+InterNodeBridge::degradePeer(NodeId peer_id)
+{
+    PeerState &peer = peers_.at(peer_id);
+    peer.degraded = true;
+    ++degradeEvents_;
+    if (stats_)
+        stats_->counter("bridge.peerDegraded").increment();
+    warn(strfmt("bridge.node%u: peer %u degraded after %u failed credit "
+                "reads; quiescing and probing",
+                node_, peer_id, peer.creditFailures));
+    scheduleProbe(peer_id);
+}
+
+void
+InterNodeBridge::scheduleProbe(NodeId peer_id)
+{
+    PeerState &peer = peers_.at(peer_id);
+    if (peer.probeScheduled || !peer.degraded)
+        return;
+    if (!hasPendingTraffic(peer)) {
+        // Nothing to send: stay quiet; the next sendPacket re-probes.
+        return;
+    }
+    peer.probeScheduled = true;
+    eq_.schedule(cfg_.reliability.reprobeInterval, [this, peer_id] {
+        PeerState &p = peers_.at(peer_id);
+        p.probeScheduled = false;
+        if (!p.degraded || p.pollInFlight)
+            return;
+        p.pollInFlight = true;
+        ++creditReadsSent_;
+        if (stats_)
+            stats_->counter("bridge.creditReads").increment();
+        issueCreditRead(peer_id);
+    });
+}
+
+void
+InterNodeBridge::recoverPeer(NodeId peer_id)
+{
+    PeerState &peer = peers_.at(peer_id);
+    peer.degraded = false;
+    peer.creditFailures = 0;
+    peer.backoffLevel = 0;
+    ++recoverEvents_;
+    if (stats_)
+        stats_->counter("bridge.peerRecovered").increment();
+    inform(strfmt("bridge.node%u: peer %u recovered; re-arming link",
+                  node_, peer_id));
+    if (!peer.replay.empty())
+        scheduleRetransmit(peer_id);
+    schedulePump();
 }
 
 axi::WriteResp
@@ -192,9 +469,55 @@ InterNodeBridge::write(const axi::WriteReq &req)
     NodeId src;
     std::uint8_t valid_mask;
     decodeOffset(offset, src, valid_mask);
-    panicIf(req.data.size() < kFlitsPerWrite * kFlitBytes,
-            "bridge write smaller than three flits");
 
+    if (reliable()) {
+        panicIf(req.data.size() < kFrameBytes,
+                "bridge frame smaller than flits plus trailer");
+        std::uint32_t seq = 0;
+        std::uint32_t got = 0;
+        std::memcpy(&seq, req.data.data() + kFlitPayloadBytes, 4);
+        std::memcpy(&got, req.data.data() + kFlitPayloadBytes + 4, 4);
+        if (got != frameCrc(req.data.data(), valid_mask, src)) {
+            ++crcErrors_;
+            if (stats_)
+                stats_->counter("bridge.crcErrors").increment();
+            return axi::WriteResp{axi::Resp::kSlvErr, req.id};
+        }
+        SourceState &state = sources_[src];
+        auto delta =
+            static_cast<std::int32_t>(seq - state.expectedSeq);
+        if (delta < 0) {
+            // Retransmission of a frame already delivered: suppress the
+            // flits, but ACK so the sender's window advances.
+            ++duplicates_;
+            if (stats_)
+                stats_->counter("bridge.duplicates").increment();
+            return axi::WriteResp{axi::Resp::kOkay, req.id};
+        }
+        if (delta > 0) {
+            // A gap: an earlier frame was lost. Reject so the sender
+            // goes back and replays in order.
+            ++outOfOrder_;
+            if (stats_)
+                stats_->counter("bridge.outOfOrder").increment();
+            return axi::WriteResp{axi::Resp::kSlvErr, req.id};
+        }
+        state.expectedSeq += 1;
+    } else {
+        panicIf(req.data.size() < kFlitPayloadBytes,
+                "bridge write smaller than three flits");
+    }
+
+    acceptFlits(src, valid_mask, req.data.data());
+    if (stats_)
+        stats_->counter("bridge.axiWritesReceived").increment();
+    return axi::WriteResp{axi::Resp::kOkay, req.id};
+}
+
+void
+InterNodeBridge::acceptFlits(NodeId src, std::uint8_t valid_mask,
+                             const std::uint8_t *flit_bytes)
+{
     SourceState &state = sources_[src];
     for (std::size_t n = 0; n < noc::kNumNocs; ++n) {
         if (!(valid_mask & (1u << n)))
@@ -203,7 +526,7 @@ InterNodeBridge::write(const axi::WriteReq &req)
         panicIf(state.unreturned[n] > cfg_.creditsPerNoc,
                 "bridge receive buffer overflow: credit protocol violated");
         std::uint64_t flit = 0;
-        std::memcpy(&flit, req.data.data() + n * kFlitBytes, kFlitBytes);
+        std::memcpy(&flit, flit_bytes + n * kFlitBytes, kFlitBytes);
         // The receive FIFO drains into packet reassembly at line rate,
         // freeing the credit immediately.
         state.assembly[n].push_back(flit);
@@ -211,9 +534,6 @@ InterNodeBridge::write(const axi::WriteReq &req)
         ++flitsReceived_;
         tryAssemble(src, static_cast<noc::NocIndex>(n));
     }
-    if (stats_)
-        stats_->counter("bridge.axiWritesReceived").increment();
-    return axi::WriteResp{axi::Resp::kOkay, req.id};
 }
 
 axi::ReadResp
@@ -229,7 +549,7 @@ InterNodeBridge::read(const axi::ReadReq &req)
     SourceState &state = sources_[src];
     axi::ReadResp resp;
     resp.id = req.id;
-    resp.data.resize(noc::kNumNocs * 4);
+    resp.data.resize(kCreditBytes + (reliable() ? 4 : 0));
     for (std::size_t n = 0; n < noc::kNumNocs; ++n) {
         std::uint32_t owed = state.owedCredits[n];
         state.owedCredits[n] = 0;
@@ -237,6 +557,10 @@ InterNodeBridge::read(const axi::ReadReq &req)
                 "returning more credits than were consumed");
         state.unreturned[n] -= owed;
         std::memcpy(resp.data.data() + n * 4, &owed, 4);
+    }
+    if (reliable()) {
+        std::uint32_t crc = creditCrc(resp.data.data(), src);
+        std::memcpy(resp.data.data() + kCreditBytes, &crc, 4);
     }
     return resp;
 }
@@ -284,9 +608,19 @@ InterNodeBridge::creditsAvailable(NodeId peer, noc::NocIndex noc_idx) const
 }
 
 bool
+InterNodeBridge::peerDegraded(NodeId peer) const
+{
+    auto it = peers_.find(peer);
+    panicIf(it == peers_.end(), "unknown peer");
+    return it->second.degraded;
+}
+
+bool
 InterNodeBridge::sendIdle() const
 {
     for (const auto &[dst, peer] : peers_) {
+        if (!peer.replay.empty())
+            return false;
         for (const auto &q : peer.outQueue) {
             if (!q.empty())
                 return false;

@@ -17,6 +17,19 @@
  *
  * The receive side buffers flits per (source node, NoC); a credit violation
  * (buffer overflow) is a protocol bug and panics.
+ *
+ * Reliable link layer (ReliabilityConfig, off by default): the paper's
+ * bridge assumes a lossless fabric, but cloud PCIe links see transient
+ * faults. When enabled, each encapsulated write carries a trailer with a
+ * per-peer sequence number and a CRC32 over the flit payload; the receiver
+ * ACKs in-order frames on the b channel (BRESP=OKAY), NACKs corrupted or
+ * out-of-order frames (BRESP=SLVERR) and suppresses duplicates, and the
+ * sender keeps a bounded replay buffer retransmitted go-back-N style with
+ * exponential backoff. Credit-return reads are CRC-protected the same way;
+ * after a run of failed credit reads the peer is marked *degraded* (the
+ * sender quiesces and probes periodically) instead of spinning, and re-arms
+ * when the peer answers again. Replay exhaustion still panics: persistent
+ * corruption is unrecoverable by design.
  */
 
 #pragma once
@@ -32,11 +45,26 @@
 #include "noc/packet.hpp"
 #include "pcie/pcie_fabric.hpp"
 #include "sim/event_queue.hpp"
+#include "sim/fault.hpp"
 #include "sim/stats.hpp"
 #include "sim/types.hpp"
 
 namespace smappic::bridge
 {
+
+/** Reliable-link tunables; `enabled = false` keeps the paper's lossless
+ *  wire format and adds no bytes, state or events. */
+struct ReliabilityConfig
+{
+    bool enabled = false;
+    std::uint32_t replayDepth = 64;  ///< Max unacked frames per peer.
+    std::uint32_t maxRetries = 16;   ///< Retransmissions per frame before
+                                     ///< the link panics as unrecoverable.
+    Cycles ackTimeout = 128;         ///< Retransmit backoff base.
+    std::uint32_t creditRetryLimit = 8; ///< Failed credit reads before the
+                                        ///< peer is marked degraded.
+    Cycles reprobeInterval = 2048;   ///< Degraded-peer probe period.
+};
 
 /** Tunables of the inter-node bridge. */
 struct BridgeConfig
@@ -45,6 +73,7 @@ struct BridgeConfig
     Cycles creditPollInterval = 64;   ///< Cycles between credit reads.
     Cycles decapLatency = 6;          ///< Receive-side decode pipeline.
     std::uint64_t windowSize = 1 << 20; ///< Fabric window per bridge.
+    ReliabilityConfig reliability;    ///< Reliable link layer (opt-in).
 };
 
 /**
@@ -72,6 +101,14 @@ class InterNodeBridge : public axi::Target
     void setDeliverFn(DeliverFn fn) { deliver_ = std::move(fn); }
 
     /**
+     * Attaches a fault injector (null to detach). Sites: "bridge.tx"
+     * (corrupt flips a frame bit after the CRC is attached, so the
+     * receiver's check must catch it) and "bridge.creditRead" (drop loses
+     * the credit read before it reaches the fabric — a poll timeout).
+     */
+    void setFaultInjector(sim::FaultInjector *fi) { fault_ = fi; }
+
+    /**
      * Send side: accepts a NoC packet leaving this node (ejected from the
      * mesh's off-chip port with dstNode != this node).
      */
@@ -91,13 +128,34 @@ class InterNodeBridge : public axi::Target
     std::uint64_t axiWritesSent() const { return axiWritesSent_; }
     std::uint64_t creditReadsSent() const { return creditReadsSent_; }
 
+    // Reliable-link observability (all zero when reliability is off).
+    std::uint64_t retransmits() const { return retransmits_; }
+    std::uint64_t crcErrors() const { return crcErrors_; }
+    std::uint64_t duplicatesSuppressed() const { return duplicates_; }
+    std::uint64_t outOfOrderRejected() const { return outOfOrder_; }
+    std::uint64_t creditTimeouts() const { return creditTimeouts_; }
+    std::uint64_t degradeEvents() const { return degradeEvents_; }
+    std::uint64_t recoverEvents() const { return recoverEvents_; }
+
+    /** True while @p peer is marked degraded (quiesced, probing). */
+    bool peerDegraded(NodeId peer) const;
+
     /** Sender-side view of remaining credits toward @p peer. */
     std::uint32_t creditsAvailable(NodeId peer, noc::NocIndex noc) const;
 
-    /** True when no flit is queued on the send side. */
+    /** True when no flit is queued or awaiting ACK on the send side. */
     bool sendIdle() const;
 
   private:
+    /** One unacknowledged frame held for possible retransmission. */
+    struct PendingFrame
+    {
+        std::uint32_t seq = 0;
+        std::uint8_t validMask = 0;
+        std::array<std::uint64_t, noc::kNumNocs> flits{};
+        std::uint32_t attempts = 0; ///< Retransmissions so far.
+    };
+
     /** Per-destination sender state. */
     struct PeerState
     {
@@ -105,6 +163,15 @@ class InterNodeBridge : public axi::Target
         std::array<std::deque<std::uint64_t>, noc::kNumNocs> outQueue;
         std::array<std::uint32_t, noc::kNumNocs> credits;
         bool pollInFlight = false;
+
+        // Reliable-link sender state.
+        std::uint32_t nextSeq = 0;
+        std::deque<PendingFrame> replay; ///< Unacked frames, seq order.
+        bool retransmitScheduled = false;
+        std::uint32_t backoffLevel = 0;
+        std::uint32_t creditFailures = 0; ///< Consecutive failed polls.
+        bool degraded = false;
+        bool probeScheduled = false;
     };
 
     /**
@@ -119,15 +186,33 @@ class InterNodeBridge : public axi::Target
         std::array<std::deque<std::uint64_t>, noc::kNumNocs> assembly;
         std::array<std::uint32_t, noc::kNumNocs> owedCredits{};
         std::array<std::uint32_t, noc::kNumNocs> unreturned{};
+        std::uint32_t expectedSeq = 0; ///< Next in-order frame (reliable).
     };
 
     static Addr encodeOffset(NodeId src, std::uint8_t valid_mask);
     static void decodeOffset(Addr offset, NodeId &src,
                              std::uint8_t &valid_mask);
 
+    bool reliable() const { return cfg_.reliability.enabled; }
+    static bool hasPendingTraffic(const PeerState &peer);
+
     void schedulePump();
     void pump();
+    void transmitFrame(NodeId dst, const PeerState &peer,
+                       const PendingFrame &frame);
+    void onFrameCompletion(NodeId dst, std::uint32_t seq, axi::Resp resp);
+    void scheduleRetransmit(NodeId dst);
+
     void scheduleCreditPoll(NodeId peer);
+    void issueCreditRead(NodeId peer);
+    void onCreditCompletion(NodeId peer, pcie::Completion c);
+    void onCreditFailure(NodeId peer);
+    void degradePeer(NodeId peer);
+    void scheduleProbe(NodeId peer);
+    void recoverPeer(NodeId peer);
+
+    void acceptFlits(NodeId src, std::uint8_t valid_mask,
+                     const std::uint8_t *flit_bytes);
     void tryAssemble(NodeId src, noc::NocIndex noc);
 
     NodeId node_;
@@ -137,6 +222,7 @@ class InterNodeBridge : public axi::Target
     pcie::PcieFabric &fabric_;
     BridgeConfig cfg_;
     sim::StatRegistry *stats_;
+    sim::FaultInjector *fault_ = nullptr;
 
     std::map<NodeId, PeerState> peers_;
     std::map<NodeId, SourceState> sources_;
@@ -148,6 +234,13 @@ class InterNodeBridge : public axi::Target
     std::uint64_t packetsDelivered_ = 0;
     std::uint64_t axiWritesSent_ = 0;
     std::uint64_t creditReadsSent_ = 0;
+    std::uint64_t retransmits_ = 0;
+    std::uint64_t crcErrors_ = 0;
+    std::uint64_t duplicates_ = 0;
+    std::uint64_t outOfOrder_ = 0;
+    std::uint64_t creditTimeouts_ = 0;
+    std::uint64_t degradeEvents_ = 0;
+    std::uint64_t recoverEvents_ = 0;
 };
 
 } // namespace smappic::bridge

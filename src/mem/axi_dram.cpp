@@ -33,13 +33,26 @@ AxiDram::read(const axi::ReadReq &req, ReadFn done)
         });
         return;
     }
+    sim::FaultDecision fd;
+    if (fault_)
+        fd = fault_->decide("dram.read");
+    if (fd.slvErr) {
+        eq_.schedule(timing_.latency, [done, id = req.id] {
+            done(axi::ReadResp{axi::Resp::kSlvErr, {}, id});
+        });
+        return;
+    }
     auto grant = channel_.offer(eq_.now(), serviceCycles(req.bytes));
-    Cycles completion = grant.done + timing_.latency;
-    eq_.scheduleAt(completion, [this, req, done] {
+    Cycles completion = grant.done + timing_.latency + fd.extraDelay;
+    bool corrupt = fd.corrupt;
+    eq_.scheduleAt(completion, [this, req, done, corrupt] {
         axi::ReadResp resp;
         resp.id = req.id;
         resp.data.resize(req.bytes);
         memory_.readBytes(req.addr, resp.data.data(), req.bytes);
+        if (corrupt && fault_ && !resp.data.empty())
+            fault_->corruptBytes("dram.read", resp.data.data(),
+                                 resp.data.size());
         done(std::move(resp));
     });
 }
@@ -54,9 +67,22 @@ AxiDram::write(const axi::WriteReq &req, WriteFn done)
         });
         return;
     }
+    sim::FaultDecision fd;
+    if (fault_)
+        fd = fault_->decide("dram.write");
+    if (fd.slvErr) {
+        eq_.schedule(timing_.latency, [done, id = req.id] {
+            done(axi::WriteResp{axi::Resp::kSlvErr, id});
+        });
+        return;
+    }
     auto grant = channel_.offer(eq_.now(), serviceCycles(req.data.size()));
-    Cycles completion = grant.done + timing_.latency;
-    eq_.scheduleAt(completion, [this, req, done] {
+    Cycles completion = grant.done + timing_.latency + fd.extraDelay;
+    bool corrupt = fd.corrupt;
+    eq_.scheduleAt(completion, [this, req = req, done, corrupt]() mutable {
+        if (corrupt && fault_ && !req.data.empty())
+            fault_->corruptBytes("dram.write", req.data.data(),
+                                 req.data.size());
         memory_.writeBytes(req.addr, req.data.data(), req.data.size());
         done(axi::WriteResp{axi::Resp::kOkay, req.id});
     });

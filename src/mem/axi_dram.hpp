@@ -12,6 +12,7 @@
 #include "axi/axi.hpp"
 #include "mem/main_memory.hpp"
 #include "sim/event_queue.hpp"
+#include "sim/fault.hpp"
 #include "sim/server.hpp"
 #include "sim/types.hpp"
 
@@ -44,6 +45,13 @@ class AxiDram
     /** Issues a write; @p done fires when the channel acknowledges. */
     void write(const axi::WriteReq &req, WriteFn done);
 
+    /**
+     * Attaches a fault injector (null to detach). Sites "dram.read" /
+     * "dram.write": corrupt flips a single data bit (an uncorrected DRAM
+     * error), delay adds service cycles, slverr fails the transaction.
+     */
+    void setFaultInjector(sim::FaultInjector *fi) { fault_ = fi; }
+
     std::uint64_t reads() const { return reads_; }
     std::uint64_t writes() const { return writes_; }
     Addr base() const { return base_; }
@@ -60,6 +68,7 @@ class AxiDram
     Addr base_;
     std::uint64_t size_;
     DramTiming timing_;
+    sim::FaultInjector *fault_ = nullptr;
     sim::QueueServer channel_;
     std::uint64_t reads_ = 0;
     std::uint64_t writes_ = 0;

@@ -145,6 +145,12 @@ NocAxiMemController::complete(std::size_t mshr_idx,
         std::size_t flits = (req_bytes + 7) / 8;
         reply.payload.assign(flits, 0);
         std::memcpy(reply.payload.data(), data.data() + offset, req_bytes);
+        if (fault_ && fault_->decide("memctrl.resp").corrupt) {
+            fault_->corruptBytes(
+                "memctrl.resp",
+                reinterpret_cast<std::uint8_t *>(reply.payload.data()),
+                reply.payload.size() * 8);
+        }
     } else {
         reply.type = req.type == noc::MsgType::kNcStore
                          ? noc::MsgType::kNcStoreResp

@@ -56,6 +56,13 @@ class NocAxiMemController
     void setSendFn(SendFn fn) { send_ = std::move(fn); }
 
     /**
+     * Attaches a fault injector (null to detach). Site "memctrl.resp":
+     * corrupt flips one bit of a read response's payload on its way back
+     * to the NoC serializer (a transducer datapath upset).
+     */
+    void setFaultInjector(sim::FaultInjector *fi) { fault_ = fi; }
+
+    /**
      * Accepts one request packet from the NoC (deserializer input).
      * Requests beyond the management buffer are queued without loss; real
      * hardware would exert NoC backpressure, which the credit-carrying
@@ -87,6 +94,7 @@ class NocAxiMemController
     AxiDram &dram_;
     MemCtrlConfig cfg_;
     sim::StatRegistry *stats_;
+    sim::FaultInjector *fault_ = nullptr;
     SendFn send_;
 
     std::deque<noc::Packet> buffer_; ///< Management-module queue.

@@ -63,6 +63,28 @@ PcieFabric::transferArrival(FpgaId src, std::uint64_t bytes)
     return sent + oneWay_;
 }
 
+bool
+PcieFabric::preempt(const sim::FaultDecision &d, const CompletionFn &done)
+{
+    if (d.drop) {
+        // Lost in flight: the issuer sees a completion timeout, surfaced
+        // as a late SLVERR so no caller waits forever.
+        if (done) {
+            eq_.schedule(completionTimeout(),
+                         [done] { done(Completion{axi::Resp::kSlvErr, {}}); });
+        }
+        return true;
+    }
+    if (d.slvErr) {
+        if (done) {
+            eq_.schedule(2 * oneWay_,
+                         [done] { done(Completion{axi::Resp::kSlvErr, {}}); });
+        }
+        return true;
+    }
+    return false;
+}
+
 void
 PcieFabric::write(FpgaId src, axi::WriteReq req, CompletionFn done)
 {
@@ -73,7 +95,17 @@ PcieFabric::write(FpgaId src, axi::WriteReq req, CompletionFn done)
             eq_.schedule(1, [done] { done(Completion{axi::Resp::kDecErr}); });
         return;
     }
-    Cycles arrival = transferArrival(src, req.data.size() + 32);
+    sim::FaultDecision fd;
+    if (fault_) {
+        fd = fault_->decide("pcie.write");
+        if (preempt(fd, done))
+            return;
+        if (fd.corrupt && !req.data.empty())
+            fault_->corruptBytes("pcie.write", req.data.data(),
+                                 req.data.size());
+    }
+    Cycles arrival = transferArrival(src, req.data.size() + 32) +
+                     fd.extraDelay;
     axi::Target *target = w->target;
     // Deliver at the far side, then return the B response across the
     // fabric (response transfers are small TLPs).
@@ -99,13 +131,24 @@ PcieFabric::read(FpgaId src, axi::ReadReq req, CompletionFn done)
             eq_.schedule(1, [done] { done(Completion{axi::Resp::kDecErr}); });
         return;
     }
-    Cycles arrival = transferArrival(src, 32);
+    sim::FaultDecision fd;
+    if (fault_) {
+        fd = fault_->decide("pcie.read");
+        if (preempt(fd, done))
+            return;
+    }
+    Cycles arrival = transferArrival(src, 32) + fd.extraDelay;
     axi::Target *target = w->target;
+    bool corrupt = fd.corrupt;
     eq_.scheduleAt(arrival, [this, target, req = std::move(req), done,
-                             src]() mutable {
+                             src, corrupt]() mutable {
         axi::ReadResp resp = target->read(req);
         if (!done)
             return;
+        // Corruption hits the response TLP on its way back.
+        if (corrupt && fault_ && !resp.data.empty())
+            fault_->corruptBytes("pcie.read", resp.data.data(),
+                                 resp.data.size());
         Cycles back = transferArrival(src, resp.data.size() + 32);
         eq_.scheduleAt(back, [done, resp = std::move(resp)] {
             done(Completion{resp.resp, std::move(resp.data)});

@@ -20,6 +20,7 @@
 
 #include "axi/axi.hpp"
 #include "sim/event_queue.hpp"
+#include "sim/fault.hpp"
 #include "sim/server.hpp"
 #include "sim/stats.hpp"
 #include "sim/types.hpp"
@@ -72,7 +73,20 @@ class PcieFabric
     /** Issues a read from endpoint @p src (see write()). */
     void read(FpgaId src, axi::ReadReq req, CompletionFn done);
 
+    /**
+     * Attaches a fault injector (null to detach). Sites: "pcie.write"
+     * and "pcie.read". Drop loses the request in flight — the issuer's
+     * completion comes back SLVERR after a completion-timeout interval,
+     * mirroring a PCIe completion timeout, so callers never wedge.
+     * Corrupt flips one payload bit in flight; delay adds transit
+     * cycles; slverr completes with SLVERR without reaching the target.
+     */
+    void setFaultInjector(sim::FaultInjector *fi) { fault_ = fi; }
+
     Cycles oneWayLatency() const { return oneWay_; }
+
+    /** Cycles until a lost transaction's SLVERR completion fires. */
+    Cycles completionTimeout() const { return 8 * oneWay_; }
 
     std::uint64_t transfers() const { return transfers_; }
     std::uint64_t bytesMoved() const { return bytesMoved_; }
@@ -94,10 +108,15 @@ class PcieFabric
     /** Computes the arrival time of a @p bytes transfer from @p src. */
     Cycles transferArrival(FpgaId src, std::uint64_t bytes);
 
+    /** Applies a fault decision shared by read()/write(); returns true
+     *  when the transaction was consumed (dropped or errored). */
+    bool preempt(const sim::FaultDecision &d, const CompletionFn &done);
+
     sim::EventQueue &eq_;
     Cycles oneWay_;
     double bytesPerCycle_;
     sim::StatRegistry *stats_;
+    sim::FaultInjector *fault_ = nullptr;
 
     std::vector<FabricWindow> windows_;
     std::vector<std::pair<FpgaId, sim::TrafficShaper>> links_;

@@ -250,9 +250,17 @@ Prototype::Prototype(const PrototypeConfig &cfg) : cfg_(cfg)
     cs_ = std::make_unique<cache::CoherentSystem>(geo, cfg.timing,
                                                   cfg.homing, &stats_);
 
+    // Fault injector: only built when the plan actually injects, so a
+    // fault-free prototype carries null hooks everywhere.
+    if (!cfg.faultPlan.empty()) {
+        faultInjector_ =
+            std::make_unique<sim::FaultInjector>(cfg.faultPlan, &stats_);
+    }
+
     fabric_ = std::make_unique<pcie::PcieFabric>(
         eq_, cfg.timing.pcieOneWay(), cfg.timing.pcieBytesPerCycle,
         &stats_);
+    fabric_->setFaultInjector(faultInjector_.get());
 
     std::uint32_t nodes = cfg.totalNodes();
     auto fpga_of = [&](NodeId n) {
@@ -307,10 +315,12 @@ Prototype::Prototype(const PrototypeConfig &cfg) : cfg_(cfg)
         // Inter-node bridge (when the coherent interconnect is enabled).
         if (cfg.interNodeInterconnect && nodes > 1) {
             bridge::BridgeConfig bcfg;
+            bcfg.reliability = cfg.reliability;
             auto b = std::make_unique<bridge::InterNodeBridge>(
                 n, fpga_of(n),
                 kFabricBridgeBase + n * kFabricBridgeStride, eq_,
                 *fabric_, bcfg, &stats_);
+            b->setFaultInjector(faultInjector_.get());
             b->setDeliverFn([this](const noc::Packet &pkt) {
                 if (pkt.type == noc::MsgType::kInterrupt) {
                     GlobalTileId gid =
@@ -330,8 +340,10 @@ Prototype::Prototype(const PrototypeConfig &cfg) : cfg_(cfg)
         dt.bytesPerCycle = cfg.timing.dramBytesPerCycle;
         drams_.push_back(std::make_unique<mem::AxiDram>(
             eq_, cs_->memory(), dram_base, cfg.memPerNode, dt));
+        drams_.back()->setFaultInjector(faultInjector_.get());
         auto ctrl = std::make_unique<mem::NocAxiMemController>(
             n, eq_, *drams_.back(), mem::MemCtrlConfig{}, &stats_);
+        ctrl->setFaultInjector(faultInjector_.get());
         ctrl->setSendFn([this](const noc::Packet &) {
             stats_.counter("platform.memctrlResponses").increment();
         });

@@ -35,6 +35,7 @@
 #include "os/guest_system.hpp"
 #include "pcie/pcie_fabric.hpp"
 #include "riscv/assembler.hpp"
+#include "sim/fault.hpp"
 #include "riscv/core.hpp"
 #include "riscv/core_models.hpp"
 #include "riscv/interrupts.hpp"
@@ -74,6 +75,12 @@ struct PrototypeConfig
     cache::HomingPolicy homing = cache::HomingPolicy::kAddressNode;
     cache::TimingParams timing;
     std::uint64_t seed = 1;
+    /** Transient-fault schedule injected into the substrate (PCIe fabric,
+     *  bridges, DRAM path). Empty = no injector is built, zero cost. */
+    sim::FaultPlan faultPlan;
+    /** Reliable inter-node link layer (CRC + replay); see
+     *  bridge::ReliabilityConfig. Off by default. */
+    bridge::ReliabilityConfig reliability;
 
     /** Parses "AxBxC" (e.g. "4x1x12"). @throws FatalError on bad input. */
     static PrototypeConfig parse(const std::string &spec);
@@ -102,6 +109,8 @@ class Prototype
     sim::StatRegistry &stats() { return stats_; }
     sim::EventQueue &eventQueue() { return eq_; }
     pcie::PcieFabric &fabric() { return *fabric_; }
+    /** Null when the config's fault plan is empty. */
+    sim::FaultInjector *faultInjector() { return faultInjector_.get(); }
     bridge::InterNodeBridge &bridge(NodeId n) { return *bridges_.at(n); }
     mem::NocAxiMemController &memController(NodeId n)
     {
@@ -170,6 +179,7 @@ class Prototype
     sim::EventQueue eq_;
 
     std::unique_ptr<cache::CoherentSystem> cs_;
+    std::unique_ptr<sim::FaultInjector> faultInjector_;
     std::unique_ptr<pcie::PcieFabric> fabric_;
     std::vector<std::unique_ptr<bridge::InterNodeBridge>> bridges_;
     std::vector<std::unique_ptr<mem::AxiDram>> drams_;

@@ -12,6 +12,7 @@
 #include "bridge/inter_node_bridge.hpp"
 #include "mem/noc_axi_memctrl.hpp"
 #include "pcie/pcie_fabric.hpp"
+#include "sim/fault.hpp"
 
 #include <cstring>
 #include "sim/log.hpp"
@@ -186,6 +187,124 @@ TEST(FailureInjection, OverlappingWindowsRejected)
     EXPECT_THROW(xbar.addWindow(0x1800, 0x1000, &null_target, "b"),
                  FatalError);
     EXPECT_NO_THROW(xbar.addWindow(0x2000, 0x1000, &null_target, "c"));
+}
+
+/** Echo target that records writes and reads back constant data. */
+class EchoTarget : public axi::Target
+{
+  public:
+    axi::WriteResp
+    write(const axi::WriteReq &req) override
+    {
+        lastWrite = req;
+        ++writes;
+        return {axi::Resp::kOkay, req.id};
+    }
+    axi::ReadResp
+    read(const axi::ReadReq &req) override
+    {
+        axi::ReadResp r;
+        r.id = req.id;
+        r.data.assign(req.bytes, 0x55);
+        return r;
+    }
+    axi::WriteReq lastWrite;
+    int writes = 0;
+};
+
+TEST(FailureInjection, CrossbarStuckSlvErrWindow)
+{
+    // A stuck-SLVERR fault (probability 1 inside an event window) makes
+    // the crossbar answer SLVERR without routing, then heals.
+    sim::FaultPlan plan;
+    plan.slvErr("xbar.write", 1.0, 0, 2);
+    sim::FaultInjector fi(plan);
+
+    axi::Crossbar xbar;
+    EchoTarget target;
+    xbar.addWindow(0x0, 0x1000, &target, "mem");
+    xbar.setFaultInjector(&fi);
+
+    for (int i = 0; i < 3; ++i) {
+        auto w = xbar.write(axi::WriteReq{0x100, {1, 2}, 0});
+        EXPECT_EQ(w.resp, axi::Resp::kSlvErr) << "event " << i;
+    }
+    EXPECT_EQ(target.writes, 0); // Never routed while stuck.
+    auto w = xbar.write(axi::WriteReq{0x100, {1, 2}, 0});
+    EXPECT_EQ(w.resp, axi::Resp::kOkay);
+    EXPECT_EQ(target.writes, 1);
+    EXPECT_EQ(xbar.faultedAccesses(), 3u);
+}
+
+TEST(FailureInjection, CrossbarCorruptionRoutesFlippedPayload)
+{
+    sim::FaultPlan plan;
+    plan.corrupt("xbar.write", 1.0);
+    sim::FaultInjector fi(plan);
+
+    axi::Crossbar xbar;
+    EchoTarget target;
+    xbar.addWindow(0x0, 0x1000, &target, "mem");
+    xbar.setFaultInjector(&fi);
+
+    std::vector<std::uint8_t> clean(8, 0);
+    auto w = xbar.write(axi::WriteReq{0x0, clean, 0});
+    EXPECT_EQ(w.resp, axi::Resp::kOkay);
+    int flipped = 0;
+    for (std::uint8_t b : target.lastWrite.data)
+        flipped += __builtin_popcount(b);
+    EXPECT_EQ(flipped, 1); // Exactly one bit differs from the original.
+}
+
+TEST(FailureInjection, DramSlvErrFaultPanicsThroughMemController)
+{
+    // The DRAM path is below the bridge's CRC domain: a faulted DRAM
+    // response is an unrecoverable platform error and the controller
+    // must panic rather than forward garbage.
+    sim::FaultPlan plan;
+    plan.slvErr("dram.read", 1.0);
+    sim::FaultInjector fi(plan);
+
+    sim::EventQueue eq;
+    sim::StatRegistry stats;
+    mem::MainMemory memory;
+    mem::AxiDram dram(eq, memory, 0, 1 << 20, mem::DramTiming{});
+    dram.setFaultInjector(&fi);
+    mem::NocAxiMemController ctrl(0, eq, dram, mem::MemCtrlConfig{},
+                                  &stats);
+    ctrl.setSendFn([](const noc::Packet &) {});
+
+    noc::Packet p;
+    p.srcNode = 0;
+    p.srcTile = 1;
+    p.dstNode = 0;
+    p.dstTile = noc::kOffChipTile;
+    p.type = noc::MsgType::kMemRd;
+    p.sizeLog2 = 6;
+    p.addr = 0x1000;
+    ctrl.handlePacket(p);
+    EXPECT_THROW(eq.run(), PanicError);
+    EXPECT_EQ(fi.slvErrsInjected(), 1u);
+}
+
+TEST(FailureInjection, DramDelayFaultPostponesCompletion)
+{
+    sim::FaultPlan plan;
+    plan.delay("dram.read", 1.0, 1000);
+    sim::FaultInjector fi(plan);
+
+    sim::EventQueue eq;
+    mem::MainMemory memory;
+    mem::AxiDram dram(eq, memory, 0, 1 << 20, mem::DramTiming{});
+    dram.setFaultInjector(&fi);
+
+    Cycles when = 0;
+    dram.read(axi::ReadReq{0x0, 64, 0}, [&](axi::ReadResp resp) {
+        when = eq.now();
+        EXPECT_EQ(resp.resp, axi::Resp::kOkay);
+    });
+    eq.run();
+    EXPECT_GE(when, 1000u);
 }
 
 } // namespace
