@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Parallel-engine speedup bench: wall-clock scaling of the phased
+ * execution engine as worker threads are added, across prototype sizes
+ * (1, 2, 4 and 8 nodes with 4 tiles each — the paper's scaling axis).
+ *
+ * Every node runs a replicated, node-local pointer-chasing/compute loop
+ * for a fixed instruction budget, so the work per run is identical no
+ * matter how it is scheduled. For each config the bench runs the phased
+ * engine with 1, 2, 4 and 8 workers at the same quantum (the PCIe
+ * one-way lookahead), reports wall time and speedup over the 1-worker
+ * phased run, and cross-checks determinism: the final stat dump of every
+ * thread count must be byte-identical to the 1-worker dump.
+ *
+ * Speedup depends on the host: with fewer hardware threads than workers
+ * there is nothing to win, so the JSON block carries hw_concurrency and
+ * the perf gate only enforces speedup floors on hosts that can show them.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "platform/prototype.hpp"
+
+using namespace smappic;
+using platform::Prototype;
+using platform::PrototypeConfig;
+
+namespace
+{
+
+/** Node-local workload: every hart hammers a private slice of a small
+ *  buffer (all `la`-relative, so replicas stay on their own node's DRAM)
+ *  until the instruction budget expires. */
+constexpr const char *kWorkloadSource = R"(
+_start:
+    csrr t0, 0xf14       # mhartid
+    andi t0, t0, 3       # local tile: private buffer slice
+    slli t0, t0, 4       # 2 dwords per tile
+    la t1, buf
+    add t1, t1, t0
+    li t2, 0
+loop:
+    andi t3, t2, 0x8
+    add t4, t1, t3
+    ld t5, 0(t4)
+    add t5, t5, t2
+    sd t5, 0(t4)
+    addi t2, t2, 1
+    j loop
+
+.data
+.align 3
+buf: .dword 0
+     .dword 0
+     .dword 0
+     .dword 0
+     .dword 0
+     .dword 0
+     .dword 0
+     .dword 0
+)";
+
+struct Run
+{
+    std::uint32_t threads = 1;
+    double wallMs = 0;
+    double speedup = 1.0;
+    bool deterministic = true;
+};
+
+struct ConfigResult
+{
+    std::string config;
+    std::uint32_t nodes = 0;
+    std::vector<Run> runs;
+};
+
+/** Runs @p spec with the phased engine and @p threads workers; fills
+ *  wall time and the final stat dump. */
+double
+timeRun(const std::string &spec, std::uint32_t threads,
+        std::uint64_t budget, std::string &dump_out)
+{
+    PrototypeConfig cfg = PrototypeConfig::parse(spec);
+    cfg.parallel.threads = threads;
+    cfg.parallel.quantum = cfg.timing.pcieOneWay();
+    Prototype proto(cfg);
+    proto.loadSourceReplicated(kWorkloadSource);
+
+    std::vector<GlobalTileId> gids;
+    for (GlobalTileId g = 0; g < cfg.totalTiles(); ++g)
+        gids.push_back(g);
+
+    auto t0 = std::chrono::steady_clock::now();
+    proto.runCores(gids, budget);
+    auto t1 = std::chrono::steady_clock::now();
+
+    std::ostringstream os;
+    proto.stats().dump(os);
+    dump_out = os.str();
+    return std::chrono::duration<double, std::milli>(t1 - t0).count();
+}
+
+} // namespace
+
+int
+main()
+{
+    const std::uint64_t kBudget = 200'000; // Instructions per core.
+    const std::vector<std::string> configs = {"1x1x4", "2x1x4", "4x1x4",
+                                              "4x2x4"};
+    const std::vector<std::uint32_t> threadCounts = {1, 2, 4, 8};
+    const unsigned hw = std::thread::hardware_concurrency();
+
+    std::printf("=== Parallel speedup: phased engine, %llu instructions "
+                "per core, quantum = PCIe one-way (hw threads: %u) ===\n\n",
+                static_cast<unsigned long long>(kBudget), hw);
+    std::printf("%8s %6s %8s %10s %9s %6s\n", "config", "nodes", "threads",
+                "wall ms", "speedup", "det");
+
+    std::vector<ConfigResult> results;
+    bool all_deterministic = true;
+    for (const std::string &spec : configs) {
+        ConfigResult cr;
+        cr.config = spec;
+        cr.nodes = PrototypeConfig::parse(spec).totalNodes();
+        std::string ref_dump;
+        double ref_ms = 0;
+        for (std::uint32_t threads : threadCounts) {
+            Run r;
+            r.threads = threads;
+            std::string dump;
+            r.wallMs = timeRun(spec, threads, kBudget, dump);
+            if (threads == 1) {
+                ref_dump = dump;
+                ref_ms = r.wallMs;
+            }
+            r.speedup = r.wallMs > 0 ? ref_ms / r.wallMs : 1.0;
+            r.deterministic = dump == ref_dump;
+            all_deterministic = all_deterministic && r.deterministic;
+            std::printf("%8s %6u %8u %10.2f %8.2fx %6s\n", spec.c_str(),
+                        cr.nodes, threads, r.wallMs, r.speedup,
+                        r.deterministic ? "yes" : "NO");
+            cr.runs.push_back(r);
+        }
+        results.push_back(cr);
+    }
+
+    std::printf("\njson: {\"bench\": \"parallel_speedup\", "
+                "\"budget\": %llu, \"hw_concurrency\": %u, "
+                "\"all_deterministic\": %s, \"configs\": [",
+                static_cast<unsigned long long>(kBudget), hw,
+                all_deterministic ? "true" : "false");
+    for (std::size_t c = 0; c < results.size(); ++c) {
+        const ConfigResult &cr = results[c];
+        std::printf("%s{\"config\": \"%s\", \"nodes\": %u, \"runs\": [",
+                    c ? ", " : "", cr.config.c_str(), cr.nodes);
+        for (std::size_t i = 0; i < cr.runs.size(); ++i) {
+            const Run &r = cr.runs[i];
+            std::printf("%s{\"threads\": %u, \"wall_ms\": %.3f, "
+                        "\"speedup\": %.3f, \"deterministic\": %s}",
+                        i ? ", " : "", r.threads, r.wallMs, r.speedup,
+                        r.deterministic ? "true" : "false");
+        }
+        std::printf("]}");
+    }
+    std::printf("]}\n");
+
+    std::printf("\nexpected: speedup approaches the node count while "
+                "workers <= min(nodes, hw threads); determinism holds at "
+                "every thread count\n");
+    std::printf("determinism check (all dumps match 1-worker dump): %s\n",
+                all_deterministic ? "PASS" : "FAIL");
+    return all_deterministic ? 0 : 1;
+}

@@ -107,6 +107,14 @@ InterNodeBridge::hasPendingTraffic(const PeerState &peer)
 void
 InterNodeBridge::sendPacket(const noc::Packet &pkt)
 {
+    if (router_ && sim::currentNode() != sim::kNoNode) {
+        // Node-phase caller: the packet enters the bridge at the next
+        // quantum boundary, in deterministic mailbox order.
+        if (stats_)
+            stats_->counter("bridge.deferred").increment();
+        router_->post([this, pkt] { sendPacket(pkt); });
+        return;
+    }
     panicIf(pkt.dstNode == node_, "bridge asked to send a local packet");
     auto it = peers_.find(pkt.dstNode);
     panicIf(it == peers_.end(), "bridge has no peer for destination node");

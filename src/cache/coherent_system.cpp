@@ -321,6 +321,7 @@ CoherentSystem::deviceAccess(const DeviceWindow &w, GlobalTileId gid,
                              Addr addr, AccessType type, std::uint32_t bytes,
                              Cycles now)
 {
+    auto guard = parallelGuard();
     bool crossed = false;
     Cycles t = now + timing_.l1MissDetect;
     t = nocPath(nodeOf(gid), tileOf(gid), nodeOf(w.gid), tileOf(w.gid),
@@ -375,6 +376,7 @@ CoherentSystem::access(GlobalTileId gid, Addr addr, AccessType type,
     // Explicit NC accesses to plain memory go straight to the owning
     // node's memory controller (used by the virtual SD card).
     if (type == AccessType::kNcLoad || type == AccessType::kNcStore) {
+        auto guard = parallelGuard();
         bool crossed = false;
         NodeId dn = addrNode(addr);
         Cycles t = now + timing_.l1MissDetect;
@@ -426,6 +428,10 @@ CoherentSystem::access(GlobalTileId gid, Addr addr, AccessType type,
     }
 
     // --- Miss: transaction to the home LLC slice ---
+    // The miss path touches cross-node state (directory, home LLC/DRAM
+    // servers, bridge shapers, peer private arrays on recalls), so it is
+    // one critical section under the phased engine.
+    auto guard = parallelGuard();
     stats_->counter("cs.bpc.misses").increment();
     auto [hn, ht] = homeOf(line);
     GlobalTileId home_gid = gidOf(hn, ht);
@@ -570,6 +576,7 @@ CoherentSystem::recallPrivateExcept(Addr line, NodeId hn, TileId ht, Cycles t,
 void
 CoherentSystem::flushPrivate(GlobalTileId gid)
 {
+    auto guard = parallelGuard();
     panicIf(gid >= geo_.totalTiles(), "flushPrivate of unknown tile");
     std::vector<Addr> lines;
     bpc_[gid].forEachLine(

@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -229,6 +230,31 @@ class CoherentSystem
     /** Per-system stats live under the "cs." prefix in the registry. */
     sim::StatRegistry &stats() { return *stats_; }
 
+    /**
+     * Enables (or disables) parallel-phase locking. When on, the paths
+     * that touch state shared between nodes — device windows, NC memory
+     * operations and the whole miss path (directory, LLC/DRAM servers,
+     * bridge shapers) — serialize on one recursive mutex, while L1/BPC
+     * hits stay lock-free (they only touch the requesting tile's arrays,
+     * which the phased engine confines to one worker). Off by default:
+     * the sequential engine pays one branch per access.
+     */
+    void setParallel(bool on) { parallel_ = on; }
+
+    /**
+     * The shared-state lock as an RAII guard (empty when parallel mode is
+     * off). Exposed so platform code touching devices outside access() —
+     * e.g. ecall console I/O — can join the same critical section. The
+     * mutex is recursive: device handlers may re-enter (UART IRQ ->
+     * PLIC -> packetizer) while the device path holds it.
+     */
+    std::unique_lock<std::recursive_mutex>
+    parallelGuard()
+    {
+        return parallel_ ? std::unique_lock(mu_)
+                         : std::unique_lock<std::recursive_mutex>();
+    }
+
     /** Total DRAM-channel queueing observed (for congestion tests). */
     Cycles dramQueuedCycles(NodeId node) const
     {
@@ -324,6 +350,9 @@ class CoherentSystem
     std::vector<sim::TrafficShaper> pcieOut_;
 
     std::vector<DeviceWindow> devices_;
+
+    bool parallel_ = false;
+    std::recursive_mutex mu_;
 
     std::unique_ptr<sim::StatRegistry> ownedStats_;
     sim::StatRegistry *stats_;

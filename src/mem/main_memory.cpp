@@ -24,6 +24,13 @@ MainMemory::touchPage(std::uint64_t idx)
 void
 MainMemory::readBytes(Addr addr, void *out, std::uint64_t len) const
 {
+    auto lock = readLock();
+    readBytesImpl(addr, out, len);
+}
+
+void
+MainMemory::readBytesImpl(Addr addr, void *out, std::uint64_t len) const
+{
     auto *dst = static_cast<std::uint8_t *>(out);
     while (len > 0) {
         std::uint64_t page = addr / kPageBytes;
@@ -42,6 +49,13 @@ MainMemory::readBytes(Addr addr, void *out, std::uint64_t len) const
 void
 MainMemory::writeBytes(Addr addr, const void *in, std::uint64_t len)
 {
+    auto lock = writeLock();
+    writeBytesImpl(addr, in, len);
+}
+
+void
+MainMemory::writeBytesImpl(Addr addr, const void *in, std::uint64_t len)
+{
     const auto *src = static_cast<const std::uint8_t *>(in);
     while (len > 0) {
         std::uint64_t page = addr / kPageBytes;
@@ -59,7 +73,9 @@ MainMemory::load(Addr addr, std::uint32_t bytes) const
 {
     panicIf(bytes == 0 || bytes > 8, "load width must be 1..8 bytes");
     std::uint64_t value = 0;
-    readBytes(addr, &value, bytes); // Host is little-endian like RISC-V.
+    auto lock = readLock();
+    // Host is little-endian like RISC-V.
+    readBytesImpl(addr, &value, bytes);
     return value;
 }
 
@@ -67,7 +83,8 @@ void
 MainMemory::store(Addr addr, std::uint32_t bytes, std::uint64_t value)
 {
     panicIf(bytes == 0 || bytes > 8, "store width must be 1..8 bytes");
-    writeBytes(addr, &value, bytes);
+    auto lock = writeLock();
+    writeBytesImpl(addr, &value, bytes);
 }
 
 } // namespace smappic::mem

@@ -10,6 +10,8 @@
 #include <cstdint>
 #include <cstring>
 #include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -43,13 +45,39 @@ class MainMemory
     /** Drops all contents. */
     void clear() { pages_.clear(); }
 
+    /**
+     * Enables (or disables) internal locking so node phases of the phased
+     * engine may load/store concurrently: reads share, writes (which may
+     * materialize pages and rehash the page table) are exclusive. Off by
+     * default — the sequential engine pays nothing.
+     */
+    void setConcurrent(bool on) { concurrent_ = on; }
+
   private:
     using Page = std::vector<std::uint8_t>;
 
     const Page *findPage(std::uint64_t idx) const;
     Page &touchPage(std::uint64_t idx);
 
+    std::shared_lock<std::shared_mutex>
+    readLock() const
+    {
+        return concurrent_ ? std::shared_lock(mu_)
+                           : std::shared_lock<std::shared_mutex>();
+    }
+    std::unique_lock<std::shared_mutex>
+    writeLock()
+    {
+        return concurrent_ ? std::unique_lock(mu_)
+                           : std::unique_lock<std::shared_mutex>();
+    }
+
+    void readBytesImpl(Addr addr, void *out, std::uint64_t len) const;
+    void writeBytesImpl(Addr addr, const void *in, std::uint64_t len);
+
     std::unordered_map<std::uint64_t, Page> pages_;
+    bool concurrent_ = false;
+    mutable std::shared_mutex mu_;
 };
 
 } // namespace smappic::mem

@@ -64,6 +64,17 @@ PcieFabric::transferArrival(FpgaId src, std::uint64_t bytes)
 }
 
 bool
+PcieFabric::deferToBarrier(std::function<void()> reissue)
+{
+    if (!router_ || sim::currentNode() == sim::kNoNode)
+        return false;
+    if (stats_)
+        stats_->counter("pcie.deferred").increment();
+    router_->post(std::move(reissue));
+    return true;
+}
+
+bool
 PcieFabric::preempt(const sim::FaultDecision &d, const CompletionFn &done)
 {
     if (d.drop) {
@@ -88,6 +99,10 @@ PcieFabric::preempt(const sim::FaultDecision &d, const CompletionFn &done)
 void
 PcieFabric::write(FpgaId src, axi::WriteReq req, CompletionFn done)
 {
+    if (deferToBarrier([this, src, req, done]() mutable {
+            write(src, std::move(req), std::move(done));
+        }))
+        return;
     const FabricWindow *w = decode(req.addr);
     if (!w) {
         ++decodeErrors_;
@@ -124,6 +139,10 @@ PcieFabric::write(FpgaId src, axi::WriteReq req, CompletionFn done)
 void
 PcieFabric::read(FpgaId src, axi::ReadReq req, CompletionFn done)
 {
+    if (deferToBarrier([this, src, req, done]() mutable {
+            read(src, std::move(req), std::move(done));
+        }))
+        return;
     const FabricWindow *w = decode(req.addr);
     if (!w) {
         ++decodeErrors_;

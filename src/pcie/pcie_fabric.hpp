@@ -21,6 +21,7 @@
 #include "axi/axi.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/fault.hpp"
+#include "sim/parallel.hpp"
 #include "sim/server.hpp"
 #include "sim/stats.hpp"
 #include "sim/types.hpp"
@@ -83,6 +84,16 @@ class PcieFabric
      */
     void setFaultInjector(sim::FaultInjector *fi) { fault_ = fi; }
 
+    /**
+     * Attaches the phased engine's mailbox (null to detach). With a
+     * router set, transactions issued from inside a node phase are
+     * deferred to the next quantum boundary and re-issued there in
+     * deterministic mailbox order — the fabric's event bookkeeping then
+     * only ever runs in serial context. Transactions issued from serial
+     * context (setup, host drivers, barrier events) are unaffected.
+     */
+    void setRouter(sim::MailboxRouter *router) { router_ = router; }
+
     Cycles oneWayLatency() const { return oneWay_; }
 
     /** Cycles until a lost transaction's SLVERR completion fires. */
@@ -112,11 +123,16 @@ class PcieFabric
      *  when the transaction was consumed (dropped or errored). */
     bool preempt(const sim::FaultDecision &d, const CompletionFn &done);
 
+    /** Defers the call to the next barrier when inside a node phase.
+     *  @return True when the transaction was queued on the mailbox. */
+    bool deferToBarrier(std::function<void()> reissue);
+
     sim::EventQueue &eq_;
     Cycles oneWay_;
     double bytesPerCycle_;
     sim::StatRegistry *stats_;
     sim::FaultInjector *fault_ = nullptr;
+    sim::MailboxRouter *router_ = nullptr;
 
     std::vector<FabricWindow> windows_;
     std::vector<std::pair<FpgaId, sim::TrafficShaper>> links_;

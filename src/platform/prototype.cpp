@@ -272,11 +272,18 @@ Prototype::Prototype(const PrototypeConfig &cfg) : cfg_(cfg)
     packetizer_ = std::make_unique<riscv::IrqPacketizer>(
         0,
         [this](const noc::Packet &pkt) {
-            GlobalTileId gid =
-                pkt.dstNode * cfg_.tilesPerNode + pkt.dstTile;
-            if (gid < cores_.size() && cores_[gid])
-                riscv::IrqDepacketizer::apply(pkt, *cores_[gid]);
-            stats_.counter("platform.irqPackets").increment();
+            // Phased engine: a wire change raised inside a node phase for
+            // a core on *another* node travels through the mailbox and
+            // lands at the next quantum boundary (conservatively within
+            // the PCIe lookahead). Same-node and serial-context changes
+            // apply immediately, as in the sequential engine.
+            NodeId acting = sim::currentNode();
+            if (acting != sim::kNoNode && pkt.dstNode != acting) {
+                stats_.counter("platform.irqDeferred").increment();
+                router_.post([this, pkt] { deliverIrqPacket(pkt); });
+                return;
+            }
+            deliverIrqPacket(pkt);
         },
         [this](std::uint32_t hart) {
             return std::make_pair<NodeId, TileId>(
@@ -414,6 +421,9 @@ Prototype::Prototype(const PrototypeConfig &cfg) : cfg_(cfg)
                 return true;
             }
             if (num == 64) { // write(fd, buf, len)
+                // Console UART + PLIC are shared devices; under the
+                // phased engine this joins the device critical section.
+                auto guard = cs_->parallelGuard();
                 NodeId n = g / cfg_.tilesPerNode;
                 Addr buf = c.reg(11);
                 std::uint64_t len = c.reg(12);
@@ -427,6 +437,7 @@ Prototype::Prototype(const PrototypeConfig &cfg) : cfg_(cfg)
                 return true;
             }
             if (num == 63) { // read(fd, buf, len) from the console UART
+                auto guard = cs_->parallelGuard();
                 NodeId n = g / cfg_.tilesPerNode;
                 Addr buf = c.reg(11);
                 std::uint64_t len = c.reg(12);
@@ -444,9 +455,31 @@ Prototype::Prototype(const PrototypeConfig &cfg) : cfg_(cfg)
         });
         cores_.push_back(std::move(core));
     }
+
+    // Phased-engine wiring: shared components learn they may be entered
+    // from concurrent node phases, and mid-phase cross-node interactions
+    // are rerouted through the mailbox. All of it is inert (and costs
+    // one branch per hook) under the default sequential config.
+    if (cfg_.parallel.active()) {
+        router_.configure(nodes);
+        cs_->setParallel(true);
+        cs_->memory().setConcurrent(true);
+        fabric_->setRouter(&router_);
+        for (auto &b : bridges_)
+            b->setRouter(&router_);
+    }
 }
 
 Prototype::~Prototype() = default;
+
+void
+Prototype::deliverIrqPacket(const noc::Packet &pkt)
+{
+    GlobalTileId gid = pkt.dstNode * cfg_.tilesPerNode + pkt.dstTile;
+    if (gid < cores_.size() && cores_[gid])
+        riscv::IrqDepacketizer::apply(pkt, *cores_[gid]);
+    stats_.counter("platform.irqPackets").increment();
+}
 
 accel::GngAccelerator &
 Prototype::addGng(GlobalTileId tile)
@@ -500,6 +533,25 @@ Prototype::loadSource(const std::string &source)
     return prog;
 }
 
+riscv::Program
+Prototype::loadSourceReplicated(const std::string &source)
+{
+    riscv::Assembler as(kDramBase, kDramBase + 0x400000);
+    riscv::Program prog = as.assemble(source);
+    for (NodeId n = 0; n < cfg_.totalNodes(); ++n) {
+        Addr off = static_cast<Addr>(n) * cfg_.memPerNode;
+        for (const auto &seg : prog.segments)
+            cs_->memory().writeBytes(seg.base + off, seg.bytes.data(),
+                                     seg.bytes.size());
+    }
+    for (GlobalTileId g = 0; g < cores_.size(); ++g) {
+        NodeId n = g / cfg_.tilesPerNode;
+        cores_[g]->setPc(prog.entry +
+                         static_cast<Addr>(n) * cfg_.memPerNode);
+    }
+    return prog;
+}
+
 riscv::HaltReason
 Prototype::runCore(GlobalTileId gid, std::uint64_t max_instructions)
 {
@@ -534,6 +586,10 @@ void
 Prototype::runCores(const std::vector<GlobalTileId> &gids,
                     std::uint64_t max_instructions_each)
 {
+    if (cfg_.parallel.active()) {
+        runCoresPhased(gids, max_instructions_each);
+        return;
+    }
     struct State
     {
         GlobalTileId gid;
@@ -594,6 +650,134 @@ Prototype::runCores(const std::vector<GlobalTileId> &gids,
             }
         }
     }
+}
+
+void
+Prototype::runCoresPhased(const std::vector<GlobalTileId> &gids,
+                          std::uint64_t max_instructions_each)
+{
+    struct CoreState
+    {
+        GlobalTileId gid;
+        std::uint64_t executed = 0;
+        bool done = false;
+        bool parked = false; ///< In wfi, waiting for an interrupt.
+    };
+    struct NodeState
+    {
+        std::vector<CoreState> cores;
+        /** Written by the owning worker, read at the barrier (the epoch
+         *  barrier orders the accesses). */
+        bool progressed = false;
+    };
+
+    std::uint32_t nodes = cfg_.totalNodes();
+    std::vector<NodeState> ns(nodes);
+    for (GlobalTileId g : gids)
+        ns.at(g / cfg_.tilesPerNode).cores.push_back(CoreState{g});
+
+    // Quantum: the PCIe one-way latency is the lookahead — nothing one
+    // node does can reach another sooner — so it is both the default and
+    // the largest quantum that stays conservative.
+    Cycles quantum = cfg_.parallel.quantum ? cfg_.parallel.quantum
+                                           : cfg_.timing.pcieOneWay();
+    Cycles boundary = eq_.now();
+    for (GlobalTileId g : gids)
+        boundary = std::max(boundary, core(g).cycles());
+    boundary += quantum;
+
+    // Per-node stat shards: all stats produced inside a node phase land
+    // in the node's shard and merge back in node order after the run.
+    std::vector<sim::StatRegistry> shards(nodes);
+
+    auto node_phase = [&](std::uint32_t n) {
+        sim::ActingNodeScope acting(n);
+        sim::StatRegistry::Redirect redirect(&stats_, &shards[n]);
+        NodeState &node = ns[n];
+        while (true) {
+            // Smallest-local-clock-first over this node's live cores —
+            // the sequential engine's policy restricted to one node.
+            CoreState *next = nullptr;
+            for (auto &s : node.cores) {
+                if (s.done || s.parked)
+                    continue;
+                if (core(s.gid).cycles() >= boundary)
+                    continue;
+                if (!next ||
+                    core(s.gid).cycles() < core(next->gid).cycles())
+                    next = &s;
+            }
+            if (!next)
+                return;
+            auto &c = core(next->gid);
+            std::uint64_t chunk = std::min<std::uint64_t>(
+                100, max_instructions_each - next->executed);
+            if (chunk == 0) {
+                next->done = true;
+                continue;
+            }
+            riscv::HaltReason r = c.run(chunk);
+            next->executed += chunk;
+            node.progressed = true;
+            if (r == riscv::HaltReason::kExited ||
+                r == riscv::HaltReason::kEbreak) {
+                next->done = true;
+            } else if (r == riscv::HaltReason::kWfi) {
+                if (!c.interruptPending())
+                    next->parked = true; // Barriers re-arm on wake.
+            }
+        }
+    };
+
+    // An epoch with no instructions, no mailbox traffic and no device
+    // events cannot create progress later except through timer interrupts
+    // raised by the advancing mtime; bound how long we wait for one.
+    std::uint64_t idle_epochs = 0;
+    const std::uint64_t idle_limit =
+        std::max<std::uint64_t>(1, 1'000'000 / quantum);
+
+    auto barrier = [&](std::uint64_t) -> bool {
+        // Serial context: replay deferred cross-node interactions in
+        // deterministic mailbox order, then advance shared device time
+        // to the boundary.
+        std::uint64_t delivered = router_.drain();
+        clint_->setTime(boundary);
+        std::uint64_t events = eq_.runUntil(boundary);
+
+        bool any_live = false;
+        bool progress = delivered > 0 || events > 0;
+        for (auto &node : ns) {
+            if (node.progressed)
+                progress = true;
+            node.progressed = false;
+            for (auto &s : node.cores) {
+                if (s.done)
+                    continue;
+                if (s.parked && core(s.gid).interruptPending()) {
+                    s.parked = false;
+                    progress = true;
+                }
+                any_live = true;
+            }
+        }
+        if (!any_live)
+            return false;
+        if (progress) {
+            idle_epochs = 0;
+        } else if (++idle_epochs >= idle_limit) {
+            return false; // Every live core is parked with no wake source.
+        }
+        boundary += quantum;
+        return true;
+    };
+
+    std::uint32_t workers =
+        std::min(std::max<std::uint32_t>(1, cfg_.parallel.threads), nodes);
+    sim::ParallelExecutor exec(workers);
+    exec.run(nodes, node_phase, barrier);
+
+    for (std::uint32_t n = 0; n < nodes; ++n)
+        stats_.mergeFrom(shards[n]);
 }
 
 std::unique_ptr<os::GuestSystem>

@@ -41,6 +41,7 @@
 #include "riscv/interrupts.hpp"
 #include "riscv/plic.hpp"
 #include "sim/event_queue.hpp"
+#include "sim/parallel.hpp"
 #include "sim/stats.hpp"
 
 namespace smappic::platform
@@ -81,6 +82,16 @@ struct PrototypeConfig
     /** Reliable inter-node link layer (CRC + replay); see
      *  bridge::ReliabilityConfig. Off by default. */
     bridge::ReliabilityConfig reliability;
+    /**
+     * Parallel execution engine. The default ({threads = 1, quantum = 0})
+     * keeps today's sequential cycle-interleaved runCores() exactly.
+     * threads > 1 or quantum > 0 selects the phased engine: nodes advance
+     * in quanta bounded by the PCIe one-way lookahead and exchange
+     * cross-node traffic at quantum boundaries; results are bit-identical
+     * for any thread count on node-partitioned workloads (see
+     * docs/INTERNALS.md).
+     */
+    sim::ParallelConfig parallel;
 
     /** Parses "AxBxC" (e.g. "4x1x12"). @throws FatalError on bad input. */
     static PrototypeConfig parse(const std::string &spec);
@@ -143,6 +154,16 @@ class Prototype
     riscv::Program loadSource(const std::string &source);
 
     /**
+     * Assembles once and loads one copy into *every* node's DRAM (at the
+     * node's channel base), pointing each core at its own node's copy.
+     * The assembler's `la` is PC-relative, so data references resolve to
+     * the node-local replica — the preferred loader for the phased
+     * engine, where per-node code/data keeps instruction fetches from
+     * crossing nodes.
+     */
+    riscv::Program loadSourceReplicated(const std::string &source);
+
+    /**
      * Runs one core until exit/budget, pumping the device event queue in
      * step with the core clock.
      * @return The core's halt reason.
@@ -151,8 +172,11 @@ class Prototype
                               std::uint64_t max_instructions = 50'000'000);
 
     /**
-     * Runs several cores concurrently (cycle-interleaved) until all exit
-     * or every core consumes its budget.
+     * Runs several cores concurrently until all exit or every core
+     * consumes its budget. With the default config this is the
+     * sequential cycle-interleaved engine; with config().parallel active
+     * it is the phased engine (per-node quanta, conservative barrier
+     * sync, optional worker threads).
      */
     void runCores(const std::vector<GlobalTileId> &gids,
                   std::uint64_t max_instructions_each = 50'000'000);
@@ -174,9 +198,18 @@ class Prototype
   private:
     class CorePort;
 
+    /** Applies an interrupt packet to its destination core (serial
+     *  context or same-node phase only). */
+    void deliverIrqPacket(const noc::Packet &pkt);
+
+    /** Phased engine behind runCores() when config().parallel is active. */
+    void runCoresPhased(const std::vector<GlobalTileId> &gids,
+                        std::uint64_t max_instructions_each);
+
     PrototypeConfig cfg_;
     sim::StatRegistry stats_;
     sim::EventQueue eq_;
+    sim::MailboxRouter router_;
 
     std::unique_ptr<cache::CoherentSystem> cs_;
     std::unique_ptr<sim::FaultInjector> faultInjector_;

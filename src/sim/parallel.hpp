@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Conservative parallel execution harness for multi-node prototypes.
+ *
+ * SMAPPIC's scalability story rests on nodes running concurrently and
+ * interacting only through the ~1250 ns PCIe round trip (paper Fig. 8).
+ * That latency is *lookahead* in the PDES sense: whatever one node does
+ * cannot affect another sooner than the PCIe one-way delay, so each node
+ * may simulate a quantum of up to that many cycles without looking at its
+ * peers. The harness here exploits it:
+ *
+ *  - ParallelExecutor runs per-node work functions on a worker pool in
+ *    epochs separated by a barrier; the barrier callback runs serially.
+ *  - MailboxRouter collects cross-node interactions produced inside a
+ *    node phase and replays them at the next barrier in a fixed
+ *    (source node, post order) order, making delivery independent of how
+ *    worker threads interleave.
+ *  - currentNode()/ActingNodeScope tag the running thread with the node
+ *    whose state it is allowed to touch, so shared components can tell a
+ *    node phase from serial (setup/barrier) context.
+ *
+ * Determinism contract: for workloads whose mid-quantum footprint is
+ * node-disjoint (cross-node interaction flows through the mailbox or the
+ * event queue), results are bit-identical for any worker count, because
+ * node phases touch disjoint state and every serializing step (mailbox
+ * drain, event pump, stat-shard merge) runs in a fixed order.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace smappic::sim
+{
+
+/** Sentinel: the calling thread is not executing any node's phase. */
+inline constexpr NodeId kNoNode = ~NodeId{0};
+
+/** Node whose phase the calling thread is executing, or kNoNode. */
+NodeId currentNode();
+
+/** RAII tag marking the calling thread as acting for one node. */
+class ActingNodeScope
+{
+  public:
+    explicit ActingNodeScope(NodeId node);
+    ~ActingNodeScope();
+
+    ActingNodeScope(const ActingNodeScope &) = delete;
+    ActingNodeScope &operator=(const ActingNodeScope &) = delete;
+
+  private:
+    NodeId prev_;
+};
+
+/** Parallel-engine knob carried by PrototypeConfig. */
+struct ParallelConfig
+{
+    /** Worker threads. 1 with quantum 0 keeps the sequential engine. */
+    std::uint32_t threads = 1;
+    /** Epoch length in cycles; 0 picks the PCIe one-way lookahead. Any
+     *  non-zero value (or threads > 1) selects the phased engine. */
+    Cycles quantum = 0;
+
+    bool active() const { return threads > 1 || quantum > 0; }
+};
+
+/**
+ * Deferred cross-node interactions, one lane per source node. A node
+ * phase posts with post() (single writer: the worker acting for that
+ * node); the barrier drains every lane in ascending source-node order,
+ * then post order within a lane. The drain order is therefore a pure
+ * function of what each node produced, never of thread interleaving.
+ */
+class MailboxRouter
+{
+  public:
+    /** Sizes the lane table; call once before the first phase. */
+    void configure(std::uint32_t nodes);
+
+    /**
+     * Defers @p fn to the next barrier. Must be called from a node phase
+     * (currentNode() != kNoNode); the acting node picks the lane.
+     */
+    void post(std::function<void()> fn);
+
+    /** Runs and discards all deferred work. @return Entries executed. */
+    std::uint64_t drain();
+
+    /** Entries currently deferred. */
+    std::uint64_t pending() const;
+
+    /** Lifetime count of entries drained. */
+    std::uint64_t delivered() const { return delivered_; }
+
+  private:
+    std::vector<std::vector<std::function<void()>>> lanes_;
+    std::uint64_t delivered_ = 0;
+};
+
+/**
+ * Epoch-stepped worker pool. run() repeatedly executes one epoch: every
+ * group (node) is advanced by groupFn — groups are sharded round-robin
+ * over the workers, each group always on the same worker — then the
+ * barrier callback runs exactly once, serially, with every worker
+ * quiescent. Epochs continue while the barrier returns true. With one
+ * worker no threads are spawned and the loop is a plain function-call
+ * sequence, so a single-threaded run has zero synchronization overhead.
+ */
+class ParallelExecutor
+{
+  public:
+    using GroupFn = std::function<void(std::uint32_t group)>;
+    using BarrierFn = std::function<bool(std::uint64_t epoch)>;
+
+    explicit ParallelExecutor(std::uint32_t workers);
+
+    std::uint32_t workers() const { return workers_; }
+
+    /** Runs epochs over @p groups groups until @p barrier returns false.
+     *  Exceptions from groupFn/barrier end the run and are rethrown. */
+    void run(std::uint32_t groups, const GroupFn &group_fn,
+             const BarrierFn &barrier);
+
+  private:
+    std::uint32_t workers_;
+};
+
+} // namespace smappic::sim

@@ -50,11 +50,54 @@ Histogram::percentile(double p) const
 }
 
 void
+Histogram::merge(const Histogram &o)
+{
+    panicIf(counts_.size() != o.counts_.size() || width_ != o.width_,
+            "merging histograms of different shapes");
+    for (std::size_t i = 0; i < counts_.size(); ++i)
+        counts_[i] += o.counts_[i];
+    overflow_ += o.overflow_;
+    summary_.merge(o.summary_);
+}
+
+void
 Histogram::reset()
 {
     std::fill(counts_.begin(), counts_.end(), 0);
     overflow_ = 0;
     summary_.reset();
+}
+
+thread_local StatRegistry *StatRegistry::tlsRoot_ = nullptr;
+thread_local StatRegistry *StatRegistry::tlsShard_ = nullptr;
+
+StatRegistry::Redirect::Redirect(StatRegistry *root, StatRegistry *shard)
+    : prevRoot_(tlsRoot_), prevShard_(tlsShard_)
+{
+    tlsRoot_ = root;
+    tlsShard_ = shard;
+}
+
+StatRegistry::Redirect::~Redirect()
+{
+    tlsRoot_ = prevRoot_;
+    tlsShard_ = prevShard_;
+}
+
+void
+StatRegistry::mergeFrom(const StatRegistry &o)
+{
+    for (const auto &[name, c] : o.counters_)
+        counters_[name].increment(c.value());
+    for (const auto &[name, s] : o.summaries_)
+        summaries_[name].merge(s);
+    for (const auto &[name, h] : o.histograms_) {
+        auto it = histograms_.find(name);
+        if (it == histograms_.end())
+            histograms_.emplace(name, h);
+        else
+            it->second.merge(h);
+    }
 }
 
 std::uint64_t

@@ -46,6 +46,19 @@ class Summary
             max_ = v;
     }
 
+    /** Folds another summary's observations into this one. */
+    void
+    merge(const Summary &o)
+    {
+        count_ += o.count_;
+        sum_ += o.sum_;
+        sumSq_ += o.sumSq_;
+        if (o.min_ < min_)
+            min_ = o.min_;
+        if (o.max_ > max_)
+            max_ = o.max_;
+    }
+
     std::uint64_t count() const { return count_; }
     double sum() const { return sum_; }
     double mean() const { return count_ ? sum_ / count_ : 0.0; }
@@ -102,6 +115,9 @@ class Histogram
     /** Returns the smallest value v with CDF(v) >= p, bucket-quantized. */
     double percentile(double p) const;
 
+    /** Folds another histogram (same shape) into this one. */
+    void merge(const Histogram &o);
+
     void reset();
 
   private:
@@ -115,22 +131,62 @@ class Histogram
  * Flat name -> stat registry. Components register their stats under
  * hierarchical dotted names ("node0.tile3.bpc.misses"); benches read them
  * back or dump the whole registry.
+ *
+ * Parallel node phases write through per-node shard registries bound with
+ * Redirect: while a Redirect(root, shard) is live on a thread, lookups on
+ * *root* from that thread land in *shard* instead. Components keep their
+ * plain StatRegistry pointer and stay oblivious; the phased engine merges
+ * the shards back (mergeFrom) in ascending node order at the end of a run,
+ * so merged floating-point accumulation order — and therefore every dumped
+ * value — is independent of the worker count.
  */
 class StatRegistry
 {
   public:
-    Counter &counter(const std::string &name) { return counters_[name]; }
-    Summary &summaryStat(const std::string &name) { return summaries_[name]; }
+    Counter &counter(const std::string &name)
+    {
+        return active().counters_[name];
+    }
+    Summary &summaryStat(const std::string &name)
+    {
+        return active().summaries_[name];
+    }
 
     Histogram &
     histogram(const std::string &name, std::size_t buckets = 32,
               double width = 1.0)
     {
-        auto it = histograms_.find(name);
-        if (it == histograms_.end())
-            it = histograms_.emplace(name, Histogram(buckets, width)).first;
+        StatRegistry &reg = active();
+        auto it = reg.histograms_.find(name);
+        if (it == reg.histograms_.end()) {
+            it = reg.histograms_.emplace(name, Histogram(buckets, width))
+                     .first;
+        }
         return it->second;
     }
+
+    /**
+     * RAII thread-local redirection: while alive, writes through @p root
+     * on this thread are recorded in @p shard. Nests (the previous
+     * binding is restored on destruction).
+     */
+    class Redirect
+    {
+      public:
+        Redirect(StatRegistry *root, StatRegistry *shard);
+        ~Redirect();
+
+        Redirect(const Redirect &) = delete;
+        Redirect &operator=(const Redirect &) = delete;
+
+      private:
+        StatRegistry *prevRoot_;
+        StatRegistry *prevShard_;
+    };
+
+    /** Folds every stat of @p o into this registry (counters add,
+     *  summaries/histograms merge). */
+    void mergeFrom(const StatRegistry &o);
 
     /** Returns the counter's value, or 0 if never registered. */
     std::uint64_t counterValue(const std::string &name) const;
@@ -154,6 +210,16 @@ class StatRegistry
     }
 
   private:
+    /** Shard bound to this registry on this thread, or *this. */
+    StatRegistry &
+    active()
+    {
+        return (this == tlsRoot_ && tlsShard_) ? *tlsShard_ : *this;
+    }
+
+    static thread_local StatRegistry *tlsRoot_;
+    static thread_local StatRegistry *tlsShard_;
+
     std::map<std::string, Counter> counters_;
     std::map<std::string, Summary> summaries_;
     std::map<std::string, Histogram> histograms_;

@@ -1,0 +1,372 @@
+/**
+ * @file
+ * Tests of the phased parallel execution engine: the ParallelExecutor /
+ * MailboxRouter primitives, quantum-boundary delivery of deferred
+ * cross-node interactions, and the headline contract — a cross-node
+ * ping-pong workload whose final stats, exit codes and guest memory are
+ * bit-identical for any worker count.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "axi/axi.hpp"
+#include "pcie/pcie_fabric.hpp"
+#include "platform/prototype.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/log.hpp"
+#include "sim/parallel.hpp"
+#include "sim/stats.hpp"
+
+namespace smappic::platform
+{
+namespace
+{
+
+TEST(ParallelExecutor, RunsEveryGroupEachEpochAndStopsOnBarrier)
+{
+    const std::uint32_t groups = 6;
+    const std::uint64_t epochs = 4;
+    // One slot per group: written only by the worker owning the group.
+    std::vector<std::uint64_t> runs(groups, 0);
+    std::uint64_t barriers = 0;
+
+    sim::ParallelExecutor exec(3);
+    exec.run(
+        groups, [&](std::uint32_t g) { runs[g] += 1; },
+        [&](std::uint64_t epoch) {
+            EXPECT_EQ(epoch, barriers);
+            // Every group advanced exactly once since the last barrier.
+            for (std::uint32_t g = 0; g < groups; ++g)
+                EXPECT_EQ(runs[g], epoch + 1);
+            return ++barriers < epochs;
+        });
+
+    EXPECT_EQ(barriers, epochs);
+    for (std::uint32_t g = 0; g < groups; ++g)
+        EXPECT_EQ(runs[g], epochs);
+}
+
+TEST(ParallelExecutor, SerialPathMatchesThreadedPath)
+{
+    for (std::uint32_t workers : {1u, 2u, 8u}) {
+        std::vector<std::uint64_t> runs(4, 0);
+        std::uint64_t barriers = 0;
+        sim::ParallelExecutor exec(workers);
+        exec.run(
+            4, [&](std::uint32_t g) { runs[g] += 1; },
+            [&](std::uint64_t) { return ++barriers < 3; });
+        EXPECT_EQ(barriers, 3u);
+        for (auto r : runs)
+            EXPECT_EQ(r, 3u);
+    }
+}
+
+TEST(ParallelExecutor, GroupExceptionsPropagate)
+{
+    sim::ParallelExecutor exec(2);
+    EXPECT_THROW(
+        exec.run(
+            4,
+            [&](std::uint32_t g) {
+                if (g == 2)
+                    panic("boom");
+            },
+            [&](std::uint64_t) { return true; }),
+        PanicError);
+}
+
+TEST(ParallelMailboxRouter, DrainsInSourceThenPostOrder)
+{
+    sim::MailboxRouter router;
+    router.configure(3);
+    std::vector<int> order;
+    {
+        sim::ActingNodeScope acting(2);
+        router.post([&] { order.push_back(20); });
+    }
+    {
+        sim::ActingNodeScope acting(0);
+        router.post([&] { order.push_back(0); });
+        router.post([&] { order.push_back(1); });
+    }
+    {
+        sim::ActingNodeScope acting(1);
+        router.post([&] { order.push_back(10); });
+    }
+    EXPECT_EQ(router.pending(), 4u);
+    EXPECT_EQ(router.drain(), 4u);
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 10, 20}));
+    EXPECT_EQ(router.pending(), 0u);
+    EXPECT_EQ(router.delivered(), 4u);
+}
+
+TEST(ParallelMailboxRouter, PostOutsideNodePhasePanics)
+{
+    sim::MailboxRouter router;
+    router.configure(2);
+    EXPECT_THROW(router.post([] {}), PanicError);
+}
+
+/** AXI target recording write arrivals. */
+class CaptureTarget : public axi::Target
+{
+  public:
+    axi::WriteResp
+    write(const axi::WriteReq &req) override
+    {
+        writes += 1;
+        return {axi::Resp::kOkay, req.id};
+    }
+
+    axi::ReadResp
+    read(const axi::ReadReq &req) override
+    {
+        axi::ReadResp r;
+        r.id = req.id;
+        r.data.resize(req.bytes);
+        return r;
+    }
+
+    int writes = 0;
+};
+
+TEST(ParallelFabric, NodePhaseTrafficDefersToQuantumBoundary)
+{
+    sim::EventQueue eq;
+    sim::StatRegistry stats;
+    pcie::PcieFabric fabric(eq, 63, 16.0, &stats);
+    sim::MailboxRouter router;
+    router.configure(2);
+    fabric.setRouter(&router);
+
+    CaptureTarget target;
+    fabric.addWindow(0x0, 0x1000, &target, 1, "peer");
+
+    axi::WriteReq req;
+    req.addr = 0x100;
+    req.data = {1, 2, 3, 4};
+    {
+        // Issued from inside a node phase: must not touch the fabric (or
+        // the event queue) until the barrier drains the mailbox.
+        sim::ActingNodeScope acting(0);
+        fabric.write(0, req, nullptr);
+        EXPECT_EQ(router.pending(), 1u);
+        EXPECT_TRUE(eq.empty());
+        EXPECT_EQ(fabric.transfers(), 0u);
+    }
+    // Barrier: the drain re-issues in serial context, then events fly.
+    EXPECT_EQ(router.drain(), 1u);
+    EXPECT_GT(eq.pending(), 0u);
+    eq.run();
+    EXPECT_EQ(target.writes, 1);
+    EXPECT_EQ(stats.counterValue("pcie.deferred"), 1u);
+
+    // Serial-context traffic is never deferred.
+    fabric.write(0, req, nullptr);
+    EXPECT_EQ(router.pending(), 0u);
+    eq.run();
+    EXPECT_EQ(target.writes, 2);
+}
+
+TEST(ParallelStats, ShardsRedirectAndMergeDeterministically)
+{
+    sim::StatRegistry root;
+    root.counter("a").increment(5);
+    root.summaryStat("s").sample(1.0);
+
+    sim::StatRegistry shard0;
+    sim::StatRegistry shard1;
+    {
+        sim::StatRegistry::Redirect r(&root, &shard0);
+        root.counter("a").increment(2); // Lands in shard0.
+        root.summaryStat("s").sample(3.0);
+    }
+    {
+        sim::StatRegistry::Redirect r(&root, &shard1);
+        root.counter("a").increment(1); // Lands in shard1.
+    }
+    EXPECT_EQ(root.counterValue("a"), 5u);
+    EXPECT_EQ(shard0.counterValue("a"), 2u);
+    EXPECT_EQ(shard1.counterValue("a"), 1u);
+
+    root.mergeFrom(shard0);
+    root.mergeFrom(shard1);
+    EXPECT_EQ(root.counterValue("a"), 8u);
+    EXPECT_EQ(root.summaries().at("s").count(), 2u);
+    EXPECT_DOUBLE_EQ(root.summaries().at("s").sum(), 4.0);
+}
+
+/**
+ * Cross-node ping-pong: hart 0 (node 0) rings hart 2's (node 1) MSIP
+ * doorbell and parks in wfi; hart 2 wakes, stores a node-local flag,
+ * rings back, and exits; hart 0 wakes and exits. Harts 1 and 3 run a
+ * node-local compute loop (sum 0..1999 = 1999000; exit 1999000 & 63 =
+ * 24). All data references are `la`-relative, so the replicated loader
+ * keeps every hart's footprint on its own node's DRAM.
+ */
+constexpr const char *kPingPongSource = R"(
+_start:
+    csrr t0, 0xf14       # mhartid
+    li t1, 2
+    beq t0, zero, pinger
+    beq t0, t1, ponger
+compute:                 # Harts 1 and 3: node-local work.
+    li t2, 0
+    li t3, 0
+    li t4, 2000
+loop:
+    add t3, t3, t2
+    addi t2, t2, 1
+    bne t2, t4, loop
+    la t5, sum
+    sd t3, 0(t5)
+    andi a0, t3, 0x3f
+    li a7, 93
+    ecall
+pinger:
+    la t0, h0
+    csrw 0x305, t0       # mtvec
+    li t2, 0x8
+    csrw 0x304, t2       # mie.MSIE
+    csrr t3, 0x300
+    ori t3, t3, 8
+    csrw 0x300, t3       # mstatus.MIE
+    li t1, 0x02000008    # CLINT MSIP of hart 2
+    li t2, 1
+    sw t2, 0(t1)
+w0: wfi
+    j w0
+h0:
+    li a0, 5
+    li a7, 93
+    ecall
+ponger:
+    la t0, h1
+    csrw 0x305, t0
+    li t2, 0x8
+    csrw 0x304, t2
+    csrr t3, 0x300
+    ori t3, t3, 8
+    csrw 0x300, t3
+w1: wfi
+    j w1
+h1:
+    la t3, flag
+    li t4, 1
+    sd t4, 0(t3)
+    li t1, 0x02000000    # CLINT MSIP of hart 0
+    li t2, 1
+    sw t2, 0(t1)
+    li a0, 7
+    li a7, 93
+    ecall
+
+.data
+.align 3
+flag: .dword 0
+sum:  .dword 0
+)";
+
+struct PingPongRun
+{
+    std::vector<std::int64_t> exits;
+    std::uint64_t irqDeferred = 0;
+    std::uint64_t flagNode1 = 0;
+    std::uint64_t sumNode0 = 0;
+    std::uint64_t sumNode1 = 0;
+    std::string dump;
+};
+
+PingPongRun
+runPingPong(std::uint32_t threads, Cycles quantum)
+{
+    PrototypeConfig cfg = PrototypeConfig::parse("2x1x2");
+    cfg.parallel.threads = threads;
+    cfg.parallel.quantum = quantum;
+    Prototype proto(cfg);
+    riscv::Program prog = proto.loadSourceReplicated(kPingPongSource);
+    proto.runCores({0, 1, 2, 3}, 500000);
+
+    PingPongRun out;
+    for (GlobalTileId g = 0; g < 4; ++g) {
+        EXPECT_TRUE(proto.core(g).exited()) << "hart " << g;
+        out.exits.push_back(proto.core(g).exitCode());
+    }
+    out.irqDeferred = proto.stats().counterValue("platform.irqDeferred");
+    // The ponger (node 1) stored through its node-local replica of `flag`,
+    // one DRAM channel above node 0's copy.
+    std::uint64_t stride = cfg.memPerNode;
+    out.flagNode1 = proto.memory().load(prog.symbol("flag") + stride, 8);
+    out.sumNode0 = proto.memory().load(prog.symbol("sum"), 8);
+    out.sumNode1 = proto.memory().load(prog.symbol("sum") + stride, 8);
+    std::ostringstream os;
+    proto.stats().dump(os);
+    out.dump = os.str();
+    return out;
+}
+
+TEST(ParallelPlatform, PingPongBitIdenticalAcrossThreadCounts)
+{
+    // The acceptance contract: identical seeds and quantum, threads in
+    // {1, 2, 4} — final stats, exit codes and guest memory must match bit
+    // for bit. threads=1 with a non-zero quantum is the phased engine run
+    // serially (the reference schedule).
+    PingPongRun ref = runPingPong(1, 63);
+    EXPECT_EQ(ref.exits, (std::vector<std::int64_t>{5, 24, 7, 24}));
+    EXPECT_EQ(ref.flagNode1, 1u);
+    EXPECT_EQ(ref.sumNode0, 1999000u);
+    EXPECT_EQ(ref.sumNode1, 1999000u);
+    EXPECT_GE(ref.irqDeferred, 2u) << "cross-node irqs must defer";
+
+    for (std::uint32_t threads : {2u, 4u}) {
+        PingPongRun got = runPingPong(threads, 63);
+        EXPECT_EQ(got.exits, ref.exits) << threads << " threads";
+        EXPECT_EQ(got.flagNode1, ref.flagNode1);
+        EXPECT_EQ(got.sumNode0, ref.sumNode0);
+        EXPECT_EQ(got.sumNode1, ref.sumNode1);
+        EXPECT_EQ(got.dump, ref.dump)
+            << "stat dump diverged at " << threads << " threads";
+    }
+}
+
+TEST(ParallelPlatform, PhasedMatchesSequentialFunctionalResults)
+{
+    // The phased engine must agree with the sequential engine on
+    // architectural outcomes (exit codes, guest memory); timing stats may
+    // differ, since cross-node delivery is quantized to barriers.
+    PrototypeConfig seq_cfg = PrototypeConfig::parse("2x1x2");
+    ASSERT_FALSE(seq_cfg.parallel.active());
+    Prototype seq(seq_cfg);
+    riscv::Program prog = seq.loadSourceReplicated(kPingPongSource);
+    seq.runCores({0, 1, 2, 3}, 500000);
+
+    PingPongRun phased = runPingPong(2, 63);
+    for (GlobalTileId g = 0; g < 4; ++g) {
+        EXPECT_TRUE(seq.core(g).exited());
+        EXPECT_EQ(seq.core(g).exitCode(), phased.exits[g]) << "hart " << g;
+    }
+    std::uint64_t stride = seq_cfg.memPerNode;
+    EXPECT_EQ(seq.memory().load(prog.symbol("flag") + stride, 8),
+              phased.flagNode1);
+    EXPECT_EQ(seq.memory().load(prog.symbol("sum"), 8), phased.sumNode0);
+    // The sequential engine delivers cross-node irqs inline.
+    EXPECT_EQ(seq.stats().counterValue("platform.irqDeferred"), 0u);
+}
+
+TEST(ParallelPlatform, DefaultConfigKeepsSequentialEngine)
+{
+    PrototypeConfig cfg = PrototypeConfig::parse("1x1x2");
+    EXPECT_FALSE(cfg.parallel.active());
+    cfg.parallel.quantum = 63;
+    EXPECT_TRUE(cfg.parallel.active());
+    cfg.parallel.quantum = 0;
+    cfg.parallel.threads = 4;
+    EXPECT_TRUE(cfg.parallel.active());
+}
+
+} // namespace
+} // namespace smappic::platform

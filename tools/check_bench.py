@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Perf gate: compare a bench's JSON output against a checked-in baseline.
+
+Usage: check_bench.py <baseline.json> <bench-output-file>
+
+The bench output may be the raw stdout of a bench binary (the script then
+extracts the machine block from its ``json: {...}`` line) or a bare JSON
+file. The result object is flattened to dotted paths (lists become numeric
+components), and every entry of the baseline is checked against the value
+at the same path:
+
+    {"value": v, "tol": 0.15}    |result - v| <= tol * |v|  (tol 0 = exact;
+                                 also the form for exact bools/strings)
+    {"min": v}                   result >= v
+    {"min": v, "min_hw": n}      as above, but skipped (reported, not
+                                 enforced) when the result's top-level
+                                 hw_concurrency is below n -- speedup
+                                 floors are meaningless on starved hosts
+
+Exits 0 when every enforced check passes, 1 otherwise.
+"""
+
+import json
+import sys
+
+
+def load_result(path):
+    with open(path) as f:
+        text = f.read()
+    try:
+        return json.loads(text)
+    except ValueError:
+        pass
+    for line in text.splitlines():
+        if line.startswith("json: "):
+            return json.loads(line[len("json: "):])
+    raise SystemExit(f"error: no JSON object or 'json: ' line in {path}")
+
+
+def flatten_json(obj, prefix=""):
+    """Flattens dicts/lists into {dotted.path: scalar}."""
+    out = {}
+    if isinstance(obj, dict):
+        items = obj.items()
+    elif isinstance(obj, list):
+        items = ((str(i), v) for i, v in enumerate(obj))
+    else:
+        out[prefix.rstrip(".")] = obj
+        return out
+    for k, v in items:
+        out.update(flatten_json(v, f"{prefix}{k}."))
+    return out
+
+
+def main():
+    if len(sys.argv) != 3:
+        raise SystemExit(__doc__)
+    baseline = json.load(open(sys.argv[1]))
+    result = load_result(sys.argv[2])
+    flat = flatten_json(result)
+    hw = result.get("hw_concurrency")
+
+    failures = 0
+    for path, spec in sorted(baseline.items()):
+        if path not in flat:
+            print(f"FAIL {path}: missing from bench output")
+            failures += 1
+            continue
+        got = flat[path]
+        if "min" in spec:
+            min_hw = spec.get("min_hw", 0)
+            if hw is not None and hw < min_hw:
+                print(f"SKIP {path}: {got} (floor {spec['min']} needs "
+                      f">={min_hw} hw threads, host has {hw})")
+                continue
+            ok = isinstance(got, (int, float)) and got >= spec["min"]
+            print(f"{'PASS' if ok else 'FAIL'} {path}: {got} "
+                  f">= {spec['min']}")
+            failures += 0 if ok else 1
+        else:
+            want = spec["value"]
+            tol = spec.get("tol", 0)
+            if isinstance(want, bool) or not isinstance(
+                    want, (int, float)) or tol == 0:
+                ok = got == want
+                print(f"{'PASS' if ok else 'FAIL'} {path}: {got} "
+                      f"== {want}")
+            else:
+                ok = isinstance(got, (int, float)) and \
+                    abs(got - want) <= tol * abs(want)
+                print(f"{'PASS' if ok else 'FAIL'} {path}: {got} "
+                      f"within {tol:.0%} of {want}")
+            failures += 0 if ok else 1
+
+    if failures:
+        print(f"\n{failures} check(s) failed")
+        return 1
+    print("\nall checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
