@@ -169,12 +169,31 @@ CoherentSystem::dropPrivate(Addr line, GlobalTileId gid)
     l1d_[gid].invalidate(line);
     l1i_[gid].invalidate(line);
     bpc_[gid].invalidate(line);
+    maybeClearStale(line, gid);
     auto it = directory_.find(line);
     if (it == directory_.end())
         return;
     it->second.sharers &= ~(1ULL << gid);
     if (it->second.owner == static_cast<std::int32_t>(gid))
         it->second.owner = -1;
+}
+
+void
+CoherentSystem::loseInvalidation(Addr line, GlobalTileId gid)
+{
+    // The directory forgets the copy (as if the ack arrived) but the
+    // tile's arrays are left untouched: from now on the tile serves the
+    // frozen pre-store image of the line.
+    auto it = directory_.find(line);
+    if (it != directory_.end()) {
+        it->second.sharers &= ~(1ULL << gid);
+        if (it->second.owner == static_cast<std::int32_t>(gid))
+            it->second.owner = -1;
+    }
+    staleFired_ = true;
+    staleVictim_ = gid;
+    staleBytes_ = armedBytes_;
+    stats_->counter("cs.mutation.lostInvalidations").increment();
 }
 
 Cycles
@@ -204,7 +223,10 @@ CoherentSystem::recallPrivate(Addr line, NodeId hn, TileId ht, Cycles t,
         auto g = static_cast<GlobalTileId>(__builtin_ctzll(sharers));
         sharers &= sharers - 1;
         round_trip(g, kReqBytes); // Clean sharers ack without data.
-        dropPrivate(line, g);
+        if (shouldLoseInvalidation(line))
+            loseInvalidation(line, g);
+        else
+            dropPrivate(line, g);
         stats_->counter("cs.dir.invalidations").increment();
     }
     return last_ack;
@@ -287,26 +309,38 @@ CoherentSystem::privateFill(Addr line, GlobalTileId gid, std::uint32_t state,
         l1i_[gid].invalidate(vline);
 
         auto vit = directory_.find(vline);
-        panicIf(vit == directory_.end(),
-                "BPC line without a directory entry");
-        DirEntry &vdir = vit->second;
-        auto [vhn, vht] = homeOf(vline);
-        if (victim->state == kModified) {
-            // Dirty victim: write back to the home LLC slice. The
-            // writeback is buffered, so it consumes path bandwidth but
-            // does not delay the current transaction.
-            nocPath(nodeOf(gid), tileOf(gid), vhn, vht, kDataBytes, t);
-            panicIf(vdir.owner != static_cast<std::int32_t>(gid),
-                    "dirty victim not owned by evicting tile");
-            vdir.owner = -1;
-            vdir.dirty = true;
-            stats_->counter("cs.bpc.writebacks").increment();
+        if (vit == directory_.end()) {
+            // Only reachable when a test mutation orphaned this copy
+            // (the directory dropped it without the tile noticing and
+            // the entry was since reclaimed); silently complete the
+            // eviction — flagging the damage is the checker's job.
+            panicIf(mutation_ == TestMutation::kNone,
+                    "BPC line without a directory entry");
+            maybeClearStale(vline, gid);
         } else {
-            // Clean victim: notify the directory (precise tracking).
-            vdir.sharers &= ~(1ULL << gid);
-            stats_->counter("cs.bpc.cleanEvicts").increment();
+            DirEntry &vdir = vit->second;
+            auto [vhn, vht] = homeOf(vline);
+            if (victim->state == kModified) {
+                // Dirty victim: write back to the home LLC slice. The
+                // writeback is buffered, so it consumes path bandwidth
+                // but does not delay the current transaction.
+                nocPath(nodeOf(gid), tileOf(gid), vhn, vht, kDataBytes, t);
+                panicIf(vdir.owner != static_cast<std::int32_t>(gid) &&
+                            mutation_ == TestMutation::kNone,
+                        "dirty victim not owned by evicting tile");
+                if (vdir.owner == static_cast<std::int32_t>(gid))
+                    vdir.owner = -1;
+                vdir.dirty = true;
+                stats_->counter("cs.bpc.writebacks").increment();
+            } else {
+                // Clean victim: notify the directory (precise tracking).
+                vdir.sharers &= ~(1ULL << gid);
+                stats_->counter("cs.bpc.cleanEvicts").increment();
+            }
+            maybeClearStale(vline, gid);
         }
     }
+    maybeClearStale(line, gid); // A proper refill ends any stale episode.
 
     if (fill_l1i) {
         l1i_[gid].insert(line, kShared);
@@ -400,8 +434,11 @@ CoherentSystem::access(GlobalTileId gid, Addr addr, AccessType type,
     if (type == AccessType::kLoad || type == AccessType::kFetch) {
         if (l1.lookup(addr)) {
             stats_->counter("cs.l1.hits").increment();
-            return AccessResult{timing_.l1HitLatency, ServiceLevel::kL1,
-                                false};
+            AccessResult res{timing_.l1HitLatency, ServiceLevel::kL1,
+                             false};
+            if (mutation_ != TestMutation::kNone)
+                res.staleData = stalePeek(gid, line, type);
+            return res;
         }
     } else if (type == AccessType::kStore) {
         // Write-through L1: a store completes at L1 speed only when the
@@ -423,8 +460,11 @@ CoherentSystem::access(GlobalTileId gid, Addr addr, AccessType type,
         if (!l1.probe(line))
             l1.insert(line, kShared);
         stats_->counter("cs.bpc.hits").increment();
-        return AccessResult{timing_.l1MissDetect + timing_.privLatency,
-                            ServiceLevel::kPrivate, false};
+        AccessResult res{timing_.l1MissDetect + timing_.privLatency,
+                         ServiceLevel::kPrivate, false};
+        if (mutation_ != TestMutation::kNone)
+            res.staleData = stalePeek(gid, line, type);
+        return res;
     }
 
     // --- Miss: transaction to the home LLC slice ---
@@ -481,16 +521,33 @@ CoherentSystem::access(GlobalTileId gid, Addr addr, AccessType type,
           std::uint32_t resp = upgrade ? kReqBytes : kDataBytes;
           t = nocPath(hn, ht, my_node, my_tile, resp, t);
           t += timing_.privFillLatency;
+          bool drop_owner = mutation_ == TestMutation::kDropOwnerUpdate &&
+                            line == mutationLine_;
           DirEntry &d = dirEntry(line);
           d.sharers &= ~(1ULL << gid);
-          d.owner = static_cast<std::int32_t>(gid);
+          if (drop_owner)
+              stats_->counter("cs.mutation.droppedOwnerUpdates")
+                  .increment();
+          else
+              d.owner = static_cast<std::int32_t>(gid);
           if (bpc_[gid].probe(line)) {
               bpc_[gid].setState(line, kModified);
               bpc_[gid].lookup(line);
+              maybeClearStale(line, gid); // Upgrade re-acquires the line.
           } else {
               privateFill(line, gid, kModified, false, t);
               // privateFill does not touch dir ownership; re-assert it.
-              dirEntry(line).owner = static_cast<std::int32_t>(gid);
+              if (!drop_owner)
+                  dirEntry(line).owner = static_cast<std::int32_t>(gid);
+          }
+          if (mutation_ != TestMutation::kNone && line == mutationLine_ &&
+              !staleFired_) {
+              // Keep the armed image one store behind: the functional
+              // memory already holds this store's data, so refreshing
+              // now captures "everything up to and including this store"
+              // — exactly what a later lost invalidation must freeze.
+              memory_.readBytes(mutationLine_, armedBytes_.data(),
+                                kCacheLineBytes);
           }
           stats_->counter("cs.dir.storeMisses").increment();
           break;
@@ -537,6 +594,13 @@ CoherentSystem::access(GlobalTileId gid, Addr addr, AccessType type,
     }
     stats_->summaryStat("cs.missLatency").sample(
         static_cast<double>(t - now));
+    if (observer_) {
+        CoherenceEventKind kind =
+            type == AccessType::kStore ? CoherenceEventKind::kStoreMiss
+            : type == AccessType::kAtomic ? CoherenceEventKind::kAtomic
+                                          : CoherenceEventKind::kLoadMiss;
+        notify(kind, line, gid, now);
+    }
     return AccessResult{t - now, level, crossed};
 }
 
@@ -567,7 +631,10 @@ CoherentSystem::recallPrivateExcept(Addr line, NodeId hn, TileId ht, Cycles t,
         auto g = static_cast<GlobalTileId>(__builtin_ctzll(sharers));
         sharers &= sharers - 1;
         round_trip(g, kReqBytes);
-        dropPrivate(line, g);
+        if (shouldLoseInvalidation(line))
+            loseInvalidation(line, g);
+        else
+            dropPrivate(line, g);
         stats_->counter("cs.dir.invalidations").increment();
     }
     return last_ack;
@@ -588,7 +655,47 @@ CoherentSystem::flushPrivate(GlobalTileId gid)
             it->second.dirty = true; // Writeback lands in the home LLC.
         }
         dropPrivate(line, gid);
+        notify(CoherenceEventKind::kFlush, line, gid, 0);
     }
+}
+
+void
+CoherentSystem::setTestMutation(TestMutation mutation, Addr line)
+{
+    mutation_ = mutation;
+    mutationLine_ = lineAlign(line);
+    staleFired_ = false;
+    if (mutation != TestMutation::kNone)
+        memory_.readBytes(mutationLine_, armedBytes_.data(),
+                          kCacheLineBytes);
+}
+
+LineView
+CoherentSystem::inspectLine(Addr addr) const
+{
+    Addr line = lineAlign(addr);
+    LineView v;
+    auto [hn, ht] = homeOf(line);
+    v.homeNode = hn;
+    v.homeTile = ht;
+    auto it = directory_.find(line);
+    if (it != directory_.end()) {
+        v.hasDirEntry = true;
+        v.sharers = it->second.sharers;
+        v.owner = it->second.owner;
+        v.inLlc = it->second.inLlc;
+        v.dirty = it->second.dirty;
+    }
+    v.homeSliceHolds = llc_[gidOf(hn, ht)].probe(line);
+    v.tiles.resize(geo_.totalTiles());
+    for (std::uint32_t g = 0; g < geo_.totalTiles(); ++g) {
+        TileLineView &t = v.tiles[g];
+        t.inL1d = l1d_[g].probe(line);
+        t.inL1i = l1i_[g].probe(line);
+        t.inBpc = bpc_[g].probe(line);
+        t.bpcState = t.inBpc ? bpc_[g].state(line) : 0;
+    }
+    return v;
 }
 
 void
@@ -603,6 +710,26 @@ CoherentSystem::flushCaches()
     for (auto &c : llc_)
         c.flush();
     directory_.clear();
+}
+
+void
+CoherentSystem::forEachKnownLine(const std::function<void(Addr)> &fn) const
+{
+    std::set<Addr> lines;
+    for (const auto &[line, dir] : directory_)
+        lines.insert(line);
+    auto collect = [&](const CacheArray &arr) {
+        arr.forEachLine(
+            [&](Addr line, std::uint32_t) { lines.insert(line); });
+    };
+    for (std::uint32_t g = 0; g < geo_.totalTiles(); ++g) {
+        collect(l1i_[g]);
+        collect(l1d_[g]);
+        collect(bpc_[g]);
+        collect(llc_[g]);
+    }
+    for (Addr line : lines)
+        fn(line);
 }
 
 bool

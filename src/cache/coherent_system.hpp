@@ -17,6 +17,7 @@
 
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -143,6 +144,88 @@ struct AccessResult
     Cycles latency = 0;
     ServiceLevel level = ServiceLevel::kL1;
     bool crossedNode = false;
+    /**
+     * Non-null only when a test mutation (see TestMutation) left this
+     * tile with a stale private copy: points at the 64-byte line image
+     * the tile still sees. Callers that carry data (the core ports) must
+     * read from it instead of the up-to-date functional memory.
+     */
+    const std::uint8_t *staleData = nullptr;
+};
+
+/** Protocol-level transition kinds reported to a CoherenceObserver. */
+enum class CoherenceEventKind : std::uint8_t
+{
+    kLoadMiss,  ///< Load/fetch serviced beyond the private hierarchy.
+    kStoreMiss, ///< Store acquiring ownership (miss or S->M upgrade).
+    kAtomic,    ///< Atomic executed at the home LLC slice.
+    kFlush,     ///< flushPrivate() completed for a tile.
+};
+
+/** One protocol state transition, as seen by an observer. */
+struct CoherenceEvent
+{
+    CoherenceEventKind kind;
+    Addr line;        ///< Line the transition acted on.
+    GlobalTileId gid; ///< Requesting (or flushed) tile.
+    Cycles now;       ///< Virtual time the request was issued.
+};
+
+/**
+ * Observer hooked into CoherentSystem: notified after every protocol
+ * state transition (miss-path transactions and flushes; pure hits change
+ * no protocol state). Notifications run inside the system's shared-state
+ * critical section under the phased engine, so observers may inspect
+ * directory/cache state without extra locking. Null observer = zero cost
+ * beyond one pointer test per transition.
+ */
+class CoherenceObserver
+{
+  public:
+    virtual ~CoherenceObserver() = default;
+    virtual void onEvent(const CoherenceEvent &ev) = 0;
+};
+
+/** One tile's view of a line (for invariant checkers). */
+struct TileLineView
+{
+    bool inL1d = false;
+    bool inL1i = false;
+    bool inBpc = false;
+    std::uint32_t bpcState = 0; ///< kLineShared/kLineModified when inBpc.
+};
+
+/** Full cross-cutting snapshot of one line's coherence state. */
+struct LineView
+{
+    bool hasDirEntry = false;
+    std::uint64_t sharers = 0; ///< Directory sharer mask.
+    std::int32_t owner = -1;   ///< Directory owner, or -1.
+    bool inLlc = false;        ///< Directory's LLC-residency bit.
+    bool dirty = false;
+    bool homeSliceHolds = false; ///< Home LLC array actually has the line.
+    NodeId homeNode = 0;
+    TileId homeTile = 0;
+    std::vector<TileLineView> tiles; ///< Indexed by GlobalTileId.
+};
+
+/**
+ * Deliberate protocol bugs for harness self-tests: each mutation breaks
+ * one directory transition on one specific line so the correctness
+ * tooling (online checker, litmus suite) can prove it would catch a real
+ * bug. kNone (the default) leaves every path untouched.
+ */
+enum class TestMutation : std::uint8_t
+{
+    kNone,
+    /**
+     * The first sharer invalidation on the armed line is "lost": the
+     * directory believes the copy is gone but the tile keeps serving a
+     * stale image of the line (classic dropped-invalidation bug).
+     */
+    kLostInvalidation,
+    /** A store miss forgets to record the new owner in the directory. */
+    kDropOwnerUpdate,
 };
 
 /** A non-cacheable device mapped into the address space at some tile. */
@@ -177,6 +260,10 @@ class NcDevice
 class CoherentSystem
 {
   public:
+    /** Private-cache line states (CacheArray aux words; also in LineView). */
+    static constexpr std::uint32_t kLineShared = 1;
+    static constexpr std::uint32_t kLineModified = 2;
+
     CoherentSystem(const Geometry &geo, const TimingParams &timing,
                    HomingPolicy homing, sim::StatRegistry *stats = nullptr);
 
@@ -215,6 +302,33 @@ class CoherentSystem
      * probes that need repeatable cold private caches.
      */
     void flushPrivate(GlobalTileId gid);
+
+    /**
+     * Installs (or clears, with nullptr) the transition observer. The
+     * observer is invoked synchronously from the miss path and from
+     * flushPrivate(), inside the shared-state critical section.
+     */
+    void setObserver(CoherenceObserver *observer) { observer_ = observer; }
+
+    /** Cross-cutting snapshot of @p addr's line for invariant checks. */
+    LineView inspectLine(Addr addr) const;
+
+    /**
+     * Invokes @p fn once per line known to any structure — directory
+     * entries, LLC slices and private arrays (full-system sweeps).
+     */
+    void forEachKnownLine(const std::function<void(Addr)> &fn) const;
+
+    /**
+     * Arms a deliberate protocol bug on @p line (test-only; see
+     * TestMutation). kNone disarms. Armed mutations relax the internal
+     * eviction-path panics for the broken line — reporting the damage is
+     * the invariant checker's job.
+     */
+    void setTestMutation(TestMutation mutation, Addr line);
+
+    /** True when a lost invalidation left a tile with a stale copy. */
+    bool staleCopyActive() const { return staleFired_; }
 
     /** Invariant: every L1 line is also in its BPC. */
     bool checkInclusion() const;
@@ -262,10 +376,9 @@ class CoherentSystem
     }
 
   private:
-    // Private-cache line states stored in CacheArray aux words.
-    static constexpr std::uint32_t kShared = 1;
-    static constexpr std::uint32_t kModified = 2;
-    // LLC aux word bit 0 = dirty.
+    // Short aliases for the public line states. LLC aux word bit 0 = dirty.
+    static constexpr std::uint32_t kShared = kLineShared;
+    static constexpr std::uint32_t kModified = kLineModified;
 
     struct DirEntry
     {
@@ -318,6 +431,45 @@ class CoherentSystem
     /** Drops @p line from one tile's private hierarchy; updates directory. */
     void dropPrivate(Addr line, GlobalTileId gid);
 
+    /**
+     * Test-mutation path: "loses" @p gid's invalidation of @p line — the
+     * directory forgets the copy but the tile's arrays keep it, and the
+     * pre-store line image is frozen as the tile's stale view.
+     */
+    void loseInvalidation(Addr line, GlobalTileId gid);
+
+    /** True when the mutated recall of @p line must be skipped. */
+    bool shouldLoseInvalidation(Addr line) const
+    {
+        return mutation_ == TestMutation::kLostInvalidation &&
+               line == mutationLine_ && !staleFired_;
+    }
+
+    /** Ends the stale-copy episode when the victim tile drops/refills. */
+    void maybeClearStale(Addr line, GlobalTileId gid)
+    {
+        if (staleFired_ && gid == staleVictim_ && line == mutationLine_)
+            staleFired_ = false;
+    }
+
+    /** Stale line image for @p gid's load of @p line, or nullptr. */
+    const std::uint8_t *stalePeek(GlobalTileId gid, Addr line,
+                                  AccessType type) const
+    {
+        if (staleFired_ && gid == staleVictim_ && line == mutationLine_ &&
+            type == AccessType::kLoad)
+            return staleBytes_.data();
+        return nullptr;
+    }
+
+    /** Notifies the observer, if any. */
+    void notify(CoherenceEventKind kind, Addr line, GlobalTileId gid,
+                Cycles now)
+    {
+        if (observer_)
+            observer_->onEvent(CoherenceEvent{kind, line, gid, now});
+    }
+
     /** Inserts into a private hierarchy, handling victim writebacks. */
     void privateFill(Addr line, GlobalTileId gid, std::uint32_t state,
                      bool fill_l1i, Cycles t);
@@ -353,6 +505,18 @@ class CoherentSystem
 
     bool parallel_ = false;
     std::recursive_mutex mu_;
+
+    CoherenceObserver *observer_ = nullptr;
+
+    // Test-mutation state (inert while mutation_ == kNone).
+    TestMutation mutation_ = TestMutation::kNone;
+    Addr mutationLine_ = 0;
+    bool staleFired_ = false;
+    GlobalTileId staleVictim_ = 0;
+    /** Rolling pre-next-store image of the armed line. */
+    std::array<std::uint8_t, kCacheLineBytes> armedBytes_{};
+    /** Frozen image the stale victim keeps seeing after the lost recall. */
+    std::array<std::uint8_t, kCacheLineBytes> staleBytes_{};
 
     std::unique_ptr<sim::StatRegistry> ownedStats_;
     sim::StatRegistry *stats_;

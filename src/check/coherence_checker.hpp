@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Online MESI invariant checker.
+ *
+ * A CoherenceChecker observes every protocol state transition of a
+ * CoherentSystem (via cache::CoherenceObserver) and re-validates the
+ * coherence invariants for the touched line:
+ *
+ *   1. Single-writer / multiple-reader: at most one modified private
+ *      copy system-wide, and never a modified copy coexisting with any
+ *      other copy.
+ *   2. Directory precision: a tile holds a line in its private hierarchy
+ *      exactly when the directory names it (as owner or sharer), with
+ *      matching M/S state, and an owned line has no other sharers.
+ *   3. Inclusion: every L1 line is in its BPC, every private copy is
+ *      backed by a resident home-LLC copy, and the directory's
+ *      LLC-residency bit agrees with the home slice's tag array.
+ *
+ * Checks are line-scoped (O(tiles) per transition), so the checker can
+ * stay enabled during torture runs. Violations are recorded (bounded)
+ * and counted; panicOnViolation upgrades the first one to a panic().
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cache/coherent_system.hpp"
+#include "sim/stats.hpp"
+#include "sim/types.hpp"
+
+namespace smappic::check
+{
+
+/** Checker configuration (PrototypeConfig::check). */
+struct CheckConfig
+{
+    bool enabled = false;          ///< Attach a checker to the prototype.
+    bool panicOnViolation = false; ///< panic() on the first violation.
+    std::size_t maxViolations = 64; ///< Recording cap (counting continues).
+};
+
+/** One recorded invariant violation. */
+struct Violation
+{
+    std::string message;
+    Addr line = 0;
+    std::uint64_t eventIndex = 0; ///< Ordinal of the triggering event.
+};
+
+/** The online checker; attach with cs.setObserver(&checker). */
+class CoherenceChecker : public cache::CoherenceObserver
+{
+  public:
+    explicit CoherenceChecker(cache::CoherentSystem &cs,
+                              CheckConfig cfg = {},
+                              sim::StatRegistry *stats = nullptr);
+
+    void onEvent(const cache::CoherenceEvent &ev) override;
+
+    /**
+     * Validates every line known to any structure (end-of-run sweep).
+     * @return The number of violations found by this sweep.
+     */
+    std::uint64_t sweep();
+
+    /** Total violations seen (including ones beyond the recording cap). */
+    std::uint64_t violationCount() const { return violationCount_; }
+    const std::vector<Violation> &violations() const { return violations_; }
+    std::uint64_t eventsChecked() const { return eventsChecked_; }
+    bool ok() const { return violationCount_ == 0; }
+
+    /** Forgets recorded violations and counters (not the attachment). */
+    void reset();
+
+  private:
+    /** Runs all line-scoped invariants; returns violations found. */
+    std::uint64_t checkLine(Addr line);
+
+    void report(Addr line, const std::string &what);
+
+    cache::CoherentSystem &cs_;
+    CheckConfig cfg_;
+    sim::StatRegistry *stats_;
+
+    std::vector<Violation> violations_;
+    std::uint64_t violationCount_ = 0;
+    std::uint64_t eventsChecked_ = 0;
+};
+
+} // namespace smappic::check

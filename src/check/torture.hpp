@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Multi-core memory torture generator with golden-model cross-checking
+ * and failing-seed minimization.
+ *
+ * From one seed the generator emits a per-core random load/store program
+ * (AMO-free) over a small set of shared, false-sharing-prone cache
+ * lines: every 8-byte slot of the shared region is owned by exactly one
+ * core; cores store random values only to their own slots, fold loads of
+ * their own slots into a running checksum, and load other cores' slots
+ * purely to provoke coherence traffic. Because slot ownership is
+ * disjoint, the final memory image and every per-core checksum are
+ * deterministic functions of the seed alone — a flat golden replay
+ * predicts both exactly, for any engine, thread count or interleaving.
+ *
+ * A run executes the program on a real prototype (sequential or phased
+ * engine, optionally under a FaultPlan and the reliable bridge) with the
+ * online coherence checker attached, then cross-checks the image, the
+ * checksums, the exit codes and the checker verdict. On failure,
+ * runAndMinimize() shrinks the program (ops first, then address set)
+ * while the failure reproduces, and reports the minimal seed/size combo
+ * plus a copy-pasteable repro command.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "bridge/inter_node_bridge.hpp"
+#include "check/coherence_checker.hpp"
+#include "platform/prototype.hpp"
+#include "sim/fault.hpp"
+#include "sim/parallel.hpp"
+
+namespace smappic::check
+{
+
+/** One torture run's shape. Everything observable derives from these. */
+struct TortureConfig
+{
+    std::string spec = "2x1x2"; ///< Prototype geometry (all harts run).
+    std::uint64_t seed = 1;
+    std::uint32_t opsPerCore = 64;
+    /** Shared cache lines (8 slots each). Max 32 (imm12 addressing). */
+    std::uint32_t sharedLines = 4;
+    sim::ParallelConfig parallel;
+    sim::FaultPlan faultPlan;
+    bridge::ReliabilityConfig reliability;
+    CheckConfig check{true, false, 64};
+    std::uint64_t maxInstructions = 2'000'000;
+    /** Runs after program load, before the cores start (arm mutations). */
+    std::function<void(platform::Prototype &, const riscv::Program &)>
+        preRun;
+};
+
+/** Verdict + replay recipe for one torture run. */
+struct TortureReport
+{
+    bool passed = false;
+    std::uint64_t seed = 0;
+    std::uint32_t opsPerCore = 0;
+    std::uint32_t sharedLines = 0;
+    std::uint64_t checkerViolations = 0;
+    /** Human-readable golden-model mismatches (bounded). */
+    std::vector<std::string> mismatches;
+    /** Minimization rounds that led to this report (0 = first run). */
+    std::uint32_t shrinkSteps = 0;
+    /** Copy-pasteable `litmus_run` command reproducing this run. */
+    std::string repro;
+};
+
+/** Deterministic program + golden expectation for one config. */
+struct TortureProgram
+{
+    std::string source; ///< RV64 asm (mhartid-dispatched, one per core).
+    std::vector<std::uint64_t> finalSlots; ///< Expected slot values.
+    std::vector<std::uint64_t> checksums;  ///< Expected per-core chk.
+};
+
+/** Generates the program and its golden expectation (pure function of
+ *  seed, opsPerCore, sharedLines and the spec's hart count). */
+TortureProgram generateTorture(const TortureConfig &cfg);
+
+/** Runs one torture config to a verdict. */
+TortureReport runTorture(const TortureConfig &cfg);
+
+/**
+ * Runs @p cfg; on failure, greedily halves opsPerCore then sharedLines
+ * while the failure still reproduces, and returns the minimized failing
+ * report. On success returns the passing report unchanged.
+ */
+TortureReport runAndMinimize(TortureConfig cfg);
+
+} // namespace smappic::check

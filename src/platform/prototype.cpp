@@ -196,7 +196,18 @@ class Prototype::CorePort : public riscv::MemPort
         auto r = proto_.cs_->access(gid_, addr, cache::AccessType::kLoad,
                                     bytes, now);
         lat = r.latency;
-        return proto_.cs_->memory().load(addr, std::min(bytes, 8u));
+        std::uint32_t n = std::min(bytes, 8u);
+        std::uint64_t off = addr & (kCacheLineBytes - 1);
+        if (r.staleData && off + n <= kCacheLineBytes) {
+            // Test-mutation stale copy: serve the frozen line image the
+            // tile would see had its invalidation really been lost.
+            std::uint64_t v = 0;
+            for (std::uint32_t i = 0; i < n; ++i)
+                v |= static_cast<std::uint64_t>(r.staleData[off + i])
+                     << (8 * i);
+            return v;
+        }
+        return proto_.cs_->memory().load(addr, n);
     }
 
     void
@@ -249,6 +260,12 @@ Prototype::Prototype(const PrototypeConfig &cfg) : cfg_(cfg)
     geo.llcSliceBytes = cfg.llcSliceBytes;
     cs_ = std::make_unique<cache::CoherentSystem>(geo, cfg.timing,
                                                   cfg.homing, &stats_);
+
+    if (cfg.check.enabled) {
+        checker_ = std::make_unique<check::CoherenceChecker>(
+            *cs_, cfg.check, &stats_);
+        cs_->setObserver(checker_.get());
+    }
 
     // Fault injector: only built when the plan actually injects, so a
     // fault-free prototype carries null hooks everywhere.

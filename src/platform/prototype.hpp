@@ -28,6 +28,7 @@
 #include "accel/maple.hpp"
 #include "bridge/inter_node_bridge.hpp"
 #include "cache/coherent_system.hpp"
+#include "check/coherence_checker.hpp"
 #include "io/sd_card.hpp"
 #include "io/uart16550.hpp"
 #include "mem/axi_dram.hpp"
@@ -92,6 +93,10 @@ struct PrototypeConfig
      * docs/INTERNALS.md).
      */
     sim::ParallelConfig parallel;
+    /** Online coherence invariant checker (src/check/). Off by default;
+     *  when enabled the prototype owns a CoherenceChecker observing every
+     *  protocol transition of the memory system. */
+    check::CheckConfig check;
 
     /** Parses "AxBxC" (e.g. "4x1x12"). @throws FatalError on bad input. */
     static PrototypeConfig parse(const std::string &spec);
@@ -122,6 +127,8 @@ class Prototype
     pcie::PcieFabric &fabric() { return *fabric_; }
     /** Null when the config's fault plan is empty. */
     sim::FaultInjector *faultInjector() { return faultInjector_.get(); }
+    /** Null unless config().check.enabled. */
+    check::CoherenceChecker *checker() { return checker_.get(); }
     bridge::InterNodeBridge &bridge(NodeId n) { return *bridges_.at(n); }
     mem::NocAxiMemController &memController(NodeId n)
     {
@@ -212,6 +219,7 @@ class Prototype
     sim::MailboxRouter router_;
 
     std::unique_ptr<cache::CoherentSystem> cs_;
+    std::unique_ptr<check::CoherenceChecker> checker_;
     std::unique_ptr<sim::FaultInjector> faultInjector_;
     std::unique_ptr<pcie::PcieFabric> fabric_;
     std::vector<std::unique_ptr<bridge::InterNodeBridge>> bridges_;

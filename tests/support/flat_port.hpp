@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Shared test helpers: a flat golden-memory MemPort plus program-loading
+ * and bare-core construction glue, factored out of the per-file copies
+ * that used to live in test_riscv_core.cpp and test_riscv_torture.cpp.
+ */
+
+#pragma once
+
+#include <functional>
+
+#include "mem/main_memory.hpp"
+#include "riscv/assembler.hpp"
+#include "riscv/core.hpp"
+
+namespace smappic::test
+{
+
+/**
+ * A MemPort over one flat MainMemory: every access completes in a fixed
+ * latency and hits functional memory directly — the golden data plane
+ * tests compare real cache hierarchies against. Counts loads/stores so
+ * timing tests can assert traffic shapes.
+ */
+class FlatPort : public riscv::MemPort
+{
+  public:
+    explicit FlatPort(Cycles mem_lat = 1) : memLat_(mem_lat) {}
+
+    std::uint64_t
+    load(Addr addr, std::uint32_t bytes, Cycles, Cycles &lat) override
+    {
+        lat = memLat_;
+        ++loads_;
+        return memory.load(addr, bytes);
+    }
+
+    void
+    store(Addr addr, std::uint32_t bytes, std::uint64_t value, Cycles,
+          Cycles &lat) override
+    {
+        lat = memLat_;
+        ++stores_;
+        memory.store(addr, bytes, value);
+    }
+
+    std::uint32_t
+    fetch(Addr addr, Cycles, Cycles &lat) override
+    {
+        lat = 1;
+        return static_cast<std::uint32_t>(memory.load(addr, 4));
+    }
+
+    std::uint64_t
+    atomic(Addr addr, std::uint32_t bytes,
+           const std::function<std::uint64_t(std::uint64_t)> &rmw, Cycles,
+           Cycles &lat) override
+    {
+        lat = memLat_;
+        std::uint64_t old = memory.load(addr, bytes);
+        memory.store(addr, bytes, rmw(old));
+        return old;
+    }
+
+    mem::MainMemory memory;
+    std::uint64_t loads_ = 0;
+    std::uint64_t stores_ = 0;
+
+  private:
+    Cycles memLat_;
+};
+
+/** Copies every program segment into @p mem. */
+inline void
+loadProgram(mem::MainMemory &mem, const riscv::Program &prog)
+{
+    for (const auto &seg : prog.segments)
+        mem.writeBytes(seg.base, seg.bytes.data(), seg.bytes.size());
+}
+
+/** Installs the standard `ecall a7=93 -> exit(a0)` test handler. */
+inline void
+installExitHandler(riscv::RvCore &core)
+{
+    core.setEcallHandler([](riscv::RvCore &c) {
+        if (c.reg(17) == 93) {
+            c.requestExit(static_cast<std::int64_t>(c.reg(10)));
+            return true;
+        }
+        return false;
+    });
+}
+
+} // namespace smappic::test

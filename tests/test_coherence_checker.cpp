@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Tests for the online coherence invariant checker (src/check/): clean
+ * traffic produces zero violations, the LineView inspection API reflects
+ * real cache/directory state, and each test mutation — a dropped owner
+ * update and a lost invalidation — is caught, the latter including the
+ * stale-data side channel litmus tests rely on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/coherent_system.hpp"
+#include "check/coherence_checker.hpp"
+#include "sim/random.hpp"
+
+namespace smappic::check
+{
+namespace
+{
+
+using cache::AccessType;
+using cache::CoherentSystem;
+using cache::Geometry;
+using cache::HomingPolicy;
+using cache::TimingParams;
+
+Geometry
+smallGeo(std::uint32_t nodes, std::uint32_t tiles)
+{
+    Geometry g;
+    g.nodes = nodes;
+    g.tilesPerNode = tiles;
+    g.memPerNode = 1ULL << 30;
+    return g;
+}
+
+TEST(CoherenceChecker, CleanRandomTrafficHasNoViolations)
+{
+    CoherentSystem cs(smallGeo(2, 2), TimingParams{},
+                      HomingPolicy::kAddressNode);
+    CoherenceChecker chk(cs, CheckConfig{true, false, 64});
+    cs.setObserver(&chk);
+
+    sim::Xoroshiro rng(42);
+    for (int i = 0; i < 4000; ++i) {
+        GlobalTileId g = static_cast<GlobalTileId>(rng.below(4));
+        Addr addr = 0x1000 + rng.below(64) * 64;
+        AccessType t =
+            rng.chance(0.4) ? AccessType::kStore : AccessType::kLoad;
+        cs.access(g, addr, t, 8, static_cast<Cycles>(i) * 10);
+    }
+
+    EXPECT_GT(chk.eventsChecked(), 0u);
+    EXPECT_EQ(chk.violationCount(), 0u);
+    EXPECT_EQ(chk.sweep(), 0u);
+    EXPECT_TRUE(chk.ok());
+}
+
+TEST(CoherenceChecker, InspectLineReflectsRealState)
+{
+    CoherentSystem cs(smallGeo(1, 2), TimingParams{},
+                      HomingPolicy::kAddressNode);
+    cs.access(0, 0x2000, AccessType::kLoad, 8, 0);
+    cs.access(1, 0x2000, AccessType::kLoad, 8, 100);
+
+    cache::LineView v = cs.inspectLine(0x2000);
+    ASSERT_TRUE(v.hasDirEntry);
+    EXPECT_EQ(v.owner, -1);
+    EXPECT_EQ(v.sharers, 0b11u);
+    EXPECT_TRUE(v.inLlc);
+    EXPECT_TRUE(v.homeSliceHolds);
+    ASSERT_EQ(v.tiles.size(), 2u);
+    for (int g = 0; g < 2; ++g) {
+        EXPECT_TRUE(v.tiles[g].inBpc);
+        EXPECT_TRUE(v.tiles[g].inL1d);
+        EXPECT_EQ(v.tiles[g].bpcState, CoherentSystem::kLineShared);
+    }
+
+    cs.access(0, 0x2000, AccessType::kStore, 8, 200);
+    v = cs.inspectLine(0x2000);
+    EXPECT_EQ(v.owner, 0);
+    EXPECT_EQ(v.sharers, 0u);
+    EXPECT_TRUE(v.tiles[0].inBpc);
+    EXPECT_EQ(v.tiles[0].bpcState, CoherentSystem::kLineModified);
+    EXPECT_FALSE(v.tiles[1].inBpc);
+}
+
+TEST(CoherenceChecker, ForEachKnownLineSeesTouchedLines)
+{
+    CoherentSystem cs(smallGeo(1, 2), TimingParams{},
+                      HomingPolicy::kAddressNode);
+    cs.access(0, 0x3000, AccessType::kLoad, 8, 0);
+    cs.access(1, 0x3440, AccessType::kStore, 8, 10);
+
+    std::vector<Addr> lines;
+    cs.forEachKnownLine([&](Addr l) { lines.push_back(l); });
+    EXPECT_NE(std::find(lines.begin(), lines.end(), 0x3000), lines.end());
+    EXPECT_NE(std::find(lines.begin(), lines.end(), 0x3440), lines.end());
+}
+
+TEST(CoherenceChecker, DropOwnerUpdateIsCaught)
+{
+    CoherentSystem cs(smallGeo(1, 2), TimingParams{},
+                      HomingPolicy::kAddressNode);
+    CoherenceChecker chk(cs, CheckConfig{true, false, 64});
+    cs.setObserver(&chk);
+
+    const Addr line = 0x4000;
+    cs.setTestMutation(cache::TestMutation::kDropOwnerUpdate, line);
+    // A store miss should record tile 0 as owner — the mutation drops
+    // that directory update while the BPC still goes modified.
+    cs.access(0, line, AccessType::kStore, 8, 0);
+
+    EXPECT_GT(chk.violationCount(), 0u);
+    ASSERT_FALSE(chk.violations().empty());
+    EXPECT_EQ(chk.violations()[0].line, line);
+    EXPECT_GE(cs.stats().counterValue("cs.mutation.droppedOwnerUpdates"),
+              1u);
+}
+
+TEST(CoherenceChecker, LostInvalidationIsCaughtAndServesStaleData)
+{
+    CoherentSystem cs(smallGeo(1, 2), TimingParams{},
+                      HomingPolicy::kAddressNode);
+    CoherenceChecker chk(cs, CheckConfig{true, false, 64});
+    cs.setObserver(&chk);
+
+    const Addr line = 0x5000;
+    cs.memory().store(line, 8, 0x1111);
+    cs.setTestMutation(cache::TestMutation::kLostInvalidation, line);
+
+    // Tile 1 takes a shared copy; tile 0's store must invalidate it —
+    // the mutation loses exactly that invalidation.
+    cs.access(1, line, AccessType::kLoad, 8, 0);
+    cs.memory().store(line, 8, 0x2222); // what CorePort::store does
+    cs.access(0, line, AccessType::kStore, 8, 100);
+
+    EXPECT_TRUE(cs.staleCopyActive());
+    EXPECT_GT(chk.violationCount(), 0u);
+    EXPECT_GE(cs.stats().counterValue("cs.mutation.lostInvalidations"),
+              1u);
+
+    // The victim's next load of the line is served the frozen pre-store
+    // image (0x1111), not memory's 0x2222.
+    auto r = cs.access(1, line, AccessType::kLoad, 8, 200);
+    ASSERT_NE(r.staleData, nullptr);
+    std::uint64_t v = 0;
+    for (int b = 0; b < 8; ++b)
+        v |= static_cast<std::uint64_t>(r.staleData[b]) << (8 * b);
+    EXPECT_EQ(v, 0x1111u);
+
+    // A non-victim tile sees fresh data (no stale pointer).
+    auto r0 = cs.access(0, line, AccessType::kLoad, 8, 300);
+    EXPECT_EQ(r0.staleData, nullptr);
+}
+
+TEST(CoherenceChecker, PanicModeThrowsOnFirstViolation)
+{
+    CoherentSystem cs(smallGeo(1, 2), TimingParams{},
+                      HomingPolicy::kAddressNode);
+    CoherenceChecker chk(cs, CheckConfig{true, true, 64});
+    cs.setObserver(&chk);
+
+    cs.setTestMutation(cache::TestMutation::kDropOwnerUpdate, 0x6000);
+    EXPECT_THROW(cs.access(0, 0x6000, AccessType::kStore, 8, 0),
+                 PanicError);
+}
+
+TEST(CoherenceChecker, ResetForgetsRecordedState)
+{
+    CoherentSystem cs(smallGeo(1, 2), TimingParams{},
+                      HomingPolicy::kAddressNode);
+    CoherenceChecker chk(cs, CheckConfig{true, false, 64});
+    cs.setObserver(&chk);
+    cs.setTestMutation(cache::TestMutation::kDropOwnerUpdate, 0x7000);
+    cs.access(0, 0x7000, AccessType::kStore, 8, 0);
+    ASSERT_GT(chk.violationCount(), 0u);
+
+    chk.reset();
+    EXPECT_EQ(chk.violationCount(), 0u);
+    EXPECT_TRUE(chk.violations().empty());
+    EXPECT_EQ(chk.eventsChecked(), 0u);
+}
+
+} // namespace
+} // namespace smappic::check

@@ -371,5 +371,88 @@ TEST(CoherentSystem, CdrSlowerThanSmappicHomingOnSharedData)
     EXPECT_GT(cdr, smappic * 5); // Reuse caches under SMAPPIC, never CDR.
 }
 
+// ---------- table-driven MESI directory transitions ----------
+
+/** Compact directory-state descriptor for one line, derived from the
+ *  inspection API: "I" (no entry), "M<g>" (owned), "S{a,b}" (shared),
+ *  "L" (resident at home with no private copies — post-atomic/recall). */
+std::string
+dirState(CoherentSystem &cs, Addr line)
+{
+    cache::LineView v = cs.inspectLine(line);
+    if (!v.hasDirEntry)
+        return "I";
+    if (v.owner >= 0)
+        return "M" + std::to_string(v.owner);
+    if (v.sharers != 0) {
+        std::string s = "S{";
+        bool first = true;
+        for (std::uint32_t g = 0; g < v.tiles.size(); ++g) {
+            if (!((v.sharers >> g) & 1))
+                continue;
+            s += (first ? "" : ",") + std::to_string(g);
+            first = false;
+        }
+        return s + "}";
+    }
+    return "L";
+}
+
+TEST(CoherentSystem, MesiTransitionTableCrossProduct)
+{
+    // Written-down expected-next-state table: every reachable directory
+    // start state x every request shape on a 1x2 system. Start states
+    // are established by a setup access sequence on a fresh system.
+    using Op = std::pair<GlobalTileId, AccessType>;
+    struct Start
+    {
+        const char *name;
+        std::vector<Op> setup;
+    };
+    const std::vector<Start> starts = {
+        {"I", {}},
+        {"S{0}", {{0, AccessType::kLoad}}},
+        {"S{0,1}", {{0, AccessType::kLoad}, {1, AccessType::kLoad}}},
+        {"M0", {{0, AccessType::kStore}}},
+        {"L", {{0, AccessType::kAtomic}}},
+    };
+    const std::vector<Op> requests = {
+        {0, AccessType::kLoad},  {1, AccessType::kLoad},
+        {0, AccessType::kStore}, {1, AccessType::kStore},
+        {1, AccessType::kFetch}, {1, AccessType::kAtomic},
+    };
+    // expected[start][request]: rows in `starts` order, columns in
+    // `requests` order.
+    const char *expected[5][6] = {
+        // 0:load    1:load    0:store 1:store 1:fetch   1:atomic
+        {"S{0}", "S{1}", "M0", "M1", "S{1}", "L"},     // from I
+        {"S{0}", "S{0,1}", "M0", "M1", "S{0,1}", "L"}, // from S0
+        {"S{0,1}", "S{0,1}", "M0", "M1", "S{0,1}", "L"}, // from S01
+        {"M0", "S{0,1}", "M0", "M1", "S{0,1}", "L"},   // from M0
+        {"S{0}", "S{1}", "M0", "M1", "S{1}", "L"},     // from L
+    };
+
+    const Addr line = 0x8000;
+    for (std::size_t si = 0; si < starts.size(); ++si) {
+        for (std::size_t ri = 0; ri < requests.size(); ++ri) {
+            CoherentSystem cs(smallGeo(1, 2), TimingParams{},
+                              HomingPolicy::kAddressNode);
+            Cycles t = 0;
+            for (const Op &op : starts[si].setup)
+                cs.access(op.first, line, op.second, 8, t += 1000);
+            ASSERT_EQ(dirState(cs, line), starts[si].name)
+                << "setup for " << starts[si].name;
+
+            cs.access(requests[ri].first, line, requests[ri].second, 8,
+                      t += 1000);
+            EXPECT_EQ(dirState(cs, line), expected[si][ri])
+                << "from " << starts[si].name << ", request "
+                << static_cast<int>(requests[ri].second) << " by tile "
+                << requests[ri].first;
+            EXPECT_TRUE(cs.checkDirectory());
+        }
+    }
+}
+
 } // namespace
 } // namespace smappic::cache

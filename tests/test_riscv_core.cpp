@@ -12,67 +12,15 @@
 #include "riscv/core.hpp"
 #include "riscv/isa.hpp"
 #include "sim/log.hpp"
+#include "support/flat_port.hpp"
 
 namespace smappic::riscv
 {
 namespace
 {
 
-/** Flat memory port with a fixed per-access latency. */
-class FlatPort : public MemPort
-{
-  public:
-    explicit FlatPort(Cycles mem_lat = 1) : memLat_(mem_lat) {}
-
-    std::uint64_t
-    load(Addr addr, std::uint32_t bytes, Cycles, Cycles &lat) override
-    {
-        lat = memLat_;
-        ++loads_;
-        return memory.load(addr, bytes);
-    }
-
-    void
-    store(Addr addr, std::uint32_t bytes, std::uint64_t value, Cycles,
-          Cycles &lat) override
-    {
-        lat = memLat_;
-        ++stores_;
-        memory.store(addr, bytes, value);
-    }
-
-    std::uint32_t
-    fetch(Addr addr, Cycles, Cycles &lat) override
-    {
-        lat = 1;
-        return static_cast<std::uint32_t>(memory.load(addr, 4));
-    }
-
-    std::uint64_t
-    atomic(Addr addr, std::uint32_t bytes,
-           const std::function<std::uint64_t(std::uint64_t)> &rmw,
-           Cycles, Cycles &lat) override
-    {
-        lat = memLat_;
-        std::uint64_t old = memory.load(addr, bytes);
-        memory.store(addr, bytes, rmw(old));
-        return old;
-    }
-
-    mem::MainMemory memory;
-    std::uint64_t loads_ = 0;
-    std::uint64_t stores_ = 0;
-
-  private:
-    Cycles memLat_;
-};
-
-void
-loadProgram(mem::MainMemory &mem, const Program &prog)
-{
-    for (const auto &seg : prog.segments)
-        mem.writeBytes(seg.base, seg.bytes.data(), seg.bytes.size());
-}
+using test::FlatPort;
+using test::loadProgram;
 
 /** Assembles, runs to completion (ecall a7=93), returns the core. */
 struct RunResult
@@ -92,13 +40,7 @@ runProgram(const std::string &src, FlatPort &port,
     CoreConfig cfg;
     cfg.resetPc = prog.entry;
     RvCore core(cfg, port);
-    core.setEcallHandler([](RvCore &c) {
-        if (c.reg(17) == 93) { // a7 == SYS_exit
-            c.requestExit(static_cast<std::int64_t>(c.reg(10)));
-            return true;
-        }
-        return false;
-    });
+    test::installExitHandler(core);
     HaltReason r = core.run(budget);
     EXPECT_EQ(r, HaltReason::kExited) << "program did not exit";
     return RunResult{core.exitCode(), core.cycles(), core.instret()};

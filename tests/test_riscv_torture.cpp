@@ -1,10 +1,16 @@
 /**
  * @file
- * Randomized RISC-V ALU torture test: generates random arithmetic
- * instruction sequences, runs them through the assembler + decoder +
- * interpreter pipeline, and checks the final register file against an
+ * Randomized RISC-V torture tests: generate random instruction
+ * sequences, run them through the assembler + decoder + interpreter
+ * pipeline, and check the final architectural state against an
  * independent golden model implemented directly in this test. Catches
  * encode/decode/execute disagreements the targeted tests would miss.
+ *
+ * Coverage: base-ISA ALU ops, the full M extension (including the
+ * div-by-zero and signed-overflow corner semantics), pure memory
+ * sequences, and mixed ALU + load/store programs. Every case records
+ * its seed (gtest property + failure messages) so a red run replays
+ * deterministically.
  */
 
 #include <gtest/gtest.h>
@@ -13,50 +19,17 @@
 #include <string>
 #include <vector>
 
-#include "mem/main_memory.hpp"
 #include "riscv/assembler.hpp"
 #include "riscv/core.hpp"
 #include "sim/random.hpp"
+#include "support/flat_port.hpp"
 
 namespace smappic::riscv
 {
 namespace
 {
 
-class FlatPort : public MemPort
-{
-  public:
-    std::uint64_t
-    load(Addr a, std::uint32_t b, Cycles, Cycles &lat) override
-    {
-        lat = 1;
-        return mem.load(a, b);
-    }
-    void
-    store(Addr a, std::uint32_t b, std::uint64_t v, Cycles,
-          Cycles &lat) override
-    {
-        lat = 1;
-        mem.store(a, b, v);
-    }
-    std::uint32_t
-    fetch(Addr a, Cycles, Cycles &lat) override
-    {
-        lat = 1;
-        return static_cast<std::uint32_t>(mem.load(a, 4));
-    }
-    std::uint64_t
-    atomic(Addr a, std::uint32_t b,
-           const std::function<std::uint64_t(std::uint64_t)> &rmw, Cycles,
-           Cycles &lat) override
-    {
-        lat = 1;
-        std::uint64_t old = mem.load(a, b);
-        mem.store(a, b, rmw(old));
-        return old;
-    }
-    mem::MainMemory mem;
-};
+using test::FlatPort;
 
 /** Golden model: straightforward two-operand evaluation, written
  *  independently of the interpreter's switch. */
@@ -80,7 +53,6 @@ golden(const std::string &op, std::uint64_t a, std::uint64_t b,
     if (op == "sra") return static_cast<std::uint64_t>(sa >> (b & 63));
     if (op == "slt") return sa < sb ? 1 : 0;
     if (op == "sltu") return a < b ? 1 : 0;
-    if (op == "mul") return a * b;
     if (op == "addw") return w(a + b);
     if (op == "subw") return w(a - b);
     if (op == "sllw") return w(a << (b & 31));
@@ -97,6 +69,57 @@ golden(const std::string &op, std::uint64_t a, std::uint64_t b,
     if (op == "sltiu")
         return a < static_cast<std::uint64_t>(imm) ? 1 : 0;
     if (op == "addiw") return w(a + static_cast<std::uint64_t>(imm));
+
+    // M extension. Division corner cases follow the RISC-V spec: x/0 is
+    // all-ones (quotient) and x (remainder); INT_MIN/-1 is INT_MIN and 0.
+    if (op == "mul") return a * b;
+    if (op == "mulh") {
+        auto p = static_cast<__int128>(sa) * static_cast<__int128>(sb);
+        return static_cast<std::uint64_t>(p >> 64);
+    }
+    if (op == "mulhu") {
+        auto p = static_cast<unsigned __int128>(a) *
+                 static_cast<unsigned __int128>(b);
+        return static_cast<std::uint64_t>(p >> 64);
+    }
+    if (op == "mulhsu") {
+        auto p = static_cast<__int128>(sa) *
+                 static_cast<__int128>(static_cast<unsigned __int128>(b));
+        return static_cast<std::uint64_t>(p >> 64);
+    }
+    if (op == "mulw") return w(a * b);
+    if (op == "div") {
+        if (b == 0) return ~0ULL;
+        if (sa == INT64_MIN && sb == -1)
+            return static_cast<std::uint64_t>(INT64_MIN);
+        return static_cast<std::uint64_t>(sa / sb);
+    }
+    if (op == "divu") return b == 0 ? ~0ULL : a / b;
+    if (op == "rem") {
+        if (b == 0) return a;
+        if (sa == INT64_MIN && sb == -1) return 0;
+        return static_cast<std::uint64_t>(sa % sb);
+    }
+    if (op == "remu") return b == 0 ? a : a % b;
+    if (op == "divw" || op == "divuw" || op == "remw" || op == "remuw") {
+        auto aw = static_cast<std::int32_t>(a);
+        auto bw = static_cast<std::int32_t>(b);
+        auto auw = static_cast<std::uint32_t>(a);
+        auto buw = static_cast<std::uint32_t>(b);
+        if (op == "divw") {
+            if (bw == 0) return ~0ULL;
+            if (aw == INT32_MIN && bw == -1) return w(INT32_MIN);
+            return w(static_cast<std::uint32_t>(aw / bw));
+        }
+        if (op == "divuw")
+            return buw == 0 ? ~0ULL : w(auw / buw);
+        if (op == "remw") {
+            if (bw == 0) return w(auw);
+            if (aw == INT32_MIN && bw == -1) return 0;
+            return w(static_cast<std::uint32_t>(aw % bw));
+        }
+        return buw == 0 ? w(auw) : w(auw % buw);
+    }
     ADD_FAILURE() << "golden model missing op " << op;
     return 0;
 }
@@ -107,14 +130,15 @@ class TortureSweep : public ::testing::TestWithParam<int>
 
 TEST_P(TortureSweep, RandomAluSequenceMatchesGoldenModel)
 {
-    sim::Xoroshiro rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 3);
+    std::uint64_t seed = static_cast<std::uint64_t>(GetParam()) * 7919 + 3;
+    RecordProperty("seed", std::to_string(seed));
+    sim::Xoroshiro rng(seed);
 
     // Registers x18..x28 participate (clear of the exit stub's
     // a0/a7); golden state mirrors them.
     std::uint64_t state[32] = {};
     std::ostringstream src;
     src << "_start:\n";
-    // Seed registers with random constants.
     for (int r = 18; r <= 28; ++r) {
         std::uint64_t v = rng.next();
         state[r] = v;
@@ -151,26 +175,83 @@ TEST_P(TortureSweep, RandomAluSequenceMatchesGoldenModel)
     FlatPort port;
     Assembler as;
     Program prog = as.assemble(src.str());
-    for (const auto &seg : prog.segments)
-        port.mem.writeBytes(seg.base, seg.bytes.data(), seg.bytes.size());
+    test::loadProgram(port.memory, prog);
     CoreConfig cfg;
     cfg.resetPc = prog.entry;
     RvCore core(cfg, port);
-    core.setEcallHandler([](RvCore &c) {
-        if (c.reg(17) == 93) {
-            c.requestExit(0);
-            return true;
-        }
-        return false;
-    });
+    test::installExitHandler(core);
     ASSERT_EQ(core.run(10000), HaltReason::kExited);
 
     for (int r = 18; r <= 28; ++r)
         EXPECT_EQ(core.reg(static_cast<unsigned>(r)), state[r])
-            << "x" << r << " diverged (seed " << GetParam() << ")";
+            << "x" << r << " diverged (seed " << seed << ")";
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, TortureSweep, ::testing::Range(0, 12));
+
+/** M-extension torture: the multiply/divide families, with the operand
+ *  mix biased toward the spec's corner cases (0, -1, INT_MIN). */
+class MulDivTortureSweep : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(MulDivTortureSweep, RandomMulDivSequenceMatchesGoldenModel)
+{
+    std::uint64_t seed =
+        static_cast<std::uint64_t>(GetParam()) * 50021 + 7;
+    RecordProperty("seed", std::to_string(seed));
+    sim::Xoroshiro rng(seed);
+
+    std::uint64_t state[32] = {};
+    std::ostringstream src;
+    src << "_start:\n";
+    for (int r = 18; r <= 27; ++r) {
+        // Bias operands toward corner values so div-by-zero and the
+        // INT_MIN/-1 overflow actually occur in most sequences.
+        std::uint64_t v;
+        switch (rng.below(6)) {
+          case 0: v = 0; break;
+          case 1: v = ~0ULL; break;
+          case 2: v = static_cast<std::uint64_t>(INT64_MIN); break;
+          case 3: v = static_cast<std::uint64_t>(INT32_MIN); break;
+          default: v = rng.next(); break;
+        }
+        state[r] = v;
+        src << "  li x" << r << ", " << static_cast<std::int64_t>(v)
+            << "\n";
+    }
+
+    const char *m_op[] = {"mul",  "mulh",  "mulhu", "mulhsu", "mulw",
+                          "div",  "divu",  "rem",   "remu",   "divw",
+                          "divuw", "remw", "remuw"};
+    for (int i = 0; i < 250; ++i) {
+        int rd = 18 + static_cast<int>(rng.below(10));
+        int rs1 = 18 + static_cast<int>(rng.below(10));
+        int rs2 = 18 + static_cast<int>(rng.below(10));
+        const char *op = m_op[rng.below(std::size(m_op))];
+        src << "  " << op << " x" << rd << ", x" << rs1 << ", x" << rs2
+            << "\n";
+        state[rd] = golden(op, state[rs1], state[rs2], 0);
+    }
+    src << "  li a7, 93\n  li a0, 0\n  ecall\n";
+
+    FlatPort port;
+    Assembler as;
+    Program prog = as.assemble(src.str());
+    test::loadProgram(port.memory, prog);
+    CoreConfig cfg;
+    cfg.resetPc = prog.entry;
+    RvCore core(cfg, port);
+    test::installExitHandler(core);
+    ASSERT_EQ(core.run(10000), HaltReason::kExited);
+
+    for (int r = 18; r <= 27; ++r)
+        EXPECT_EQ(core.reg(static_cast<unsigned>(r)), state[r])
+            << "x" << r << " diverged (seed " << seed << ")";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MulDivTortureSweep,
+                         ::testing::Range(0, 10));
 
 } // namespace
 } // namespace smappic::riscv
@@ -179,6 +260,8 @@ namespace smappic::riscv
 {
 namespace
 {
+
+using test::FlatPort;
 
 /** Memory torture: random-width loads/stores against a golden byte
  *  image, exercising the assembler's memory operands, sign extension and
@@ -189,8 +272,10 @@ class MemTortureSweep : public ::testing::TestWithParam<int>
 
 TEST_P(MemTortureSweep, RandomLoadsStoresMatchGoldenImage)
 {
-    sim::Xoroshiro rng(static_cast<std::uint64_t>(GetParam()) * 104729 +
-                       11);
+    std::uint64_t seed =
+        static_cast<std::uint64_t>(GetParam()) * 104729 + 11;
+    RecordProperty("seed", std::to_string(seed));
+    sim::Xoroshiro rng(seed);
     constexpr Addr kScratch = 0x80500000;
     constexpr std::uint64_t kWindow = 256;
 
@@ -232,28 +317,105 @@ TEST_P(MemTortureSweep, RandomLoadsStoresMatchGoldenImage)
     FlatPort port;
     Assembler as;
     Program prog = as.assemble(src.str());
-    for (const auto &seg : prog.segments)
-        port.mem.writeBytes(seg.base, seg.bytes.data(), seg.bytes.size());
+    test::loadProgram(port.memory, prog);
     CoreConfig cfg;
     cfg.resetPc = prog.entry;
     RvCore core(cfg, port);
-    core.setEcallHandler([](RvCore &c) {
-        if (c.reg(17) == 93) {
-            c.requestExit(0);
-            return true;
-        }
-        return false;
-    });
+    test::installExitHandler(core);
     ASSERT_EQ(core.run(20000), HaltReason::kExited);
 
     // Final register value and the entire memory image must match.
-    EXPECT_EQ(core.reg(28), reg28) << "seed " << GetParam();
+    EXPECT_EQ(core.reg(28), reg28) << "seed " << seed;
     for (std::uint64_t b = 0; b < kWindow; ++b)
-        ASSERT_EQ(port.mem.load(kScratch + b, 1), image[b])
-            << "byte " << b << " (seed " << GetParam() << ")";
+        ASSERT_EQ(port.memory.load(kScratch + b, 1), image[b])
+            << "byte " << b << " (seed " << seed << ")";
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, MemTortureSweep, ::testing::Range(0, 8));
+
+/** Mixed torture: interleaved ALU (incl. M) and load/store traffic over
+ *  a golden register file plus a golden byte image — the combination a
+ *  real program actually produces. */
+class MixedTortureSweep : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(MixedTortureSweep, RandomMixedSequenceMatchesGoldenState)
+{
+    std::uint64_t seed =
+        static_cast<std::uint64_t>(GetParam()) * 65537 + 29;
+    RecordProperty("seed", std::to_string(seed));
+    sim::Xoroshiro rng(seed);
+    constexpr Addr kScratch = 0x80500000;
+    constexpr std::uint64_t kWindow = 128;
+
+    std::uint8_t image[kWindow] = {};
+    std::uint64_t state[32] = {};
+    std::ostringstream src;
+    src << "_start:\n  li x31, " << kScratch << "\n";
+    for (int r = 18; r <= 26; ++r) {
+        std::uint64_t v = rng.next();
+        state[r] = v;
+        src << "  li x" << r << ", " << static_cast<std::int64_t>(v)
+            << "\n";
+    }
+
+    const char *alu_op[] = {"add", "sub", "xor", "sll", "srl",
+                            "mul", "divu", "remu", "addw", "mulw"};
+    auto pick = [&] { return 18 + static_cast<int>(rng.below(9)); };
+
+    for (int i = 0; i < 220; ++i) {
+        switch (rng.below(3)) {
+          case 0: { // ALU
+            int rd = pick(), rs1 = pick(), rs2 = pick();
+            const char *op = alu_op[rng.below(std::size(alu_op))];
+            src << "  " << op << " x" << rd << ", x" << rs1 << ", x"
+                << rs2 << "\n";
+            state[rd] = golden(op, state[rs1], state[rs2], 0);
+            break;
+          }
+          case 1: { // store a live register (dword, aligned)
+            int rs = pick();
+            Addr off = rng.below(kWindow / 8) * 8;
+            src << "  sd x" << rs << ", " << off << "(x31)\n";
+            for (unsigned b = 0; b < 8; ++b)
+                image[off + b] =
+                    static_cast<std::uint8_t>(state[rs] >> (8 * b));
+            break;
+          }
+          default: { // load back into a live register
+            int rd = pick();
+            Addr off = rng.below(kWindow / 8) * 8;
+            src << "  ld x" << rd << ", " << off << "(x31)\n";
+            std::uint64_t v = 0;
+            for (unsigned b = 0; b < 8; ++b)
+                v |= static_cast<std::uint64_t>(image[off + b]) << (8 * b);
+            state[rd] = v;
+            break;
+          }
+        }
+    }
+    src << "  li a7, 93\n  li a0, 0\n  ecall\n";
+
+    FlatPort port;
+    Assembler as;
+    Program prog = as.assemble(src.str());
+    test::loadProgram(port.memory, prog);
+    CoreConfig cfg;
+    cfg.resetPc = prog.entry;
+    RvCore core(cfg, port);
+    test::installExitHandler(core);
+    ASSERT_EQ(core.run(20000), HaltReason::kExited);
+
+    for (int r = 18; r <= 26; ++r)
+        EXPECT_EQ(core.reg(static_cast<unsigned>(r)), state[r])
+            << "x" << r << " diverged (seed " << seed << ")";
+    for (std::uint64_t b = 0; b < kWindow; ++b)
+        ASSERT_EQ(port.memory.load(kScratch + b, 1), image[b])
+            << "byte " << b << " (seed " << seed << ")";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MixedTortureSweep, ::testing::Range(0, 8));
 
 } // namespace
 } // namespace smappic::riscv
