@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "obs/tracer.hpp"
 #include "sim/log.hpp"
 
 namespace smappic::bridge
@@ -125,6 +126,13 @@ InterNodeBridge::sendPacket(const noc::Packet &pkt)
 }
 
 void
+InterNodeBridge::setTracer(obs::Tracer *tracer)
+{
+    tracer_ =
+        tracer ? tracer->handleFor(obs::Component::kBridge) : nullptr;
+}
+
+void
 InterNodeBridge::schedulePump()
 {
     if (pumpScheduled_)
@@ -179,6 +187,17 @@ InterNodeBridge::pump()
                 stats_->counter("bridge.axiWrites").increment();
                 stats_->counter("bridge.flitsSent")
                     .increment(__builtin_popcount(valid_mask));
+            }
+            if (tracer_) {
+                obs::TraceEvent ev =
+                    obs::event(obs::EventKind::kBridgeTx);
+                ev.cycle = eq_.now();
+                ev.arg = reliable() ? peer.nextSeq : axiWritesSent_;
+                ev.extra = valid_mask;
+                ev.node = static_cast<std::uint16_t>(node_);
+                ev.tile = static_cast<std::uint16_t>(dst);
+                ev.flags = 1; // Frames always cross nodes.
+                tracer_->record(ev);
             }
             if (reliable()) {
                 PendingFrame frame;
@@ -600,6 +619,17 @@ InterNodeBridge::tryAssemble(NodeId src, noc::NocIndex noc_idx)
         ++packetsDelivered_;
         if (stats_)
             stats_->counter("bridge.packetsDelivered").increment();
+        if (tracer_) {
+            obs::TraceEvent ev = obs::event(obs::EventKind::kBridgeRx);
+            ev.cycle = eq_.now();
+            ev.duration = static_cast<std::uint32_t>(cfg_.decapLatency);
+            ev.arg = pkt.addr;
+            ev.extra = static_cast<std::uint32_t>(total);
+            ev.node = static_cast<std::uint16_t>(node_);
+            ev.tile = static_cast<std::uint16_t>(src);
+            ev.flags = 1;
+            tracer_->record(ev);
+        }
         if (deliver_) {
             eq_.schedule(cfg_.decapLatency,
                          [this, pkt = std::move(pkt)] { deliver_(pkt); });

@@ -118,6 +118,13 @@ class InterNodeBridge : public axi::Target
     void setRouter(sim::MailboxRouter *router) { router_ = router; }
 
     /**
+     * Attaches the platform tracer (null to detach). The bridge emits
+     * kBridgeTx for every encapsulated AXI frame formed by the pump and
+     * kBridgeRx for every packet reassembled on the receive side.
+     */
+    void setTracer(obs::Tracer *tracer);
+
+    /**
      * Send side: accepts a NoC packet leaving this node (ejected from the
      * mesh's off-chip port with dstNode != this node).
      */
@@ -233,6 +240,7 @@ class InterNodeBridge : public axi::Target
     sim::StatRegistry *stats_;
     sim::FaultInjector *fault_ = nullptr;
     sim::MailboxRouter *router_ = nullptr;
+    obs::Tracer *tracer_ = nullptr;
 
     std::map<NodeId, PeerState> peers_;
     std::map<NodeId, SourceState> sources_;

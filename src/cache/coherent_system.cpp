@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <set>
 
+#include "obs/tracer.hpp"
 #include "sim/log.hpp"
 
 namespace smappic::cache
@@ -125,13 +126,17 @@ Cycles
 CoherentSystem::nocPath(NodeId sn, TileId st, NodeId dn, TileId dt,
                         std::uint32_t bytes, Cycles t, bool *crossed)
 {
+    const Cycles start = t;
     if (sn == dn) {
         std::uint32_t hops = (dt == noc::kOffChipTile)
                                  ? topo_.hopsToOffChip(st)
                                  : topo_.hops(st, dt);
         if (crossed)
             *crossed = false;
-        return t + timing_.nocInject + hops * timing_.hopLatency;
+        Cycles done = t + timing_.nocInject + hops * timing_.hopLatency;
+        if (traceNoc_)
+            traceNocPath(sn, st, dn, dt, bytes, start, done, false);
+        return done;
     }
 
     // Inter-node: mesh to tile 0, northbound into the inter-node bridge,
@@ -148,7 +153,36 @@ CoherentSystem::nocPath(NodeId sn, TileId st, NodeId dn, TileId dt,
     t = bridgeIn_[dn].send(t, bytes);
     if (dt != noc::kOffChipTile)
         t += (topo_.hops(0, dt) + 1) * timing_.hopLatency;
+    if (traceNoc_)
+        traceNocPath(sn, st, dn, dt, bytes, start, t, true);
     return t;
+}
+
+void
+CoherentSystem::setTracer(obs::Tracer *tracer)
+{
+    traceCache_ =
+        tracer ? tracer->handleFor(obs::Component::kCache) : nullptr;
+    traceNoc_ = tracer ? tracer->handleFor(obs::Component::kNoc) : nullptr;
+}
+
+void
+CoherentSystem::traceNocPath(NodeId sn, TileId st, NodeId dn, TileId dt,
+                             std::uint32_t bytes, Cycles start, Cycles end,
+                             bool crossed)
+{
+    obs::TraceEvent ev = obs::event(obs::EventKind::kNocPath);
+    ev.cycle = start;
+    ev.duration = static_cast<std::uint32_t>(end - start);
+    ev.arg = (static_cast<std::uint64_t>(sn) << 48) |
+             (static_cast<std::uint64_t>(st) << 32) |
+             (static_cast<std::uint64_t>(dn) << 16) |
+             static_cast<std::uint64_t>(dt);
+    ev.extra = bytes;
+    ev.node = static_cast<std::uint16_t>(sn);
+    ev.tile = static_cast<std::uint16_t>(st);
+    ev.flags = crossed ? 1 : 0;
+    traceNoc_->record(ev);
 }
 
 Cycles
@@ -594,6 +628,22 @@ CoherentSystem::access(GlobalTileId gid, Addr addr, AccessType type,
     }
     stats_->summaryStat("cs.missLatency").sample(
         static_cast<double>(t - now));
+    if (traceCache_) {
+        obs::TraceEvent ev =
+            obs::event(type == AccessType::kAtomic
+                           ? obs::EventKind::kCacheAtomic
+                           : obs::EventKind::kCacheMiss);
+        ev.cycle = now;
+        ev.duration = static_cast<std::uint32_t>(t - now);
+        ev.arg = line;
+        ev.extra = static_cast<std::uint32_t>(level);
+        ev.node = static_cast<std::uint16_t>(my_node);
+        ev.tile = static_cast<std::uint16_t>(my_tile);
+        ev.flags = static_cast<std::uint8_t>(
+            (crossed ? 1 : 0) |
+            (type == AccessType::kStore ? 2 : 0));
+        traceCache_->record(ev);
+    }
     if (observer_) {
         CoherenceEventKind kind =
             type == AccessType::kStore ? CoherenceEventKind::kStoreMiss

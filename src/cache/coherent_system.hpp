@@ -33,6 +33,11 @@
 #include "sim/stats.hpp"
 #include "sim/types.hpp"
 
+namespace smappic::obs
+{
+class Tracer;
+}
+
 namespace smappic::cache
 {
 
@@ -310,6 +315,14 @@ class CoherentSystem
      */
     void setObserver(CoherenceObserver *observer) { observer_ = observer; }
 
+    /**
+     * Attaches the platform tracer (null to detach). The system fires
+     * kCacheMiss/kCacheAtomic events on the miss path and kNocPath events
+     * for every transaction-level NoC traversal; each trace point costs
+     * one null test when its component is disabled.
+     */
+    void setTracer(obs::Tracer *tracer);
+
     /** Cross-cutting snapshot of @p addr's line for invariant checks. */
     LineView inspectLine(Addr addr) const;
 
@@ -411,6 +424,11 @@ class CoherentSystem
     Cycles nocPath(NodeId sn, TileId st, NodeId dn, TileId dt,
                    std::uint32_t bytes, Cycles t, bool *crossed = nullptr);
 
+    /** Emits a kNocPath trace event covering [start, end). */
+    void traceNocPath(NodeId sn, TileId st, NodeId dn, TileId dt,
+                      std::uint32_t bytes, Cycles start, Cycles end,
+                      bool crossed);
+
     /** DRAM access at @p node arriving at @p t; returns completion time. */
     Cycles dramAccess(NodeId node, std::uint32_t bytes, Cycles t);
 
@@ -507,6 +525,10 @@ class CoherentSystem
     std::recursive_mutex mu_;
 
     CoherenceObserver *observer_ = nullptr;
+
+    /** Cached handleFor() guards: null unless the component is traced. */
+    obs::Tracer *traceCache_ = nullptr;
+    obs::Tracer *traceNoc_ = nullptr;
 
     // Test-mutation state (inert while mutation_ == kNone).
     TestMutation mutation_ = TestMutation::kNone;

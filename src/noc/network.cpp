@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/tracer.hpp"
 #include "sim/log.hpp"
 
 namespace smappic::noc
@@ -216,6 +217,16 @@ MeshNetwork::tick()
         RoutedFlit flit = in.fifo.front();
         in.fifo.pop_front();
         ++flitHops_;
+        if (tracer_ && flit.flit.head) {
+            obs::TraceEvent ev = obs::event(obs::EventKind::kNocHop);
+            ev.cycle = now_;
+            ev.arg = flit.dstTile;
+            ev.extra = static_cast<std::uint32_t>(m.outPort);
+            ev.node = static_cast<std::uint16_t>(localNode_);
+            ev.tile = static_cast<std::uint16_t>(m.router);
+            ev.flags = flit.toOffChip ? 1 : 0;
+            tracer_->record(ev);
+        }
 
         // Maintain wormhole locks.
         if (flit.flit.head && !flit.flit.tail) {
@@ -247,6 +258,9 @@ MeshNetwork::tick()
                 Packet pkt = deserialize(ep.assembling);
                 ep.assembling.clear();
                 ++deliveredPackets_;
+                if (tracer_)
+                    traceDeliver(pkt,
+                                 static_cast<std::uint16_t>(m.router));
                 if (ep.deliver)
                     ep.deliver(pkt);
             }
@@ -259,6 +273,8 @@ MeshNetwork::tick()
                 Packet pkt = deserialize(hub.assembling);
                 hub.assembling.clear();
                 ++deliveredPackets_;
+                if (tracer_)
+                    traceDeliver(pkt, obs::kTraceOffChip);
                 if (hub.deliver)
                     hub.deliver(pkt);
             }
@@ -316,6 +332,26 @@ MeshNetwork::idle() const
             return false;
     }
     return true;
+}
+
+void
+MeshNetwork::setTracer(obs::Tracer *tracer)
+{
+    tracer_ = tracer ? tracer->handleFor(obs::Component::kNoc) : nullptr;
+}
+
+void
+MeshNetwork::traceDeliver(const Packet &pkt, std::uint16_t tile)
+{
+    obs::TraceEvent ev = obs::event(obs::EventKind::kNocDeliver);
+    ev.cycle = now_;
+    ev.arg = pkt.addr;
+    ev.extra = (static_cast<std::uint32_t>(pkt.srcNode) << 16) |
+               static_cast<std::uint32_t>(pkt.srcTile);
+    ev.node = static_cast<std::uint16_t>(localNode_);
+    ev.tile = tile;
+    ev.flags = static_cast<std::uint8_t>(pkt.type);
+    tracer_->record(ev);
 }
 
 std::uint64_t

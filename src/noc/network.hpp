@@ -26,6 +26,11 @@
 #include "sim/stats.hpp"
 #include "sim/types.hpp"
 
+namespace smappic::obs
+{
+class Tracer;
+}
+
 namespace smappic::noc
 {
 
@@ -81,6 +86,13 @@ class MeshNetwork
 
     /** Injects at the off-chip hub (bridge/chipset pushing into the mesh). */
     void injectFromOffChip(const Packet &pkt);
+
+    /**
+     * Attaches the platform tracer (null to detach). The mesh emits
+     * kNocHop for every head-flit router traversal and kNocDeliver for
+     * every ejected packet; one null test per event when disabled.
+     */
+    void setTracer(obs::Tracer *tracer);
 
     /** Advances the network by one cycle. */
     void tick();
@@ -154,8 +166,12 @@ class MeshNetwork
     std::uint32_t bufferDepth_;
     std::vector<Router> routers_;
     std::vector<Endpoint> endpoints_; ///< One per tile + off-chip hub last.
+    /** Emits a kNocDeliver event for @p pkt ejected at @p tile. */
+    void traceDeliver(const Packet &pkt, std::uint16_t tile);
+
     NodeId localNode_ = 0;
     bool hasLocalNode_ = false;
+    obs::Tracer *tracer_ = nullptr;
     Cycles now_ = 0;
     std::uint64_t deliveredPackets_ = 0;
     std::uint64_t flitHops_ = 0;

@@ -1,0 +1,157 @@
+#include "obs/trace_io.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <istream>
+#include <ostream>
+
+#include "sim/log.hpp"
+
+namespace smappic::obs
+{
+
+namespace
+{
+
+constexpr char kMagic[4] = {'S', 'M', 'T', 'R'};
+constexpr std::size_t kRecordBytes = 32;
+
+void
+put(std::ostream &os, std::uint64_t v, std::size_t bytes)
+{
+    char buf[8];
+    for (std::size_t i = 0; i < bytes; ++i)
+        buf[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+    os.write(buf, static_cast<std::streamsize>(bytes));
+}
+
+std::uint64_t
+get(std::istream &is, std::size_t bytes)
+{
+    char buf[8];
+    is.read(buf, static_cast<std::streamsize>(bytes));
+    fatalIf(!is, "trace file truncated");
+    std::uint64_t v = 0;
+    for (std::size_t i = 0; i < bytes; ++i)
+        v |= static_cast<std::uint64_t>(static_cast<std::uint8_t>(buf[i]))
+             << (8 * i);
+    return v;
+}
+
+void
+putEvent(std::ostream &os, const TraceEvent &ev)
+{
+    put(os, ev.cycle, 8);
+    put(os, ev.arg, 8);
+    put(os, ev.duration, 4);
+    put(os, ev.extra, 4);
+    put(os, ev.node, 2);
+    put(os, ev.tile, 2);
+    put(os, ev.component, 1);
+    put(os, ev.kind, 1);
+    put(os, ev.flags, 1);
+    put(os, ev.pad, 1);
+}
+
+TraceEvent
+getEvent(std::istream &is)
+{
+    TraceEvent ev;
+    ev.cycle = get(is, 8);
+    ev.arg = get(is, 8);
+    ev.duration = static_cast<std::uint32_t>(get(is, 4));
+    ev.extra = static_cast<std::uint32_t>(get(is, 4));
+    ev.node = static_cast<std::uint16_t>(get(is, 2));
+    ev.tile = static_cast<std::uint16_t>(get(is, 2));
+    ev.component = static_cast<std::uint8_t>(get(is, 1));
+    ev.kind = static_cast<std::uint8_t>(get(is, 1));
+    ev.flags = static_cast<std::uint8_t>(get(is, 1));
+    ev.pad = static_cast<std::uint8_t>(get(is, 1));
+    return ev;
+}
+
+} // namespace
+
+void
+writeBinary(const Tracer &tracer, std::ostream &os)
+{
+    os.write(kMagic, sizeof kMagic);
+    put(os, kTraceFormatVersion, 4);
+    put(os, tracer.nodes(), 4);
+    put(os, kRecordBytes, 4);
+    for (NodeId n = 0; n < tracer.nodes(); ++n) {
+        put(os, tracer.heldOn(n), 8);
+        put(os, tracer.droppedOn(n), 8);
+    }
+    for (const TraceEvent &ev : tracer.merged())
+        putEvent(os, ev);
+}
+
+TraceData
+readBinary(std::istream &is)
+{
+    char magic[4];
+    is.read(magic, sizeof magic);
+    fatalIf(!is || std::memcmp(magic, kMagic, sizeof magic) != 0,
+            "not a SMAPPIC trace file (bad magic)");
+    TraceData td;
+    td.version = static_cast<std::uint32_t>(get(is, 4));
+    fatalIf(td.version != kTraceFormatVersion,
+            "unsupported trace format version");
+    td.nodes = static_cast<std::uint32_t>(get(is, 4));
+    fatalIf(td.nodes == 0 || td.nodes > 0x10000,
+            "trace file has an implausible node count");
+    auto record = static_cast<std::uint32_t>(get(is, 4));
+    fatalIf(record != kRecordBytes, "trace record size mismatch");
+    std::uint64_t total = 0;
+    for (std::uint32_t n = 0; n < td.nodes; ++n) {
+        td.perNodeHeld.push_back(get(is, 8));
+        td.perNodeDropped.push_back(get(is, 8));
+        total += td.perNodeHeld.back();
+    }
+    fatalIf(total > (1ull << 32), "trace file holds too many events");
+    td.events.reserve(total);
+    for (std::uint64_t i = 0; i < total; ++i)
+        td.events.push_back(getEvent(is));
+    return td;
+}
+
+void
+writeChromeJson(const std::vector<TraceEvent> &events, std::ostream &os)
+{
+    os << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+    bool first = true;
+    char buf[256];
+    for (const TraceEvent &ev : events) {
+        auto kind = static_cast<EventKind>(ev.kind);
+        auto comp = static_cast<Component>(ev.component);
+        if (!first)
+            os << ",";
+        first = false;
+        if (ev.duration > 0) {
+            std::snprintf(
+                buf, sizeof buf,
+                "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\","
+                "\"ts\":%" PRIu64 ",\"dur\":%u,\"pid\":%u,\"tid\":%u,",
+                kindName(kind), componentName(comp), ev.cycle,
+                ev.duration, ev.node, ev.tile);
+        } else {
+            std::snprintf(
+                buf, sizeof buf,
+                "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"i\","
+                "\"s\":\"t\",\"ts\":%" PRIu64 ",\"pid\":%u,\"tid\":%u,",
+                kindName(kind), componentName(comp), ev.cycle, ev.node,
+                ev.tile);
+        }
+        os << buf;
+        std::snprintf(buf, sizeof buf,
+                      "\"args\":{\"arg\":\"0x%" PRIx64
+                      "\",\"extra\":%u,\"flags\":%u}}",
+                      ev.arg, ev.extra, ev.flags);
+        os << buf;
+    }
+    os << "]}";
+}
+
+} // namespace smappic::obs

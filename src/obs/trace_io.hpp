@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Trace serialization: a compact binary container for Tracer output and
+ * an exporter to Chrome's trace_event JSON (load via chrome://tracing or
+ * https://ui.perfetto.dev).
+ *
+ * Binary layout (all fields little-endian):
+ *   "SMTR"                     4-byte magic
+ *   u32 version (currently 1)
+ *   u32 nodes
+ *   u32 record size (32)
+ *   per node: u64 held, u64 dropped
+ *   then sum(held) 32-byte records, rings concatenated in node order
+ *
+ * The writer consumes Tracer::merged(), so the byte stream inherits the
+ * tracer's worker-count-independence: same seed + same quantum => the
+ * same file, bit for bit, for any number of phased workers.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "obs/tracer.hpp"
+
+namespace smappic::obs
+{
+
+inline constexpr std::uint32_t kTraceFormatVersion = 1;
+
+/** Parsed contents of a binary trace file. */
+struct TraceData
+{
+    std::uint32_t version = 0;
+    std::uint32_t nodes = 0;
+    std::vector<std::uint64_t> perNodeHeld;
+    std::vector<std::uint64_t> perNodeDropped;
+    /** Events in node order (node 0's ring first), oldest first. */
+    std::vector<TraceEvent> events;
+
+    std::uint64_t
+    dropped() const
+    {
+        std::uint64_t n = 0;
+        for (std::uint64_t d : perNodeDropped)
+            n += d;
+        return n;
+    }
+};
+
+/** Serializes @p tracer's retained events to @p os. */
+void writeBinary(const Tracer &tracer, std::ostream &os);
+
+/** Parses a binary trace. @throws FatalError on malformed input. */
+TraceData readBinary(std::istream &is);
+
+/**
+ * Exports @p events as Chrome trace_event JSON: events with a duration
+ * become complete ("X") slices, instantaneous ones become instants
+ * ("i"); pid = node, tid = tile.
+ */
+void writeChromeJson(const std::vector<TraceEvent> &events,
+                     std::ostream &os);
+
+} // namespace smappic::obs

@@ -1,0 +1,127 @@
+#include "obs/tracer.hpp"
+
+#include <algorithm>
+
+#include "sim/log.hpp"
+#include "sim/parallel.hpp"
+
+namespace smappic::obs
+{
+
+const char *
+componentName(Component c)
+{
+    switch (c) {
+      case Component::kCache: return "cache";
+      case Component::kNoc: return "noc";
+      case Component::kPcie: return "pcie";
+      case Component::kBridge: return "bridge";
+      case Component::kCore: return "core";
+    }
+    panic("unknown trace component");
+}
+
+const char *
+kindName(EventKind kind)
+{
+    switch (kind) {
+      case EventKind::kCacheMiss: return "cacheMiss";
+      case EventKind::kCacheAtomic: return "cacheAtomic";
+      case EventKind::kNocPath: return "nocPath";
+      case EventKind::kNocHop: return "nocHop";
+      case EventKind::kNocDeliver: return "nocDeliver";
+      case EventKind::kPcieWrite: return "pcieWrite";
+      case EventKind::kPcieRead: return "pcieRead";
+      case EventKind::kBridgeTx: return "bridgeTx";
+      case EventKind::kBridgeRx: return "bridgeRx";
+      case EventKind::kCoreCommit: return "coreCommit";
+      case EventKind::kCoreStall: return "coreStall";
+    }
+    panic("unknown trace event kind");
+}
+
+void
+Tracer::configure(const TraceConfig &cfg, std::uint32_t nodes)
+{
+    fatalIf(cfg.enabled && nodes == 0, "tracer needs at least one node");
+    fatalIf(cfg.enabled && cfg.ringCapacity == 0,
+            "tracer ring capacity must be positive");
+    enabled_ = cfg.enabled;
+    mask_ = cfg.components & kAllComponents;
+    capacity_ = cfg.ringCapacity;
+    coreStallCycles_ = cfg.coreStallCycles;
+    rings_.clear();
+    if (enabled_) {
+        rings_.resize(nodes);
+        // Size the whole ring upfront: record() must never pay an
+        // allocation (the copy would dwarf the per-event cost and show
+        // up as traced-run overhead). The fill level is tracked through
+        // Ring::total, not the vector's size.
+        for (Ring &r : rings_)
+            r.buf.resize(capacity_);
+    }
+}
+
+std::uint64_t
+Tracer::recorded() const
+{
+    std::uint64_t n = 0;
+    for (const Ring &r : rings_)
+        n += r.total;
+    return n;
+}
+
+std::uint64_t
+Tracer::droppedOn(NodeId node) const
+{
+    const Ring &r = rings_.at(node);
+    return r.total > capacity_ ? r.total - capacity_ : 0;
+}
+
+std::uint64_t
+Tracer::dropped() const
+{
+    std::uint64_t n = 0;
+    for (NodeId node = 0; node < rings_.size(); ++node)
+        n += droppedOn(node);
+    return n;
+}
+
+std::uint64_t
+Tracer::heldOn(NodeId node) const
+{
+    return std::min<std::uint64_t>(rings_.at(node).total, capacity_);
+}
+
+std::vector<TraceEvent>
+Tracer::merged() const
+{
+    std::vector<TraceEvent> out;
+    std::size_t total = 0;
+    for (NodeId node = 0; node < rings_.size(); ++node)
+        total += heldOn(node);
+    out.reserve(total);
+    for (NodeId node = 0; node < rings_.size(); ++node) {
+        const Ring &r = rings_[node];
+        std::size_t held = heldOn(node);
+        // Once a ring wrapped, buf[next] is the oldest retained event;
+        // until then the oldest sits at index 0.
+        std::size_t start = r.total <= capacity_ ? 0 : r.next;
+        for (std::size_t i = 0; i < held; ++i)
+            out.push_back(r.buf[(start + i) % capacity_]);
+    }
+    return out;
+}
+
+void
+Tracer::clear()
+{
+    // Keeps the rings sized (and their pages warm): stale entries are
+    // unreachable because the fill level derives from Ring::total.
+    for (Ring &r : rings_) {
+        r.next = 0;
+        r.total = 0;
+    }
+}
+
+} // namespace smappic::obs

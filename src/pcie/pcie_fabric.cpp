@@ -1,5 +1,6 @@
 #include "pcie/pcie_fabric.hpp"
 
+#include "obs/tracer.hpp"
 #include "sim/log.hpp"
 
 namespace smappic::pcie
@@ -63,6 +64,27 @@ PcieFabric::transferArrival(FpgaId src, std::uint64_t bytes)
     return sent + oneWay_;
 }
 
+void
+PcieFabric::setTracer(obs::Tracer *tracer)
+{
+    tracer_ = tracer ? tracer->handleFor(obs::Component::kPcie) : nullptr;
+}
+
+void
+PcieFabric::traceTransfer(bool is_write, FpgaId src, Addr addr,
+                          std::uint64_t bytes, Cycles arrival)
+{
+    obs::TraceEvent ev = obs::event(is_write ? obs::EventKind::kPcieWrite
+                                             : obs::EventKind::kPcieRead);
+    ev.cycle = eq_.now();
+    ev.duration = static_cast<std::uint32_t>(arrival - eq_.now());
+    ev.arg = addr;
+    ev.extra = static_cast<std::uint32_t>(bytes);
+    ev.node = static_cast<std::uint16_t>(src);
+    ev.tile = obs::kTraceOffChip;
+    tracer_->record(ev);
+}
+
 bool
 PcieFabric::deferToBarrier(std::function<void()> reissue)
 {
@@ -121,6 +143,8 @@ PcieFabric::write(FpgaId src, axi::WriteReq req, CompletionFn done)
     }
     Cycles arrival = transferArrival(src, req.data.size() + 32) +
                      fd.extraDelay;
+    if (tracer_)
+        traceTransfer(true, src, req.addr, req.data.size() + 32, arrival);
     axi::Target *target = w->target;
     // Deliver at the far side, then return the B response across the
     // fabric (response transfers are small TLPs).
@@ -157,6 +181,8 @@ PcieFabric::read(FpgaId src, axi::ReadReq req, CompletionFn done)
             return;
     }
     Cycles arrival = transferArrival(src, 32) + fd.extraDelay;
+    if (tracer_)
+        traceTransfer(false, src, req.addr, 32, arrival);
     axi::Target *target = w->target;
     bool corrupt = fd.corrupt;
     eq_.scheduleAt(arrival, [this, target, req = std::move(req), done,

@@ -26,6 +26,11 @@
 #include "sim/stats.hpp"
 #include "sim/types.hpp"
 
+namespace smappic::obs
+{
+class Tracer;
+}
+
 namespace smappic::pcie
 {
 
@@ -94,6 +99,14 @@ class PcieFabric
      */
     void setRouter(sim::MailboxRouter *router) { router_ = router; }
 
+    /**
+     * Attaches the platform tracer (null to detach). Each accepted
+     * transaction emits kPcieWrite/kPcieRead with duration = one-way
+     * transit (issue to far-side arrival); deferred transactions are
+     * traced when re-issued at the barrier, in mailbox order.
+     */
+    void setTracer(obs::Tracer *tracer);
+
     Cycles oneWayLatency() const { return oneWay_; }
 
     /** Cycles until a lost transaction's SLVERR completion fires. */
@@ -133,6 +146,12 @@ class PcieFabric
     sim::StatRegistry *stats_;
     sim::FaultInjector *fault_ = nullptr;
     sim::MailboxRouter *router_ = nullptr;
+    obs::Tracer *tracer_ = nullptr;
+
+    /** Emits a kPcieWrite/kPcieRead event for a transaction from @p src
+     *  spanning [now, arrival). */
+    void traceTransfer(bool is_write, FpgaId src, Addr addr,
+                       std::uint64_t bytes, Cycles arrival);
 
     std::vector<FabricWindow> windows_;
     std::vector<std::pair<FpgaId, sim::TrafficShaper>> links_;

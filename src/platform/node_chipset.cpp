@@ -44,6 +44,13 @@ NodeChipset::NodeChipset(NodeId node, std::uint32_t tiles_per_node,
 }
 
 void
+NodeChipset::setTracer(obs::Tracer *tracer)
+{
+    for (auto &net : nets_)
+        net->setTracer(tracer);
+}
+
+void
 NodeChipset::setTileDeliverFn(TileId tile, TileFn fn)
 {
     // The same sink observes the tile on all three physical networks.

@@ -47,6 +47,9 @@ class NodeChipset
     /** Registers the sink for packets delivered to @p tile. */
     void setTileDeliverFn(TileId tile, TileFn fn);
 
+    /** Attaches the platform tracer to all three mesh networks. */
+    void setTracer(obs::Tracer *tracer);
+
     /** Injects a packet at its source tile on the network pkt.noc names. */
     void injectFromTile(const noc::Packet &pkt);
 

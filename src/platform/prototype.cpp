@@ -1,8 +1,10 @@
 #include "platform/prototype.hpp"
 
 #include <algorithm>
+#include <fstream>
 #include <sstream>
 
+#include "obs/trace_io.hpp"
 #include "sim/log.hpp"
 
 namespace smappic::platform
@@ -473,6 +475,19 @@ Prototype::Prototype(const PrototypeConfig &cfg) : cfg_(cfg)
         cores_.push_back(std::move(core));
     }
 
+    // Observability: configure the tracer and hand each traced component
+    // its cached per-component handle (null when tracing is disabled or
+    // the component is masked out, so every trace point costs exactly one
+    // branch on a cached pointer).
+    tracer_.configure(cfg_.trace, nodes);
+    cs_->setTracer(&tracer_);
+    fabric_->setTracer(&tracer_);
+    for (auto &b : bridges_)
+        b->setTracer(&tracer_);
+    for (GlobalTileId g = 0; g < cores_.size(); ++g)
+        cores_[g]->setTracer(&tracer_, g / cfg_.tilesPerNode,
+                             cfg_.trace.coreStallCycles);
+
     // Phased-engine wiring: shared components learn they may be entered
     // from concurrent node phases, and mid-phase cross-node interactions
     // are rerouted through the mailbox. All of it is inert (and costs
@@ -488,6 +503,18 @@ Prototype::Prototype(const PrototypeConfig &cfg) : cfg_(cfg)
 }
 
 Prototype::~Prototype() = default;
+
+void
+Prototype::writeTrace(const std::string &path) const
+{
+    fatalIf(!tracer_.enabled(), "writeTrace: tracing is disabled");
+    const std::string &target = path.empty() ? cfg_.trace.path : path;
+    fatalIf(target.empty(), "writeTrace: no output path configured");
+    std::ofstream os(target, std::ios::binary);
+    fatalIf(!os, "writeTrace: cannot open '" + target + "'");
+    obs::writeBinary(tracer_, os);
+    fatalIf(!os.good(), "writeTrace: write to '" + target + "' failed");
+}
 
 void
 Prototype::deliverIrqPacket(const noc::Packet &pkt)

@@ -33,6 +33,7 @@
 #include "io/uart16550.hpp"
 #include "mem/axi_dram.hpp"
 #include "mem/noc_axi_memctrl.hpp"
+#include "obs/tracer.hpp"
 #include "os/guest_system.hpp"
 #include "pcie/pcie_fabric.hpp"
 #include "riscv/assembler.hpp"
@@ -97,6 +98,10 @@ struct PrototypeConfig
      *  when enabled the prototype owns a CoherenceChecker observing every
      *  protocol transition of the memory system. */
     check::CheckConfig check;
+    /** Cycle-accurate event tracing (src/obs/). Off by default; when
+     *  enabled every selected component records into per-node ring
+     *  buffers merged deterministically (see docs/INTERNALS.md). */
+    obs::TraceConfig trace;
 
     /** Parses "AxBxC" (e.g. "4x1x12"). @throws FatalError on bad input. */
     static PrototypeConfig parse(const std::string &spec);
@@ -129,6 +134,17 @@ class Prototype
     sim::FaultInjector *faultInjector() { return faultInjector_.get(); }
     /** Null unless config().check.enabled. */
     check::CoherenceChecker *checker() { return checker_.get(); }
+    /** The platform tracer (inert unless config().trace.enabled). */
+    obs::Tracer &tracer() { return tracer_; }
+    const obs::Tracer &tracer() const { return tracer_; }
+
+    /**
+     * Writes the recorded trace in the compact binary format (see
+     * obs/trace_io.hpp). @p path defaults to config().trace.path.
+     * @throws FatalError when the file cannot be written or tracing is
+     * disabled.
+     */
+    void writeTrace(const std::string &path = "") const;
     bridge::InterNodeBridge &bridge(NodeId n) { return *bridges_.at(n); }
     mem::NocAxiMemController &memController(NodeId n)
     {
@@ -217,6 +233,7 @@ class Prototype
     sim::StatRegistry stats_;
     sim::EventQueue eq_;
     sim::MailboxRouter router_;
+    obs::Tracer tracer_;
 
     std::unique_ptr<cache::CoherentSystem> cs_;
     std::unique_ptr<check::CoherenceChecker> checker_;

@@ -1,5 +1,6 @@
 #include "riscv/core.hpp"
 
+#include "obs/tracer.hpp"
 #include "sim/log.hpp"
 
 namespace smappic::riscv
@@ -75,6 +76,14 @@ RvCore::setReg(unsigned idx, std::uint64_t v)
     panicIf(idx >= 32, "register index out of range");
     if (idx != 0)
         regs_[idx] = v;
+}
+
+void
+RvCore::setTracer(obs::Tracer *tracer, NodeId node, Cycles stall_cycles)
+{
+    tracer_ = tracer ? tracer->handleFor(obs::Component::kCore) : nullptr;
+    traceNode_ = static_cast<std::uint16_t>(node);
+    traceStallCycles_ = stall_cycles;
 }
 
 bool
@@ -853,6 +862,19 @@ RvCore::step()
     cycles_ += total;
     if (stats_)
         stats_->counter("core.instret").increment();
+    if (tracer_) {
+        obs::TraceEvent ev = obs::event(obs::EventKind::kCoreCommit);
+        ev.cycle = cycles_ - total;
+        ev.duration = static_cast<std::uint32_t>(total);
+        ev.arg = pc;
+        ev.node = traceNode_;
+        ev.tile = static_cast<std::uint16_t>(cfg_.hartId);
+        tracer_->record(ev);
+        if (total >= traceStallCycles_) {
+            ev.kind = static_cast<std::uint8_t>(obs::EventKind::kCoreStall);
+            tracer_->record(ev);
+        }
+    }
     return total;
 }
 

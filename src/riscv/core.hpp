@@ -22,6 +22,11 @@
 #include "sim/stats.hpp"
 #include "sim/types.hpp"
 
+namespace smappic::obs
+{
+class Tracer;
+}
+
 namespace smappic::riscv
 {
 
@@ -130,6 +135,15 @@ class RvCore
     void setTraceFn(TraceFn fn) { trace_ = std::move(fn); }
 
     /**
+     * Attaches the platform tracer (null to detach). Every retired
+     * instruction emits kCoreCommit (arg = pc, duration = cycles
+     * consumed); retirements spanning at least @p stall_cycles also emit
+     * kCoreStall, flagging long memory latencies. @p node tags the events
+     * with the core's node (the core itself only knows its hart id).
+     */
+    void setTracer(obs::Tracer *tracer, NodeId node, Cycles stall_cycles);
+
+    /**
      * Drives an interrupt wire (from the interrupt depacketizer).
      * @param irq One of kIrqMsi / kIrqMti / kIrqMei.
      */
@@ -177,6 +191,9 @@ class RvCore
     CoreConfig cfg_;
     MemPort &port_;
     sim::StatRegistry *stats_;
+    obs::Tracer *tracer_ = nullptr;
+    std::uint16_t traceNode_ = 0;
+    Cycles traceStallCycles_ = 8;
 
     std::uint64_t regs_[32] = {};
     Addr pc_;

@@ -42,7 +42,7 @@ void warn(const std::string &msg);
 /** Prints an informational message to stderr. */
 void inform(const std::string &msg);
 
-/** Fails with panic() when @p cond is false. */
+/** Fails with panic() when @p cond is true. */
 inline void
 panicIf(bool cond, const std::string &msg)
 {

@@ -11,25 +11,17 @@
 namespace smappic::sim
 {
 
-namespace
-{
-thread_local NodeId tlsActingNode = kNoNode;
-} // namespace
+thread_local NodeId detail::tlsActingNode = kNoNode;
 
-NodeId
-currentNode()
+ActingNodeScope::ActingNodeScope(NodeId node)
+    : prev_(detail::tlsActingNode)
 {
-    return tlsActingNode;
-}
-
-ActingNodeScope::ActingNodeScope(NodeId node) : prev_(tlsActingNode)
-{
-    tlsActingNode = node;
+    detail::tlsActingNode = node;
 }
 
 ActingNodeScope::~ActingNodeScope()
 {
-    tlsActingNode = prev_;
+    detail::tlsActingNode = prev_;
 }
 
 void

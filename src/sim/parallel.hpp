@@ -40,8 +40,18 @@ namespace smappic::sim
 /** Sentinel: the calling thread is not executing any node's phase. */
 inline constexpr NodeId kNoNode = ~NodeId{0};
 
-/** Node whose phase the calling thread is executing, or kNoNode. */
-NodeId currentNode();
+namespace detail
+{
+extern thread_local NodeId tlsActingNode;
+} // namespace detail
+
+/** Node whose phase the calling thread is executing, or kNoNode.
+ *  Inline: trace points query this on their hot path. */
+inline NodeId
+currentNode()
+{
+    return detail::tlsActingNode;
+}
 
 /** RAII tag marking the calling thread as acting for one node. */
 class ActingNodeScope

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 
 #include "sim/log.hpp"
 
@@ -20,7 +21,9 @@ Histogram::sample(double v)
 {
     summary_.sample(v);
     if (v < 0.0) {
-        counts_[0] += 1;
+        // Dedicated underflow bin: folding negatives into bucket 0 would
+        // make percentile() report them as positive values in [0, width).
+        underflow_ += 1;
         return;
     }
     auto idx = static_cast<std::size_t>(v / width_);
@@ -40,7 +43,9 @@ Histogram::percentile(double p) const
     auto threshold =
         static_cast<std::uint64_t>(std::ceil(p * static_cast<double>(total)));
     threshold = std::max<std::uint64_t>(threshold, 1);
-    std::uint64_t seen = 0;
+    std::uint64_t seen = underflow_;
+    if (seen >= threshold)
+        return summary_.min();
     for (std::size_t i = 0; i < counts_.size(); ++i) {
         seen += counts_[i];
         if (seen >= threshold)
@@ -57,6 +62,7 @@ Histogram::merge(const Histogram &o)
     for (std::size_t i = 0; i < counts_.size(); ++i)
         counts_[i] += o.counts_[i];
     overflow_ += o.overflow_;
+    underflow_ += o.underflow_;
     summary_.merge(o.summary_);
 }
 
@@ -65,6 +71,7 @@ Histogram::reset()
 {
     std::fill(counts_.begin(), counts_.end(), 0);
     overflow_ = 0;
+    underflow_ = 0;
     summary_.reset();
 }
 
@@ -120,6 +127,8 @@ StatRegistry::dump(std::ostream &os) const
         os << name << ".mean " << h.summary().mean() << "\n";
         os << name << ".p50 " << h.percentile(0.5) << "\n";
         os << name << ".p99 " << h.percentile(0.99) << "\n";
+        os << name << ".underflow " << h.underflow() << "\n";
+        os << name << ".overflow " << h.overflow() << "\n";
     }
 }
 
@@ -128,24 +137,40 @@ StatRegistry::dumpJson(std::ostream &os) const
 {
     os << "{";
     bool first = true;
-    auto emit = [&](const std::string &name, double value) {
+    auto key = [&](const std::string &name) {
         if (!first)
             os << ",";
         first = false;
-        os << "\"" << name << "\":" << value;
+        os << "\"" << name << "\":";
+    };
+    // Counters are exact integers: routing them through a double with the
+    // default ostream precision prints values above ~1e6 as "1.23457e+06",
+    // which both loses digits and breaks strict JSON consumers.
+    auto emitInt = [&](const std::string &name, std::uint64_t value) {
+        key(name);
+        os << value;
+    };
+    // Floats print with max_digits10 (%.17g) so values round-trip exactly.
+    auto emitFloat = [&](const std::string &name, double value) {
+        key(name);
+        char buf[40];
+        std::snprintf(buf, sizeof buf, "%.17g", value);
+        os << buf;
     };
     for (const auto &[name, c] : counters_)
-        emit(name, static_cast<double>(c.value()));
+        emitInt(name, c.value());
     for (const auto &[name, s] : summaries_) {
-        emit(name + ".mean", s.mean());
-        emit(name + ".count", static_cast<double>(s.count()));
-        emit(name + ".min", s.min());
-        emit(name + ".max", s.max());
+        emitFloat(name + ".mean", s.mean());
+        emitInt(name + ".count", s.count());
+        emitFloat(name + ".min", s.min());
+        emitFloat(name + ".max", s.max());
     }
     for (const auto &[name, h] : histograms_) {
-        emit(name + ".mean", h.summary().mean());
-        emit(name + ".p50", h.percentile(0.5));
-        emit(name + ".p99", h.percentile(0.99));
+        emitFloat(name + ".mean", h.summary().mean());
+        emitFloat(name + ".p50", h.percentile(0.5));
+        emitFloat(name + ".p99", h.percentile(0.99));
+        emitInt(name + ".underflow", h.underflow());
+        emitInt(name + ".overflow", h.overflow());
     }
     os << "}";
 }

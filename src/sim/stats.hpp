@@ -108,6 +108,8 @@ class Histogram
 
     std::uint64_t bucketCount(std::size_t i) const { return counts_.at(i); }
     std::uint64_t overflow() const { return overflow_; }
+    /** Samples below zero (reported by percentile() as summary().min()). */
+    std::uint64_t underflow() const { return underflow_; }
     std::size_t buckets() const { return counts_.size(); }
     double bucketWidth() const { return width_; }
     const Summary &summary() const { return summary_; }
@@ -123,6 +125,7 @@ class Histogram
   private:
     std::vector<std::uint64_t> counts_;
     std::uint64_t overflow_ = 0;
+    std::uint64_t underflow_ = 0;
     double width_;
     Summary summary_;
 };

@@ -268,5 +268,103 @@ TEST(Stats, JsonDumpIsWellFormed)
     EXPECT_EQ(json.find(",}"), std::string::npos);
 }
 
+TEST(Stats, JsonDumpKeepsLargeCountersExact)
+{
+    // Regression: counters used to flow through the double emitter with
+    // default ostream precision, so anything above ~1e6 printed as
+    // "1.23457e+06" — lossy and invalid for strict JSON integer readers.
+    StatRegistry reg;
+    const std::uint64_t big = (1ULL << 32) + 12345;  // > 2^32.
+    const std::uint64_t huge = 1234567890123456789ULL;
+    reg.counter("cs.bytes").increment(big);
+    reg.counter("cs.more").increment(huge);
+    reg.summaryStat("lat").sample(1048576.0);
+
+    std::ostringstream os;
+    reg.dumpJson(os);
+    std::string json = os.str();
+    EXPECT_NE(json.find("\"cs.bytes\":4294979641"), std::string::npos);
+    EXPECT_NE(json.find("\"cs.more\":1234567890123456789"),
+              std::string::npos);
+    EXPECT_EQ(json.find("e+"), std::string::npos) << json;
+    // Floats still round-trip: 2^20 prints as an exact value.
+    EXPECT_NE(json.find("\"lat.mean\":1048576"), std::string::npos);
+    EXPECT_NE(json.find("\"lat.count\":1"), std::string::npos);
+}
+
+TEST(Stats, HistogramUnderflowBinKeepsNegativesOutOfBucketZero)
+{
+    // Regression: negative samples used to be folded into bucket 0, so
+    // percentile() reported them as positive values in [0, width).
+    Histogram h(4, 10.0);
+    h.sample(-25.0);
+    h.sample(-5.0);
+    h.sample(3.0);
+    h.sample(35.0);
+    EXPECT_EQ(h.underflow(), 2u);
+    EXPECT_EQ(h.bucketCount(0), 1u);
+    EXPECT_EQ(h.bucketCount(3), 1u);
+    // The lower percentiles fall in the underflow bin and report the true
+    // minimum rather than a fabricated [0, 10) value.
+    EXPECT_DOUBLE_EQ(h.percentile(0.25), -25.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0.5), -25.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0.75), 10.0);
+
+    Histogram other(4, 10.0);
+    other.sample(-1.0);
+    h.merge(other);
+    EXPECT_EQ(h.underflow(), 3u);
+    h.reset();
+    EXPECT_EQ(h.underflow(), 0u);
+}
+
+TEST(Stats, HistogramPercentileEdgeCases)
+{
+    Histogram empty(4, 10.0);
+    EXPECT_DOUBLE_EQ(empty.percentile(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(empty.percentile(0.5), 0.0);
+    EXPECT_DOUBLE_EQ(empty.percentile(1.0), 0.0);
+
+    Histogram h(4, 10.0);
+    h.sample(5.0);
+    h.sample(15.0);
+    // p = 0 still needs at least one observation (threshold clamps to 1).
+    EXPECT_DOUBLE_EQ(h.percentile(0.0), 10.0);
+    EXPECT_DOUBLE_EQ(h.percentile(1.0), 20.0);
+    // Out-of-range p clamps instead of misbehaving.
+    EXPECT_DOUBLE_EQ(h.percentile(-1.0), h.percentile(0.0));
+    EXPECT_DOUBLE_EQ(h.percentile(2.0), h.percentile(1.0));
+
+    Histogram over(4, 10.0);
+    over.sample(100.0);
+    over.sample(200.0);
+    EXPECT_EQ(over.overflow(), 2u);
+    // Every bucket is empty: percentiles fall through to the true max.
+    EXPECT_DOUBLE_EQ(over.percentile(0.5), 200.0);
+    EXPECT_DOUBLE_EQ(over.percentile(0.99), 200.0);
+}
+
+TEST(Stats, MergeFromCopiesHistogramsMissingInDestination)
+{
+    StatRegistry shard;
+    shard.histogram("only.in.shard", 4, 10.0).sample(15.0);
+    shard.histogram("only.in.shard", 4, 10.0).sample(-2.0);
+
+    StatRegistry root;
+    root.histogram("both", 4, 10.0).sample(5.0);
+    shard.histogram("both", 4, 10.0).sample(25.0);
+
+    root.mergeFrom(shard);
+    std::ostringstream os;
+    root.dump(os);
+    std::string dump = os.str();
+    // Half the shard's samples sit in the underflow bin, so p50 reports
+    // the true minimum.
+    EXPECT_NE(dump.find("only.in.shard.p50 -2"), std::string::npos);
+    EXPECT_NE(dump.find("only.in.shard.underflow 1"), std::string::npos);
+    EXPECT_NE(dump.find("both.p50 10"), std::string::npos);
+    EXPECT_NE(dump.find("both.p99 30"), std::string::npos);
+}
+
 } // namespace
 } // namespace smappic::sim

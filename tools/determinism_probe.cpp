@@ -13,6 +13,11 @@
  * a stat, an exit code, a single guest byte — fails the build.
  *
  * Usage: determinism_probe <AxBxC> <threads> <quantum> [budget]
+ *                          [--trace <path>]
+ *
+ * With --trace, the run also records a full platform trace and writes it
+ * to <path> in the binary format; the trace CI job diffs these files
+ * across worker counts the same way (they are bit-identical by design).
  */
 
 #include <cinttypes>
@@ -116,7 +121,8 @@ main(int argc, char **argv)
 {
     if (argc < 4) {
         std::fprintf(stderr,
-                     "usage: %s <AxBxC> <threads> <quantum> [budget]\n",
+                     "usage: %s <AxBxC> <threads> <quantum> [budget] "
+                     "[--trace <path>]\n",
                      argv[0]);
         return 2;
     }
@@ -124,12 +130,23 @@ main(int argc, char **argv)
     const std::uint32_t threads =
         static_cast<std::uint32_t>(std::strtoul(argv[2], nullptr, 10));
     const Cycles quantum = std::strtoull(argv[3], nullptr, 10);
-    const std::uint64_t budget =
-        argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 500'000;
+    std::uint64_t budget = 500'000;
+    std::string trace_path;
+    for (int i = 4; i < argc; ++i) {
+        if (std::string(argv[i]) == "--trace" && i + 1 < argc) {
+            trace_path = argv[++i];
+        } else {
+            budget = std::strtoull(argv[i], nullptr, 10);
+        }
+    }
 
     PrototypeConfig cfg = PrototypeConfig::parse(spec);
     cfg.parallel.threads = threads;
     cfg.parallel.quantum = quantum;
+    if (!trace_path.empty()) {
+        cfg.trace.enabled = true;
+        cfg.trace.path = trace_path;
+    }
     Prototype proto(cfg);
 
     std::string source = kWorkloadTemplate;
@@ -144,6 +161,8 @@ main(int argc, char **argv)
     for (GlobalTileId g = 0; g < cfg.totalTiles(); ++g)
         gids.push_back(g);
     proto.runCores(gids, budget);
+    if (!trace_path.empty())
+        proto.writeTrace();
 
     // The report deliberately omits the threads/quantum arguments so that
     // outputs from different worker counts diff clean.
