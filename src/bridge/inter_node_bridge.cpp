@@ -5,6 +5,7 @@
 
 #include "obs/tracer.hpp"
 #include "sim/log.hpp"
+#include "snap/state_io.hpp"
 
 namespace smappic::bridge
 {
@@ -665,6 +666,151 @@ InterNodeBridge::sendIdle() const
         }
     }
     return true;
+}
+
+void
+InterNodeBridge::saveState(snap::Writer &w) const
+{
+    w.u64(peers_.size());
+    for (const auto &[dst, peer] : peers_) {
+        w.u32(dst);
+        w.u64(peer.windowBase);
+        for (const auto &q : peer.outQueue) {
+            w.u64(q.size());
+            for (std::uint64_t flit : q)
+                w.u64(flit);
+        }
+        for (std::uint32_t c : peer.credits)
+            w.u32(c);
+        w.boolean(peer.pollInFlight);
+        w.u32(peer.nextSeq);
+        w.u64(peer.replay.size());
+        for (const PendingFrame &f : peer.replay) {
+            w.u32(f.seq);
+            w.u8(f.validMask);
+            for (std::uint64_t flit : f.flits)
+                w.u64(flit);
+            w.u32(f.attempts);
+        }
+        w.u32(peer.backoffLevel);
+        w.u32(peer.creditFailures);
+        w.boolean(peer.degraded);
+    }
+
+    w.u64(sources_.size());
+    for (const auto &[src, source] : sources_) {
+        w.u32(src);
+        for (const auto &q : source.assembly) {
+            w.u64(q.size());
+            for (std::uint64_t flit : q)
+                w.u64(flit);
+        }
+        for (std::uint32_t c : source.owedCredits)
+            w.u32(c);
+        for (std::uint32_t c : source.unreturned)
+            w.u32(c);
+        w.u32(source.expectedSeq);
+    }
+
+    w.u64(flitsSent_);
+    w.u64(flitsReceived_);
+    w.u64(packetsDelivered_);
+    w.u64(axiWritesSent_);
+    w.u64(creditReadsSent_);
+    w.u64(retransmits_);
+    w.u64(crcErrors_);
+    w.u64(duplicates_);
+    w.u64(outOfOrder_);
+    w.u64(creditTimeouts_);
+    w.u64(degradeEvents_);
+    w.u64(recoverEvents_);
+}
+
+void
+InterNodeBridge::restoreState(snap::Reader &r)
+{
+    std::uint64_t peer_count = r.u64();
+    fatalIf(peer_count != peers_.size(),
+            strfmt("checkpoint bridge has %llu peers, live bridge has %llu",
+                   static_cast<unsigned long long>(peer_count),
+                   static_cast<unsigned long long>(peers_.size())));
+    for (auto &[dst, peer] : peers_) {
+        std::uint32_t saved_dst = r.u32();
+        fatalIf(saved_dst != dst, "checkpoint bridge peer set mismatch");
+        peer.windowBase = r.u64();
+        for (auto &q : peer.outQueue) {
+            q.clear();
+            std::uint64_t depth = r.u64();
+            for (std::uint64_t i = 0; i < depth; ++i)
+                q.push_back(r.u64());
+        }
+        for (std::uint32_t &c : peer.credits)
+            c = r.u32();
+        peer.pollInFlight = r.boolean();
+        peer.nextSeq = r.u32();
+        peer.replay.clear();
+        std::uint64_t frames = r.u64();
+        for (std::uint64_t i = 0; i < frames; ++i) {
+            PendingFrame f;
+            f.seq = r.u32();
+            f.validMask = r.u8();
+            for (std::uint64_t &flit : f.flits)
+                flit = r.u64();
+            f.attempts = r.u32();
+            peer.replay.push_back(f);
+        }
+        peer.backoffLevel = r.u32();
+        peer.creditFailures = r.u32();
+        peer.degraded = r.boolean();
+        // Scheduling guards restart clean: the checkpoint was taken at a
+        // quiescent point, so no pump/retransmit/poll closure existed.
+        peer.retransmitScheduled = false;
+        peer.probeScheduled = false;
+    }
+
+    std::uint64_t source_count = r.u64();
+    fatalIf(
+        source_count != sources_.size(),
+        strfmt("checkpoint bridge has %llu sources, live bridge has %llu",
+               static_cast<unsigned long long>(source_count),
+               static_cast<unsigned long long>(sources_.size())));
+    for (auto &[src, source] : sources_) {
+        std::uint32_t saved_src = r.u32();
+        fatalIf(saved_src != src, "checkpoint bridge source set mismatch");
+        for (auto &q : source.assembly) {
+            q.clear();
+            std::uint64_t depth = r.u64();
+            for (std::uint64_t i = 0; i < depth; ++i)
+                q.push_back(r.u64());
+        }
+        for (std::uint32_t &c : source.owedCredits)
+            c = r.u32();
+        for (std::uint32_t &c : source.unreturned)
+            c = r.u32();
+        source.expectedSeq = r.u32();
+    }
+
+    flitsSent_ = r.u64();
+    flitsReceived_ = r.u64();
+    packetsDelivered_ = r.u64();
+    axiWritesSent_ = r.u64();
+    creditReadsSent_ = r.u64();
+    retransmits_ = r.u64();
+    crcErrors_ = r.u64();
+    duplicates_ = r.u64();
+    outOfOrder_ = r.u64();
+    creditTimeouts_ = r.u64();
+    degradeEvents_ = r.u64();
+    recoverEvents_ = r.u64();
+
+    pumpScheduled_ = false;
+    // Re-arm the only events a quiescent bridge can owe: degraded-peer
+    // probes. Queued traffic (if any) re-pumps on the next sendPacket or
+    // credit return, as in a live run.
+    for (auto &[dst, peer] : peers_) {
+        if (peer.degraded)
+            scheduleProbe(dst);
+    }
 }
 
 } // namespace smappic::bridge

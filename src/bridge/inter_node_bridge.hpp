@@ -50,6 +50,12 @@
 #include "sim/stats.hpp"
 #include "sim/types.hpp"
 
+namespace smappic::snap
+{
+class Writer;
+class Reader;
+} // namespace smappic::snap
+
 namespace smappic::bridge
 {
 
@@ -161,6 +167,17 @@ class InterNodeBridge : public axi::Target
 
     /** True when no flit is queued or awaiting ACK on the send side. */
     bool sendIdle() const;
+
+    /**
+     * Serializes the link layer: per-peer sender state (queues, credits,
+     * sequence numbers, replay window, degraded flags), per-source
+     * receiver state and the bridge counters. Checkpoints are taken at
+     * quiescent points, so no pump/retransmit/poll event is in flight;
+     * restoreState() re-arms the degraded-peer probes, the only events a
+     * quiescent bridge can still owe.
+     */
+    void saveState(snap::Writer &w) const;
+    void restoreState(snap::Reader &r);
 
   private:
     /** One unacknowledged frame held for possible retransmission. */

@@ -2,6 +2,8 @@
 
 #include <bit>
 
+#include "snap/state_io.hpp"
+
 namespace smappic::cache
 {
 
@@ -147,6 +149,46 @@ CacheArray::occupancy() const
     for (const Entry &e : entries_)
         n += e.valid ? 1 : 0;
     return n;
+}
+
+void
+CacheArray::saveState(snap::Writer &w) const
+{
+    w.u32(sets_);
+    w.u32(ways_);
+    w.u32(lineBytes_);
+    w.u64(useClock_);
+    for (const Entry &e : entries_) {
+        w.boolean(e.valid);
+        if (!e.valid)
+            continue;
+        w.u64(e.line);
+        w.u32(e.state);
+        w.u64(e.lastUse);
+    }
+}
+
+void
+CacheArray::restoreState(snap::Reader &r)
+{
+    std::uint32_t sets = r.u32();
+    std::uint32_t ways = r.u32();
+    std::uint32_t line_bytes = r.u32();
+    fatalIf(sets != sets_ || ways != ways_ || line_bytes != lineBytes_,
+            strfmt("checkpoint cache geometry %ux%u/%uB does not match the "
+                   "live array's %ux%u/%uB",
+                   sets, ways, line_bytes, sets_, ways_, lineBytes_));
+    useClock_ = r.u64();
+    for (Entry &e : entries_) {
+        e.valid = r.boolean();
+        if (!e.valid) {
+            e = Entry{};
+            continue;
+        }
+        e.line = r.u64();
+        e.state = r.u32();
+        e.lastUse = r.u64();
+    }
 }
 
 } // namespace smappic::cache

@@ -18,6 +18,12 @@
 #include "sim/log.hpp"
 #include "sim/types.hpp"
 
+namespace smappic::snap
+{
+class Writer;
+class Reader;
+} // namespace smappic::snap
+
 namespace smappic::cache
 {
 
@@ -75,6 +81,11 @@ class CacheArray
     /** Invokes @p fn(line, state) for every resident line. */
     void forEachLine(
         const std::function<void(Addr, std::uint32_t)> &fn) const;
+
+    /** Serializes the full array (tags, aux state, exact LRU order). */
+    void saveState(snap::Writer &w) const;
+    /** Restores into an identically shaped array (geometry-checked). */
+    void restoreState(snap::Reader &r);
 
   private:
     struct Entry

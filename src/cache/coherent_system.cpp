@@ -5,6 +5,7 @@
 
 #include "obs/tracer.hpp"
 #include "sim/log.hpp"
+#include "snap/state_io.hpp"
 
 namespace smappic::cache
 {
@@ -835,6 +836,80 @@ CoherentSystem::checkDirectory() const
             return false;
     }
     return true;
+}
+
+void
+CoherentSystem::saveState(snap::Writer &w) const
+{
+    w.u32(geo_.nodes);
+    w.u32(geo_.tilesPerNode);
+
+    // Directory, sorted by line so the payload is container-order free.
+    std::vector<Addr> lines;
+    lines.reserve(directory_.size());
+    for (const auto &[line, entry] : directory_)
+        lines.push_back(line);
+    std::sort(lines.begin(), lines.end());
+    w.u64(lines.size());
+    for (Addr line : lines) {
+        const DirEntry &d = directory_.at(line);
+        w.u64(line);
+        w.u64(d.sharers);
+        w.u32(static_cast<std::uint32_t>(d.owner));
+        w.boolean(d.inLlc);
+        w.boolean(d.dirty);
+    }
+
+    for (std::uint32_t g = 0; g < geo_.totalTiles(); ++g) {
+        l1i_[g].saveState(w);
+        l1d_[g].saveState(w);
+        bpc_[g].saveState(w);
+        llc_[g].saveState(w);
+        saveServer(w, llcServer_[g]);
+    }
+    for (std::uint32_t n = 0; n < geo_.nodes; ++n) {
+        saveServer(w, dramServer_[n]);
+        saveShaper(w, bridgeOut_[n]);
+        saveShaper(w, bridgeIn_[n]);
+        saveShaper(w, pcieOut_[n]);
+    }
+}
+
+void
+CoherentSystem::restoreState(snap::Reader &r)
+{
+    std::uint32_t nodes = r.u32();
+    std::uint32_t tiles = r.u32();
+    fatalIf(nodes != geo_.nodes || tiles != geo_.tilesPerNode,
+            strfmt("checkpoint geometry %ux%u does not match the live "
+                   "system's %ux%u",
+                   nodes, tiles, geo_.nodes, geo_.tilesPerNode));
+
+    directory_.clear();
+    std::uint64_t dir_count = r.u64();
+    directory_.reserve(dir_count);
+    for (std::uint64_t i = 0; i < dir_count; ++i) {
+        Addr line = r.u64();
+        DirEntry &d = directory_[line];
+        d.sharers = r.u64();
+        d.owner = static_cast<std::int32_t>(r.u32());
+        d.inLlc = r.boolean();
+        d.dirty = r.boolean();
+    }
+
+    for (std::uint32_t g = 0; g < geo_.totalTiles(); ++g) {
+        l1i_[g].restoreState(r);
+        l1d_[g].restoreState(r);
+        bpc_[g].restoreState(r);
+        llc_[g].restoreState(r);
+        restoreServer(r, llcServer_[g]);
+    }
+    for (std::uint32_t n = 0; n < geo_.nodes; ++n) {
+        restoreServer(r, dramServer_[n]);
+        restoreShaper(r, bridgeOut_[n]);
+        restoreShaper(r, bridgeIn_[n]);
+        restoreShaper(r, pcieOut_[n]);
+    }
 }
 
 } // namespace smappic::cache

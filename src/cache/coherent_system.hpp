@@ -388,6 +388,16 @@ class CoherentSystem
         return dramServer_.at(node).queuedCycles();
     }
 
+    /**
+     * Serializes the directory, every cache array and the shared-resource
+     * servers/shapers. The functional memory image is a separate
+     * checkpoint section (MainMemory::saveState); test-mutation state is
+     * transient harness plumbing and is not captured.
+     */
+    void saveState(snap::Writer &w) const;
+    /** Restores into an identically configured system. */
+    void restoreState(snap::Reader &r);
+
   private:
     // Short aliases for the public line states. LLC aux word bit 0 = dirty.
     static constexpr std::uint32_t kShared = kLineShared;

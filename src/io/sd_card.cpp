@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "sim/log.hpp"
+#include "snap/state_io.hpp"
 
 namespace smappic::io
 {
@@ -123,6 +124,24 @@ HostSdLoader::loadImage(const std::vector<std::uint8_t> &image,
         cursor += n;
         offset += n;
     }
+}
+
+void
+VirtualSdCard::saveState(snap::Writer &w) const
+{
+    w.u64(lba_);
+    w.u64(buffer_);
+    w.u64(status_);
+    w.u64(commands_);
+}
+
+void
+VirtualSdCard::restoreState(snap::Reader &r)
+{
+    lba_ = r.u64();
+    buffer_ = r.u64();
+    status_ = r.u64();
+    commands_ = r.u64();
 }
 
 } // namespace smappic::io

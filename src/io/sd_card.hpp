@@ -65,6 +65,10 @@ class VirtualSdCard : public cache::NcDevice
     Addr regionBase() const { return regionBase_; }
     std::uint64_t commandsServed() const { return commands_; }
 
+    /** Serializes controller registers (card data lives in MainMemory). */
+    void saveState(snap::Writer &w) const;
+    void restoreState(snap::Reader &r);
+
   private:
     void execute(std::uint64_t cmd);
 

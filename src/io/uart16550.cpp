@@ -1,5 +1,8 @@
 #include "io/uart16550.hpp"
 
+#include "sim/log.hpp"
+#include "snap/state_io.hpp"
+
 namespace smappic::io
 {
 
@@ -140,6 +143,49 @@ VirtualSerial::lines() const
     if (!cur.empty())
         out.push_back(cur);
     return out;
+}
+
+void
+Uart16550::saveState(snap::Writer &w) const
+{
+    w.u64(rxFifo_.size());
+    for (std::uint8_t byte : rxFifo_)
+        w.u8(byte);
+    w.boolean(irqLevel_);
+    w.u8(ier_);
+    w.u8(lcr_);
+    w.u8(mcr_);
+    w.u8(scr_);
+    w.u16(divisor_);
+    w.u64(txCount_);
+}
+
+void
+Uart16550::restoreState(snap::Reader &r)
+{
+    rxFifo_.clear();
+    std::uint64_t pending = r.u64();
+    for (std::uint64_t i = 0; i < pending; ++i)
+        rxFifo_.push_back(r.u8());
+    irqLevel_ = r.boolean();
+    ier_ = r.u8();
+    lcr_ = r.u8();
+    mcr_ = r.u8();
+    scr_ = r.u8();
+    divisor_ = r.u16();
+    txCount_ = r.u64();
+}
+
+void
+VirtualSerial::saveState(snap::Writer &w) const
+{
+    w.str(captured_);
+}
+
+void
+VirtualSerial::restoreState(snap::Reader &r)
+{
+    captured_ = r.str();
 }
 
 } // namespace smappic::io

@@ -21,6 +21,12 @@
 #include "axi/axi.hpp"
 #include "sim/types.hpp"
 
+namespace smappic::snap
+{
+class Writer;
+class Reader;
+} // namespace smappic::snap
+
 namespace smappic::io
 {
 
@@ -80,6 +86,11 @@ class Uart16550 : public axi::LiteTarget
     /** Serialized transmit time of one byte (10 bits) in cycles@100MHz. */
     Cycles byteTime() const { return 1'000'000'000ULL / baud_ / 10; }
 
+    /** Serializes registers, RX FIFO and IRQ level. */
+    void saveState(snap::Writer &w) const;
+    /** Restores WITHOUT firing the IRQ callback (restored elsewhere). */
+    void restoreState(snap::Reader &r);
+
   private:
     void updateIrq();
 
@@ -118,6 +129,10 @@ class VirtualSerial
 
     /** Lines seen so far (split on '\n'). */
     std::vector<std::string> lines() const;
+
+    /** Serializes the capture buffer. */
+    void saveState(snap::Writer &w) const;
+    void restoreState(snap::Reader &r);
 
   private:
     std::string captured_;

@@ -1,6 +1,7 @@
 #include "mem/axi_dram.hpp"
 
 #include "sim/log.hpp"
+#include "snap/state_io.hpp"
 
 namespace smappic::mem
 {
@@ -86,6 +87,22 @@ AxiDram::write(const axi::WriteReq &req, WriteFn done)
         memory_.writeBytes(req.addr, req.data.data(), req.data.size());
         done(axi::WriteResp{axi::Resp::kOkay, req.id});
     });
+}
+
+void
+AxiDram::saveState(snap::Writer &w) const
+{
+    saveServer(w, channel_);
+    w.u64(reads_);
+    w.u64(writes_);
+}
+
+void
+AxiDram::restoreState(snap::Reader &r)
+{
+    restoreServer(r, channel_);
+    reads_ = r.u64();
+    writes_ = r.u64();
 }
 
 } // namespace smappic::mem

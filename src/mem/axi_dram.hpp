@@ -60,6 +60,11 @@ class AxiDram
     /** Functional store behind this channel (for read-modify-write). */
     MainMemory &memory() { return memory_; }
 
+    /** Serializes the channel server and access counters (the data lives
+     *  in MainMemory, captured separately). */
+    void saveState(snap::Writer &w) const;
+    void restoreState(snap::Reader &r);
+
   private:
     Cycles serviceCycles(std::uint64_t bytes) const;
 

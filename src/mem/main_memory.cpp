@@ -2,22 +2,27 @@
 
 #include <algorithm>
 
+#include "snap/state_io.hpp"
+
 namespace smappic::mem
 {
 
-const MainMemory::Page *
+const MainMemory::PageEntry *
 MainMemory::findPage(std::uint64_t idx) const
 {
     auto it = pages_.find(idx);
     return it == pages_.end() ? nullptr : &it->second;
 }
 
-MainMemory::Page &
+MainMemory::PageEntry &
 MainMemory::touchPage(std::uint64_t idx)
 {
     auto it = pages_.find(idx);
-    if (it == pages_.end())
-        it = pages_.emplace(idx, Page(kPageBytes, 0)).first;
+    if (it == pages_.end()) {
+        it = pages_.emplace(idx, PageEntry{}).first;
+        it->second.bytes.assign(kPageBytes, 0);
+    }
+    it->second.epoch = epoch_;
     return it->second;
 }
 
@@ -36,8 +41,8 @@ MainMemory::readBytesImpl(Addr addr, void *out, std::uint64_t len) const
         std::uint64_t page = addr / kPageBytes;
         std::uint64_t off = addr % kPageBytes;
         std::uint64_t chunk = std::min(len, kPageBytes - off);
-        if (const Page *p = findPage(page))
-            std::memcpy(dst, p->data() + off, chunk);
+        if (const PageEntry *p = findPage(page))
+            std::memcpy(dst, p->bytes.data() + off, chunk);
         else
             std::memset(dst, 0, chunk);
         dst += chunk;
@@ -61,7 +66,7 @@ MainMemory::writeBytesImpl(Addr addr, const void *in, std::uint64_t len)
         std::uint64_t page = addr / kPageBytes;
         std::uint64_t off = addr % kPageBytes;
         std::uint64_t chunk = std::min(len, kPageBytes - off);
-        std::memcpy(touchPage(page).data() + off, src, chunk);
+        std::memcpy(touchPage(page).bytes.data() + off, src, chunk);
         src += chunk;
         addr += chunk;
         len -= chunk;
@@ -85,6 +90,51 @@ MainMemory::store(Addr addr, std::uint32_t bytes, std::uint64_t value)
     panicIf(bytes == 0 || bytes > 8, "store width must be 1..8 bytes");
     auto lock = writeLock();
     writeBytesImpl(addr, &value, bytes);
+}
+
+std::size_t
+MainMemory::pagesDirtySince(std::uint64_t since) const
+{
+    auto lock = readLock();
+    std::size_t n = 0;
+    for (const auto &[idx, page] : pages_) {
+        if (page.epoch >= since)
+            ++n;
+    }
+    return n;
+}
+
+void
+MainMemory::saveState(snap::Writer &w) const
+{
+    auto lock = readLock();
+    std::vector<std::uint64_t> indices;
+    indices.reserve(pages_.size());
+    for (const auto &[idx, page] : pages_)
+        indices.push_back(idx);
+    std::sort(indices.begin(), indices.end());
+    w.u64(indices.size());
+    for (std::uint64_t idx : indices) {
+        const PageEntry &page = pages_.at(idx);
+        w.u64(idx);
+        w.bytes(page.bytes.data(), page.bytes.size());
+    }
+}
+
+void
+MainMemory::restoreState(snap::Reader &r)
+{
+    auto lock = writeLock();
+    pages_.clear();
+    epoch_ = 0;
+    std::uint64_t count = r.u64();
+    pages_.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+        std::uint64_t idx = r.u64();
+        PageEntry &page = pages_[idx];
+        page.bytes.resize(kPageBytes);
+        r.bytes(page.bytes.data(), kPageBytes);
+    }
 }
 
 } // namespace smappic::mem

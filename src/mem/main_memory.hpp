@@ -18,6 +18,12 @@
 #include "sim/log.hpp"
 #include "sim/types.hpp"
 
+namespace smappic::snap
+{
+class Writer;
+class Reader;
+} // namespace smappic::snap
+
 namespace smappic::mem
 {
 
@@ -53,11 +59,35 @@ class MainMemory
      */
     void setConcurrent(bool on) { concurrent_ = on; }
 
-  private:
-    using Page = std::vector<std::uint8_t>;
+    /**
+     * Starts a new dirty-tracking epoch and returns its id. Pages written
+     * from now on carry the new epoch, so checkpoint tooling can ask how
+     * much of the image changed between snapshots without hashing it.
+     */
+    std::uint64_t beginEpoch() { return ++epoch_; }
 
-    const Page *findPage(std::uint64_t idx) const;
-    Page &touchPage(std::uint64_t idx);
+    /** Current dirty-tracking epoch (0 until the first beginEpoch()). */
+    std::uint64_t epoch() const { return epoch_; }
+
+    /** Pages whose last write happened at epoch >= @p since. */
+    std::size_t pagesDirtySince(std::uint64_t since) const;
+
+    /** Serializes every materialized page, sorted by page index. Dirty
+     *  epochs are bookkeeping, not state: they are not written. */
+    void saveState(snap::Writer &w) const;
+    /** Replaces the entire contents with the serialized image and resets
+     *  dirty tracking to epoch 0. */
+    void restoreState(snap::Reader &r);
+
+  private:
+    struct PageEntry
+    {
+        std::vector<std::uint8_t> bytes;
+        std::uint64_t epoch = 0; ///< Epoch of the last write.
+    };
+
+    const PageEntry *findPage(std::uint64_t idx) const;
+    PageEntry &touchPage(std::uint64_t idx);
 
     std::shared_lock<std::shared_mutex>
     readLock() const
@@ -75,7 +105,8 @@ class MainMemory
     void readBytesImpl(Addr addr, void *out, std::uint64_t len) const;
     void writeBytesImpl(Addr addr, const void *in, std::uint64_t len);
 
-    std::unordered_map<std::uint64_t, Page> pages_;
+    std::unordered_map<std::uint64_t, PageEntry> pages_;
+    std::uint64_t epoch_ = 0;
     bool concurrent_ = false;
     mutable std::shared_mutex mu_;
 };

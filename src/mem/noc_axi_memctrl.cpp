@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "sim/log.hpp"
+#include "snap/state_io.hpp"
 
 namespace smappic::mem
 {
@@ -171,6 +172,37 @@ bool
 NocAxiMemController::idle() const
 {
     return buffer_.empty() && mshrsInUse_ == 0;
+}
+
+void
+NocAxiMemController::saveState(snap::Writer &w) const
+{
+    fatalIf(!idle(), "memory controller checkpointed with in-flight "
+                     "requests; checkpoints must be quiescent");
+    w.u64(freeIds_.size());
+    for (std::uint16_t id : freeIds_)
+        w.u16(id);
+    w.u64(peakMshrs_);
+    w.u64(served_);
+}
+
+void
+NocAxiMemController::restoreState(snap::Reader &r)
+{
+    std::uint64_t free_count = r.u64();
+    fatalIf(free_count != freeIds_.size(),
+            strfmt("checkpoint AXI-ID pool has %llu ids, controller "
+                   "expects %llu",
+                   static_cast<unsigned long long>(free_count),
+                   static_cast<unsigned long long>(freeIds_.size())));
+    for (std::uint16_t &id : freeIds_)
+        id = r.u16();
+    peakMshrs_ = r.u64();
+    served_ = r.u64();
+    buffer_.clear();
+    for (auto &mshr : mshrTable_)
+        mshr.reset();
+    mshrsInUse_ = 0;
 }
 
 } // namespace smappic::mem

@@ -75,6 +75,14 @@ class NocAxiMemController
     std::uint64_t requestsServed() const { return served_; }
     bool idle() const;
 
+    /**
+     * Serializes the AXI-ID free-list order (a permutation of usage
+     * history) and counters. Checkpoints are quiescent, so the request
+     * buffer and MSHR table are empty by construction (checked).
+     */
+    void saveState(snap::Writer &w) const;
+    void restoreState(snap::Reader &r);
+
   private:
     struct Mshr
     {

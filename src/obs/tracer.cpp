@@ -4,6 +4,7 @@
 
 #include "sim/log.hpp"
 #include "sim/parallel.hpp"
+#include "snap/state_io.hpp"
 
 namespace smappic::obs
 {
@@ -121,6 +122,68 @@ Tracer::clear()
     for (Ring &r : rings_) {
         r.next = 0;
         r.total = 0;
+    }
+}
+
+void
+Tracer::saveState(snap::Writer &w) const
+{
+    w.u64(rings_.size());
+    w.u64(capacity_);
+    for (NodeId node = 0; node < rings_.size(); ++node) {
+        const Ring &ring = rings_[node];
+        std::size_t held = heldOn(node);
+        std::size_t start = ring.total <= capacity_ ? 0 : ring.next;
+        w.u64(ring.total);
+        w.u64(held);
+        for (std::size_t i = 0; i < held; ++i) {
+            const TraceEvent &ev = ring.buf[(start + i) % capacity_];
+            w.u64(ev.cycle);
+            w.u64(ev.arg);
+            w.u32(ev.duration);
+            w.u32(ev.extra);
+            w.u16(ev.node);
+            w.u16(ev.tile);
+            w.u8(ev.component);
+            w.u8(ev.kind);
+            w.u8(ev.flags);
+        }
+    }
+}
+
+void
+Tracer::restoreState(snap::Reader &r)
+{
+    std::uint64_t nodes = r.u64();
+    std::uint64_t capacity = r.u64();
+    fatalIf(nodes != rings_.size() || capacity != capacity_,
+            strfmt("checkpoint tracer shape (%llu rings x %llu) does not "
+                   "match the live tracer (%llu x %llu)",
+                   static_cast<unsigned long long>(nodes),
+                   static_cast<unsigned long long>(capacity),
+                   static_cast<unsigned long long>(rings_.size()),
+                   static_cast<unsigned long long>(capacity_)));
+    for (Ring &ring : rings_) {
+        std::uint64_t total = r.u64();
+        std::uint64_t held = r.u64();
+        fatalIf(held > capacity_, "checkpoint tracer ring overflows");
+        // Refill from index 0, oldest first: the cursor phase differs
+        // from the writing tracer's but merged() order is identical.
+        for (std::uint64_t i = 0; i < held; ++i) {
+            TraceEvent ev;
+            ev.cycle = r.u64();
+            ev.arg = r.u64();
+            ev.duration = r.u32();
+            ev.extra = r.u32();
+            ev.node = r.u16();
+            ev.tile = r.u16();
+            ev.component = r.u8();
+            ev.kind = r.u8();
+            ev.flags = r.u8();
+            ring.buf[i] = ev;
+        }
+        ring.next = held % (capacity_ == 0 ? 1 : capacity_);
+        ring.total = total;
     }
 }
 

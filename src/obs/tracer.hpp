@@ -24,6 +24,12 @@
 #include "sim/parallel.hpp"
 #include "sim/types.hpp"
 
+namespace smappic::snap
+{
+class Writer;
+class Reader;
+} // namespace smappic::snap
+
 namespace smappic::obs
 {
 
@@ -223,6 +229,14 @@ class Tracer
 
     /** Drops all recorded events, keeping the configuration. */
     void clear();
+
+    /**
+     * Serializes per-ring lifetime totals and held events (oldest first).
+     * restoreState() refills each ring from index 0, which phase-shifts
+     * the physical cursor but preserves merged() order exactly.
+     */
+    void saveState(snap::Writer &w) const;
+    void restoreState(snap::Reader &r);
 
   private:
     struct Ring

@@ -1,7 +1,10 @@
 #include "pcie/pcie_fabric.hpp"
 
+#include <algorithm>
+
 #include "obs/tracer.hpp"
 #include "sim/log.hpp"
+#include "snap/state_io.hpp"
 
 namespace smappic::pcie
 {
@@ -199,6 +202,56 @@ PcieFabric::read(FpgaId src, axi::ReadReq req, CompletionFn done)
             done(Completion{resp.resp, std::move(resp.data)});
         });
     });
+}
+
+void
+PcieFabric::saveState(snap::Writer &w) const
+{
+    // Links materialize lazily in first-use order; serialize them sorted
+    // by endpoint id so the payload is history-independent.
+    std::vector<const std::pair<FpgaId, sim::TrafficShaper> *> sorted;
+    sorted.reserve(links_.size());
+    for (const auto &link : links_)
+        sorted.push_back(&link);
+    std::sort(sorted.begin(), sorted.end(),
+              [](const auto *a, const auto *b) {
+                  return a->first < b->first;
+              });
+    w.u64(sorted.size());
+    for (const auto *link : sorted) {
+        w.u32(link->first);
+        saveShaper(w, link->second);
+    }
+    w.u64(transfers_);
+    w.u64(bytesMoved_);
+    w.u64(decodeErrors_);
+}
+
+void
+PcieFabric::restoreState(snap::Reader &r)
+{
+    std::uint64_t link_count = r.u64();
+    std::vector<FpgaId> restored;
+    for (std::uint64_t i = 0; i < link_count; ++i) {
+        FpgaId endpoint = static_cast<FpgaId>(r.u32());
+        // linkOf materializes endpoints the live fabric has not used yet.
+        restoreShaper(r, linkOf(endpoint));
+        restored.push_back(endpoint);
+    }
+    // A rollback restore may find links materialized after the checkpoint
+    // was taken; reset them so post-restore execution matches a fresh run.
+    for (auto &[id, shaper] : links_) {
+        if (std::find(restored.begin(), restored.end(), id) !=
+            restored.end())
+            continue;
+        sim::QueueServer &server = shaper.server();
+        server.restore(std::vector<Cycles>(server.lanes().size(), 0), 0, 0,
+                       0);
+        shaper.setBytesSent(0);
+    }
+    transfers_ = r.u64();
+    bytesMoved_ = r.u64();
+    decodeErrors_ = r.u64();
 }
 
 } // namespace smappic::pcie

@@ -31,6 +31,12 @@ namespace smappic::obs
 class Tracer;
 }
 
+namespace smappic::snap
+{
+class Writer;
+class Reader;
+} // namespace smappic::snap
+
 namespace smappic::pcie
 {
 
@@ -115,6 +121,10 @@ class PcieFabric
     std::uint64_t transfers() const { return transfers_; }
     std::uint64_t bytesMoved() const { return bytesMoved_; }
     std::uint64_t decodeErrors() const { return decodeErrors_; }
+
+    /** Serializes per-endpoint link shapers and fabric counters. */
+    void saveState(snap::Writer &w) const;
+    void restoreState(snap::Reader &r);
 
   private:
     struct FabricWindow

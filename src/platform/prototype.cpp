@@ -1,11 +1,13 @@
 #include "platform/prototype.hpp"
 
 #include <algorithm>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 
 #include "obs/trace_io.hpp"
 #include "sim/log.hpp"
+#include "snap/state_io.hpp"
 
 namespace smappic::platform
 {
@@ -696,6 +698,16 @@ Prototype::runCores(const std::vector<GlobalTileId> &gids,
     }
 }
 
+/** Live phased-run state checkpoint() serializes into kResume/kStats:
+ *  a closure writing the resume payload plus the un-merged stat shards.
+ *  Both point into runCoresPhased()'s frame and are only dereferenced
+ *  from the serial barrier context. */
+struct Prototype::PhasedLive
+{
+    std::function<void(snap::Writer &)> saveResume;
+    std::vector<sim::StatRegistry> *shards = nullptr;
+};
+
 void
 Prototype::runCoresPhased(const std::vector<GlobalTileId> &gids,
                           std::uint64_t max_instructions_each)
@@ -716,27 +728,129 @@ Prototype::runCoresPhased(const std::vector<GlobalTileId> &gids,
     };
 
     std::uint32_t nodes = cfg_.totalNodes();
-    std::vector<NodeState> ns(nodes);
-    for (GlobalTileId g : gids)
-        ns.at(g / cfg_.tilesPerNode).cores.push_back(CoreState{g});
 
     // Quantum: the PCIe one-way latency is the lookahead — nothing one
     // node does can reach another sooner — so it is both the default and
     // the largest quantum that stays conservative.
     Cycles quantum = cfg_.parallel.quantum ? cfg_.parallel.quantum
                                            : cfg_.timing.pcieOneWay();
-    Cycles boundary = eq_.now();
-    for (GlobalTileId g : gids)
-        boundary = std::max(boundary, core(g).cycles());
-    boundary += quantum;
 
+    // A "node.wedge" fault rule simulates a hung node: once the injector
+    // fires for a node at a barrier, that node stops committing until
+    // the watchdog rolls the run back. Disarming is deliberately not
+    // part of any checkpoint — recovery must not replay the wedge.
+    bool wedge_armed = false;
+    if (faultInjector_) {
+        for (const auto &rule : faultInjector_->plan().rules) {
+            if (rule.site.rfind("node.wedge", 0) == 0)
+                wedge_armed = true;
+        }
+    }
+    std::vector<bool> wedged(nodes, false);
+    bool wedge_disarmed = false;
+    std::uint64_t wedge_count = 0;
+
+    sim::Watchdog watchdog(cfg_.watchdog, nodes, &stats_);
+    std::string last_checkpoint;
+    if (cfg_.snapshot.enabled())
+        last_checkpoint = snap::latestCheckpoint(cfg_.snapshot.dir);
+
+    std::vector<NodeState> ns;
+    Cycles boundary = 0;
+    Cycles next_snap = 0;
+    std::uint64_t idle_epochs = 0;
     // Per-node stat shards: all stats produced inside a node phase land
     // in the node's shard and merge back in node order after the run.
-    std::vector<sim::StatRegistry> shards(nodes);
+    std::vector<sim::StatRegistry> shards;
+    bool recovery_pending = false;
+
+    // (Re)builds the run bookkeeping: fresh, or — after restore() left a
+    // valid resume section — continuing the interrupted run exactly
+    // where its checkpoint barrier stopped.
+    auto init_run = [&]() {
+        ns.clear();
+        ns.resize(nodes);
+        for (GlobalTileId g : gids)
+            ns.at(g / cfg_.tilesPerNode).cores.push_back(CoreState{g});
+        if (resume_.valid) {
+            fatalIf(resume_.gids.size() != gids.size(),
+                    strfmt("checkpoint resumes %zu cores, this run has "
+                           "%zu",
+                           resume_.gids.size(), gids.size()));
+            for (std::size_t i = 0; i < resume_.gids.size(); ++i) {
+                GlobalTileId g = resume_.gids[i];
+                bool found = false;
+                for (auto &node : ns) {
+                    for (auto &s : node.cores) {
+                        if (s.gid != g)
+                            continue;
+                        s.executed = resume_.executed[i];
+                        s.done = resume_.done[i] != 0;
+                        s.parked = resume_.parked[i] != 0;
+                        found = true;
+                    }
+                }
+                fatalIf(!found,
+                        strfmt("checkpoint resumes core %u which is not "
+                               "part of this run",
+                               g));
+            }
+            boundary = resume_.boundary + quantum;
+            idle_epochs = resume_.idleEpochs;
+            if (resume_.shards.size() == nodes)
+                shards = std::move(resume_.shards);
+            else
+                shards = std::vector<sim::StatRegistry>(nodes);
+            // Checkpoints only happen at interval marks, so the saved
+            // barrier is itself a mark: the next one is an interval out.
+            next_snap = resume_.boundary + cfg_.snapshot.interval;
+            resume_ = PhasedResume{};
+        } else {
+            boundary = eq_.now();
+            for (GlobalTileId g : gids)
+                boundary = std::max(boundary, core(g).cycles());
+            // The interval clock starts at the run's base cycle so the
+            // checkpoint set never depends on the worker count.
+            next_snap = boundary + cfg_.snapshot.interval;
+            boundary += quantum;
+            shards = std::vector<sim::StatRegistry>(nodes);
+            idle_epochs = 0;
+        }
+    };
+
+    // checkpoint() reaches the live bookkeeping through live_: the
+    // resume section snapshots per-core budgets at the current barrier.
+    PhasedLive live;
+    live.shards = &shards;
+    live.saveResume = [&](snap::Writer &w) {
+        w.boolean(true);
+        w.u64(boundary);
+        w.u64(idle_epochs);
+        std::uint64_t count = 0;
+        for (auto &node : ns)
+            count += node.cores.size();
+        w.u64(count);
+        for (auto &node : ns) {
+            for (auto &s : node.cores) {
+                w.u32(s.gid);
+                w.u64(s.executed);
+                w.u8(s.done ? 1 : 0);
+                w.u8(s.parked ? 1 : 0);
+            }
+        }
+    };
+    struct LiveScope
+    {
+        Prototype *p;
+        ~LiveScope() { p->live_ = nullptr; }
+    } live_scope{this};
+    live_ = &live;
 
     auto node_phase = [&](std::uint32_t n) {
         sim::ActingNodeScope acting(n);
         sim::StatRegistry::Redirect redirect(&stats_, &shards[n]);
+        if (wedged[n])
+            return; // Hung node: burns the quantum without committing.
         NodeState &node = ns[n];
         while (true) {
             // Smallest-local-clock-first over this node's live cores —
@@ -776,7 +890,6 @@ Prototype::runCoresPhased(const std::vector<GlobalTileId> &gids,
     // An epoch with no instructions, no mailbox traffic and no device
     // events cannot create progress later except through timer interrupts
     // raised by the advancing mtime; bound how long we wait for one.
-    std::uint64_t idle_epochs = 0;
     const std::uint64_t idle_limit =
         std::max<std::uint64_t>(1, 1'000'000 / quantum);
 
@@ -811,6 +924,78 @@ Prototype::runCoresPhased(const std::vector<GlobalTileId> &gids,
         } else if (++idle_epochs >= idle_limit) {
             return false; // Every live core is parked with no wake source.
         }
+
+        // Wedge injection: decided once per node per barrier, in node
+        // order, in the serial context — deterministic for any worker
+        // count.
+        if (wedge_armed && !wedge_disarmed && faultInjector_) {
+            for (std::uint32_t n = 0; n < nodes; ++n) {
+                if (wedged[n])
+                    continue;
+                if (faultInjector_->decide(
+                        strfmt("node.wedge.node%u", n))) {
+                    wedged[n] = true;
+                    ++wedge_count;
+                    stats_.counter("fault.nodeWedge").increment();
+                }
+            }
+        }
+
+        // Watchdog: per-node committed-instruction heartbeats. A node
+        // whose cores are all done never stalls; a committing node
+        // re-arms its own timer.
+        if (watchdog.config().enabled()) {
+            std::vector<std::uint64_t> committed(nodes, 0);
+            std::vector<bool> live_nodes(nodes, false);
+            for (std::uint32_t n = 0; n < nodes; ++n) {
+                for (auto &s : ns[n].cores) {
+                    committed[n] += core(s.gid).instret();
+                    if (!s.done)
+                        live_nodes[n] = true;
+                }
+            }
+            auto verdict = watchdog.observe(boundary, committed,
+                                            live_nodes);
+            if (verdict.stallDetected) {
+                switch (cfg_.watchdog.action) {
+                  case sim::WatchdogAction::kPanic:
+                    panic(strfmt(
+                        "watchdog: node %u committed nothing for %llu "
+                        "cycles",
+                        verdict.stalledNodes.front(),
+                        static_cast<unsigned long long>(
+                            cfg_.watchdog.stallCycles)));
+                  case sim::WatchdogAction::kRecover:
+                    if (!last_checkpoint.empty() &&
+                        watchdog.recoveries() <
+                            cfg_.watchdog.maxRecoveries) {
+                        recovery_pending = true;
+                        return false;
+                    }
+                    break; // Nothing to roll back to: report only.
+                  case sim::WatchdogAction::kReport:
+                    break;
+                }
+            }
+        }
+
+        // Periodic checkpoint: first barrier at or past each interval
+        // mark, after the stat counter bumps so the file itself records
+        // how many checkpoints exist once it is restored.
+        if (cfg_.snapshot.enabled() && boundary >= next_snap) {
+            std::string path = cfg_.snapshot.dir + "/" +
+                               snap::checkpointFileName(boundary);
+            if (tryCheckpoint(path)) {
+                last_checkpoint = path;
+                snap::pruneCheckpoints(cfg_.snapshot.dir,
+                                       cfg_.snapshot.keep);
+            }
+            next_snap = boundary + cfg_.snapshot.interval;
+        }
+
+        if (barrierProbe_)
+            barrierProbe_(boundary);
+
         boundary += quantum;
         return true;
     };
@@ -818,10 +1003,339 @@ Prototype::runCoresPhased(const std::vector<GlobalTileId> &gids,
     std::uint32_t workers =
         std::min(std::max<std::uint32_t>(1, cfg_.parallel.threads), nodes);
     sim::ParallelExecutor exec(workers);
-    exec.run(nodes, node_phase, barrier);
+
+    while (true) {
+        init_run();
+        recovery_pending = false;
+        exec.run(nodes, node_phase, barrier);
+        if (!recovery_pending)
+            break;
+
+        // Roll back to the last good checkpoint and go again. restore()
+        // rewinds the registry to the checkpoint's counts, so the
+        // watchdog's lifetime totals are re-applied afterwards — the
+        // recovery must stay visible in the final stats.
+        restore(last_checkpoint);
+        watchdog.noteRecovery();
+        watchdog.rebase();
+        auto &stalls = stats_.counter("watchdog.stallsDetected");
+        if (watchdog.stallsDetected() > stalls.value())
+            stalls.increment(watchdog.stallsDetected() - stalls.value());
+        auto &recoveries = stats_.counter("watchdog.recoveries");
+        if (watchdog.recoveries() > recoveries.value())
+            recoveries.increment(watchdog.recoveries() -
+                                 recoveries.value());
+        auto &wedges = stats_.counter("fault.nodeWedge");
+        if (wedge_count > wedges.value())
+            wedges.increment(wedge_count - wedges.value());
+        wedge_disarmed = true;
+        std::fill(wedged.begin(), wedged.end(), false);
+    }
 
     for (std::uint32_t n = 0; n < nodes; ++n)
         stats_.mergeFrom(shards[n]);
+}
+
+namespace
+{
+/** Event budgets bounding quiesce: the periodic hook gives up (and
+ *  skips the checkpoint) long before an explicit checkpoint() does. */
+constexpr std::uint64_t kAutoQuiesceBudget = 200'000;
+constexpr std::uint64_t kExplicitQuiesceBudget = 10'000'000;
+} // namespace
+
+std::uint64_t
+Prototype::configFingerprint() const
+{
+    // FNV-1a over the fields that shape serialized state. A checkpoint
+    // from a differently shaped prototype must be rejected up front;
+    // the worker-thread count is excluded on purpose.
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    auto mix = [&h](std::uint64_t v) {
+        for (int i = 0; i < 8; ++i) {
+            h ^= (v >> (8 * i)) & 0xff;
+            h *= 0x100000001b3ULL;
+        }
+    };
+    for (char c : cfg_.name())
+        mix(static_cast<unsigned char>(c));
+    mix(cfg_.memPerNode);
+    mix(cfg_.llcSliceBytes);
+    mix(cfg_.seed);
+    mix(cfg_.interNodeInterconnect ? 1 : 0);
+    mix(static_cast<std::uint64_t>(cfg_.coreModel));
+    mix(static_cast<std::uint64_t>(cfg_.homing));
+    mix(cfg_.parallel.quantum);
+    mix(cfg_.reliability.enabled ? 1 : 0);
+    mix(cfg_.trace.enabled ? 1 : 0);
+    mix(cfg_.trace.enabled ? cfg_.trace.ringCapacity : 0);
+    return h;
+}
+
+bool
+Prototype::quiesce(std::uint64_t max_events)
+{
+    while (true) {
+        router_.drain();
+        if (eq_.empty())
+            return true;
+        if (max_events == 0)
+            return false;
+        Cycles next = eq_.nextEventTime();
+        std::uint64_t ran = eq_.runUntil(next);
+        max_events -= std::min(max_events, ran);
+    }
+}
+
+void
+Prototype::writeCheckpoint(const std::string &path)
+{
+    panicIf(!eq_.empty(), "writeCheckpoint() with pending device events");
+    std::filesystem::path p(path);
+    if (p.has_parent_path()) {
+        std::error_code ec;
+        std::filesystem::create_directories(p.parent_path(), ec);
+    }
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    fatalIf(!os, strfmt("cannot write checkpoint '%s'", path.c_str()));
+    snap::Writer w(os);
+    w.setConfigHash(configFingerprint());
+
+    w.begin(snap::Section::kMeta);
+    w.str(cfg_.name());
+    w.u64(cfg_.seed);
+    w.u32(cfg_.totalNodes());
+    w.u32(cfg_.tilesPerNode);
+    w.u64(eq_.now());
+    std::uint64_t instret = 0;
+    for (const auto &c : cores_)
+        instret += c->instret();
+    w.u64(instret);
+    w.end();
+
+    w.begin(snap::Section::kTime);
+    w.u64(eq_.now());
+    w.u64(probeClock_);
+    w.end();
+
+    w.begin(snap::Section::kResume);
+    if (live_ && live_->saveResume)
+        live_->saveResume(w);
+    else
+        w.boolean(false);
+    w.end();
+
+    w.begin(snap::Section::kCores);
+    w.u64(cores_.size());
+    for (const auto &c : cores_)
+        c->saveState(w);
+    w.end();
+
+    w.begin(snap::Section::kMemory);
+    cs_->memory().saveState(w);
+    w.end();
+
+    w.begin(snap::Section::kCache);
+    cs_->saveState(w);
+    w.end();
+
+    w.begin(snap::Section::kBridges);
+    w.u64(bridges_.size());
+    for (const auto &b : bridges_)
+        b->saveState(w);
+    w.end();
+
+    w.begin(snap::Section::kFabric);
+    fabric_->saveState(w);
+    w.end();
+
+    w.begin(snap::Section::kDevices);
+    clint_->saveState(w);
+    plic_->saveState(w);
+    w.u64(uarts_.size());
+    for (const auto &u : uarts_)
+        u->saveState(w);
+    w.u64(serials_.size());
+    for (const auto &s : serials_)
+        s.saveState(w);
+    w.u64(sdCards_.size());
+    for (const auto &sd : sdCards_)
+        sd->saveState(w);
+    w.u64(drams_.size());
+    for (const auto &d : drams_)
+        d->saveState(w);
+    w.u64(memctrls_.size());
+    for (const auto &m : memctrls_)
+        m->saveState(w);
+    w.end();
+
+    w.begin(snap::Section::kStats);
+    snap::saveRegistry(w, stats_);
+    if (live_ && live_->shards) {
+        w.u32(static_cast<std::uint32_t>(live_->shards->size()));
+        for (const auto &shard : *live_->shards)
+            snap::saveRegistry(w, shard);
+    } else {
+        w.u32(0);
+    }
+    w.end();
+
+    w.begin(snap::Section::kTracer);
+    tracer_.saveState(w);
+    w.end();
+
+    w.begin(snap::Section::kFault);
+    w.boolean(faultInjector_ != nullptr);
+    if (faultInjector_)
+        snap::saveFaultInjector(w, *faultInjector_);
+    w.end();
+
+    w.finish();
+    os.flush();
+    fatalIf(!os.good(),
+            strfmt("I/O error writing checkpoint '%s'", path.c_str()));
+}
+
+void
+Prototype::checkpoint(const std::string &path)
+{
+    fatalIf(!quiesce(kExplicitQuiesceBudget),
+            strfmt("checkpoint '%s': pending device events will not "
+                   "drain (degraded link probes?)",
+                   path.c_str()));
+    stats_.counter("snap.checkpoints").increment();
+    writeCheckpoint(path);
+}
+
+bool
+Prototype::tryCheckpoint(const std::string &path)
+{
+    if (!quiesce(kAutoQuiesceBudget)) {
+        warn(strfmt("skipping checkpoint '%s': device events will not "
+                    "drain",
+                    path.c_str()));
+        stats_.counter("snap.skipped").increment();
+        return false;
+    }
+    stats_.counter("snap.checkpoints").increment();
+    writeCheckpoint(path);
+    return true;
+}
+
+void
+Prototype::restore(const std::string &path)
+{
+    snap::Reader r(path);
+    fatalIf(r.version() != snap::kSmckVersion,
+            strfmt("checkpoint '%s' is format v%u, this build reads v%u",
+                   path.c_str(), r.version(), snap::kSmckVersion));
+    fatalIf(r.configHash() != configFingerprint(),
+            strfmt("checkpoint '%s' was written by a differently "
+                   "configured prototype (config hash %016llx, expected "
+                   "%016llx)",
+                   path.c_str(),
+                   static_cast<unsigned long long>(r.configHash()),
+                   static_cast<unsigned long long>(configFingerprint())));
+
+    r.open(snap::Section::kTime);
+    Cycles now = r.u64();
+    Cycles probe = r.u64();
+    eq_.reset();
+    eq_.jumpTo(now);
+    probeClock_ = probe;
+
+    r.open(snap::Section::kCores);
+    std::uint64_t ncores = r.u64();
+    fatalIf(ncores != cores_.size(),
+            strfmt("checkpoint has %llu cores, prototype has %zu",
+                   static_cast<unsigned long long>(ncores),
+                   cores_.size()));
+    for (auto &c : cores_)
+        c->restoreState(r);
+
+    r.open(snap::Section::kMemory);
+    cs_->memory().restoreState(r);
+
+    r.open(snap::Section::kCache);
+    cs_->restoreState(r);
+
+    r.open(snap::Section::kBridges);
+    std::uint64_t nbridges = r.u64();
+    fatalIf(nbridges != bridges_.size(),
+            strfmt("checkpoint has %llu bridges, prototype has %zu",
+                   static_cast<unsigned long long>(nbridges),
+                   bridges_.size()));
+    for (auto &b : bridges_)
+        b->restoreState(r);
+
+    r.open(snap::Section::kFabric);
+    fabric_->restoreState(r);
+
+    r.open(snap::Section::kDevices);
+    clint_->restoreState(r);
+    plic_->restoreState(r);
+    auto check_count = [&](const char *what, std::uint64_t got,
+                           std::size_t want) {
+        fatalIf(got != want,
+                strfmt("checkpoint has %llu %s, prototype has %zu",
+                       static_cast<unsigned long long>(got), what, want));
+    };
+    check_count("UARTs", r.u64(), uarts_.size());
+    for (auto &u : uarts_)
+        u->restoreState(r);
+    check_count("serials", r.u64(), serials_.size());
+    for (auto &s : serials_)
+        s.restoreState(r);
+    check_count("SD cards", r.u64(), sdCards_.size());
+    for (auto &sd : sdCards_)
+        sd->restoreState(r);
+    check_count("DRAM channels", r.u64(), drams_.size());
+    for (auto &d : drams_)
+        d->restoreState(r);
+    check_count("memory controllers", r.u64(), memctrls_.size());
+    for (auto &m : memctrls_)
+        m->restoreState(r);
+
+    r.open(snap::Section::kStats);
+    snap::restoreRegistry(r, stats_);
+    std::uint32_t shard_count = r.u32();
+    resume_.shards = std::vector<sim::StatRegistry>(shard_count);
+    for (auto &shard : resume_.shards)
+        snap::restoreRegistry(r, shard);
+
+    r.open(snap::Section::kTracer);
+    tracer_.restoreState(r);
+
+    r.open(snap::Section::kResume);
+    resume_.valid = r.boolean();
+    resume_.gids.clear();
+    resume_.executed.clear();
+    resume_.done.clear();
+    resume_.parked.clear();
+    if (resume_.valid) {
+        resume_.boundary = r.u64();
+        resume_.idleEpochs = r.u64();
+        std::uint64_t count = r.u64();
+        resume_.gids.reserve(count);
+        resume_.executed.reserve(count);
+        resume_.done.reserve(count);
+        resume_.parked.reserve(count);
+        for (std::uint64_t i = 0; i < count; ++i) {
+            resume_.gids.push_back(r.u32());
+            resume_.executed.push_back(r.u64());
+            resume_.done.push_back(r.u8());
+            resume_.parked.push_back(r.u8());
+        }
+    }
+
+    r.open(snap::Section::kFault);
+    bool has_fault = r.boolean();
+    fatalIf(has_fault != (faultInjector_ != nullptr),
+            strfmt("checkpoint '%s' and prototype disagree on fault "
+                   "injection",
+                   path.c_str()));
+    if (faultInjector_)
+        snap::restoreFaultInjector(r, *faultInjector_);
 }
 
 std::unique_ptr<os::GuestSystem>

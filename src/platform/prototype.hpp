@@ -20,6 +20,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -45,6 +46,8 @@
 #include "sim/event_queue.hpp"
 #include "sim/parallel.hpp"
 #include "sim/stats.hpp"
+#include "sim/watchdog.hpp"
+#include "snap/snapshot.hpp"
 
 namespace smappic::platform
 {
@@ -102,6 +105,18 @@ struct PrototypeConfig
      *  enabled every selected component records into per-node ring
      *  buffers merged deterministically (see docs/INTERNALS.md). */
     obs::TraceConfig trace;
+    /**
+     * Periodic quantum-barrier checkpoints (src/snap/). interval = 0
+     * disables them. Checkpoints are only taken by the phased engine at
+     * quantum barriers, after the platform quiesces, so the set of
+     * checkpoint cycles — and the files' bytes — is a pure function of
+     * (config, workload), never of the worker count.
+     */
+    snap::SnapshotConfig snapshot;
+    /** No-commit-progress watchdog over the phased engine
+     *  (src/sim/watchdog.hpp). stallCycles = 0 disables it; the action
+     *  selects report / panic / rollback-recovery on a stalled node. */
+    sim::WatchdogConfig watchdog;
 
     /** Parses "AxBxC" (e.g. "4x1x12"). @throws FatalError on bad input. */
     static PrototypeConfig parse(const std::string &spec);
@@ -218,8 +233,43 @@ class Prototype
     /** Physical address in @p to's node whose home tile is @p to. */
     Addr addressHomedAt(GlobalTileId to) const;
 
+    /**
+     * Writes a full-system SMCK checkpoint to @p path. The platform must
+     * be able to quiesce: every pending device event is drained first
+     * (advancing virtual time past the last one), and the call fatals
+     * when the queue refuses to drain — e.g. while a degraded peer's
+     * probe loop is re-arming itself.
+     */
+    void checkpoint(const std::string &path);
+
+    /**
+     * Restores a checkpoint written by an identically configured
+     * prototype (the header's config hash is checked first). Every
+     * component's state is overwritten; a subsequent runCores() with the
+     * same core set continues the interrupted run — the phased engine
+     * picks per-core budgets and the barrier clock out of the
+     * checkpoint's resume section.
+     */
+    void restore(const std::string &path);
+
+    /** Installs a hook called at every phased-engine quantum barrier
+     *  (serial context, after the auto-checkpoint point) with the
+     *  boundary cycle. Used by snap_ctl --kill-at and the crash-recovery
+     *  tests. */
+    void setBarrierProbe(std::function<void(Cycles)> fn)
+    {
+        barrierProbe_ = std::move(fn);
+    }
+
+    /** FNV-1a fingerprint of the shape-relevant config fields, stored in
+     *  every checkpoint header and verified on restore. Worker-thread
+     *  count is deliberately excluded: any worker count must accept any
+     *  worker count's checkpoints. */
+    std::uint64_t configFingerprint() const;
+
   private:
     class CorePort;
+    struct PhasedLive; ///< Live phased-run state visible to checkpoint().
 
     /** Applies an interrupt packet to its destination core (serial
      *  context or same-node phase only). */
@@ -228,6 +278,34 @@ class Prototype
     /** Phased engine behind runCores() when config().parallel is active. */
     void runCoresPhased(const std::vector<GlobalTileId> &gids,
                         std::uint64_t max_instructions_each);
+
+    /** Drains the mailbox and every pending device event, advancing
+     *  virtual time. @return False when more than @p max_events events
+     *  fire without the queue emptying (a self-re-arming loop). */
+    bool quiesce(std::uint64_t max_events);
+
+    /** Serializes the whole platform; requires an empty event queue. */
+    void writeCheckpoint(const std::string &path);
+
+    /** Quiesce + checkpoint for the periodic hook: a quiesce failure
+     *  warns and counts snap.skipped instead of dying. */
+    bool tryCheckpoint(const std::string &path);
+
+    /** Phased-run bookkeeping recovered from a checkpoint's resume
+     *  section, consumed by the next runCoresPhased(). */
+    struct PhasedResume
+    {
+        bool valid = false;
+        /** Barrier the checkpoint was taken at (resume continues at
+         *  boundary + quantum). */
+        Cycles boundary = 0;
+        std::uint64_t idleEpochs = 0;
+        std::vector<GlobalTileId> gids;
+        std::vector<std::uint64_t> executed;
+        std::vector<std::uint8_t> done;
+        std::vector<std::uint8_t> parked;
+        std::vector<sim::StatRegistry> shards;
+    };
 
     PrototypeConfig cfg_;
     sim::StatRegistry stats_;
@@ -255,6 +333,9 @@ class Prototype
     std::vector<std::unique_ptr<cache::NcDevice>> ncAdapters_;
     std::vector<std::unique_ptr<axi::Target>> fabricAdapters_;
     Cycles probeClock_ = 0;
+    PhasedResume resume_;
+    PhasedLive *live_ = nullptr; ///< Non-null only inside runCoresPhased.
+    std::function<void(Cycles)> barrierProbe_;
     std::vector<std::unique_ptr<accel::GngAccelerator>> gngs_;
     std::vector<std::unique_ptr<accel::MapleEngine>> maples_;
     std::vector<std::pair<GlobalTileId, Addr>> accelWindows_;

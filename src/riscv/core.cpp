@@ -2,6 +2,7 @@
 
 #include "obs/tracer.hpp"
 #include "sim/log.hpp"
+#include "snap/state_io.hpp"
 
 namespace smappic::riscv
 {
@@ -876,6 +877,108 @@ RvCore::step()
         }
     }
     return total;
+}
+
+void
+RvCore::saveState(snap::Writer &w) const
+{
+    for (std::uint64_t reg : regs_)
+        w.u64(reg);
+    w.u64(pc_);
+    w.u64(cycles_);
+    w.u64(instret_);
+    w.u32(priv_);
+
+    w.u64(mstatus_);
+    w.u64(mie_);
+    w.u64(mip_);
+    w.u64(mtvec_);
+    w.u64(mepc_);
+    w.u64(mcause_);
+    w.u64(mtval_);
+    w.u64(mscratch_);
+    w.u64(satp_);
+
+    w.boolean(hasReservation_);
+    w.u64(reservation_);
+
+    w.u64(bht_.size());
+    w.bytes(bht_.data(), bht_.size());
+
+    auto save_tlb = [&w](const std::vector<TlbEntry> &tlb) {
+        w.u64(tlb.size());
+        for (const TlbEntry &e : tlb) {
+            w.u64(e.vpn);
+            w.u64(e.pageBase);
+            w.u64(e.pageSize);
+            w.u8(e.perms);
+            w.boolean(e.valid);
+            w.u64(e.lastUse);
+        }
+    };
+    save_tlb(itlb_);
+    save_tlb(dtlb_);
+    w.u64(tlbClock_);
+
+    w.boolean(exited_);
+    w.u64(static_cast<std::uint64_t>(exitCode_));
+    w.u32(lastWord_);
+    w.u8(static_cast<std::uint8_t>(lastStall_));
+}
+
+void
+RvCore::restoreState(snap::Reader &r)
+{
+    for (std::uint64_t &reg : regs_)
+        reg = r.u64();
+    pc_ = r.u64();
+    cycles_ = r.u64();
+    instret_ = r.u64();
+    priv_ = r.u32();
+
+    mstatus_ = r.u64();
+    mie_ = r.u64();
+    mip_ = r.u64();
+    mtvec_ = r.u64();
+    mepc_ = r.u64();
+    mcause_ = r.u64();
+    mtval_ = r.u64();
+    mscratch_ = r.u64();
+    satp_ = r.u64();
+
+    hasReservation_ = r.boolean();
+    reservation_ = r.u64();
+
+    std::uint64_t bht_size = r.u64();
+    fatalIf(bht_size != bht_.size(),
+            strfmt("checkpoint BHT has %llu entries, core expects %llu",
+                   static_cast<unsigned long long>(bht_size),
+                   static_cast<unsigned long long>(bht_.size())));
+    r.bytes(bht_.data(), bht_.size());
+
+    auto restore_tlb = [&r](std::vector<TlbEntry> &tlb) {
+        std::uint64_t size = r.u64();
+        fatalIf(size != tlb.size(),
+                strfmt("checkpoint TLB has %llu entries, core expects %llu",
+                       static_cast<unsigned long long>(size),
+                       static_cast<unsigned long long>(tlb.size())));
+        for (TlbEntry &e : tlb) {
+            e.vpn = r.u64();
+            e.pageBase = r.u64();
+            e.pageSize = r.u64();
+            e.perms = r.u8();
+            e.valid = r.boolean();
+            e.lastUse = r.u64();
+        }
+    };
+    restore_tlb(itlb_);
+    restore_tlb(dtlb_);
+    tlbClock_ = r.u64();
+
+    exited_ = r.boolean();
+    exitCode_ = static_cast<std::int64_t>(r.u64());
+    lastWord_ = r.u32();
+    lastStall_ = static_cast<Stall>(r.u8());
 }
 
 } // namespace smappic::riscv

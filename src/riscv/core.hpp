@@ -27,6 +27,12 @@ namespace smappic::obs
 class Tracer;
 }
 
+namespace smappic::snap
+{
+class Writer;
+class Reader;
+} // namespace smappic::snap
+
 namespace smappic::riscv
 {
 
@@ -153,6 +159,12 @@ class RvCore
     bool interruptPending() const;
 
     const CoreConfig &config() const { return cfg_; }
+
+    /** Serializes the full architectural + microarchitectural state
+     *  (registers, CSRs, reservation, BHT, TLBs, halt bookkeeping). */
+    void saveState(snap::Writer &w) const;
+    /** Restores into a core built from the same CoreConfig. */
+    void restoreState(snap::Reader &r);
 
   private:
     struct TlbEntry

@@ -1,6 +1,7 @@
 #include "riscv/interrupts.hpp"
 
 #include "sim/log.hpp"
+#include "snap/state_io.hpp"
 
 namespace smappic::riscv
 {
@@ -131,6 +132,57 @@ IrqDepacketizer::apply(const noc::Packet &pkt, RvCore &core)
 {
     Decoded d = decode(pkt);
     core.setIrqLine(d.irq, d.level);
+}
+
+namespace
+{
+
+void
+saveBoolVec(snap::Writer &w, const std::vector<bool> &v)
+{
+    w.u64(v.size());
+    for (bool b : v)
+        w.boolean(b);
+}
+
+void
+restoreBoolVec(snap::Reader &r, std::vector<bool> &v)
+{
+    std::uint64_t size = r.u64();
+    fatalIf(size != v.size(), "checkpoint wire vector size mismatch");
+    for (std::size_t i = 0; i < v.size(); ++i)
+        v[i] = r.boolean();
+}
+
+} // namespace
+
+void
+ClintController::saveState(snap::Writer &w) const
+{
+    saveBoolVec(w, msip_);
+    saveBoolVec(w, mtip_);
+    saveBoolVec(w, meip_);
+    w.u64(mtimecmp_.size());
+    for (std::uint64_t cmp : mtimecmp_)
+        w.u64(cmp);
+    w.u64(mtime_);
+}
+
+void
+ClintController::restoreState(snap::Reader &r)
+{
+    restoreBoolVec(r, msip_);
+    restoreBoolVec(r, mtip_);
+    restoreBoolVec(r, meip_);
+    std::uint64_t harts = r.u64();
+    fatalIf(
+        harts != mtimecmp_.size(),
+        strfmt("checkpoint CLINT has %llu harts, controller expects %llu",
+               static_cast<unsigned long long>(harts),
+               static_cast<unsigned long long>(mtimecmp_.size())));
+    for (std::uint64_t &cmp : mtimecmp_)
+        cmp = r.u64();
+    mtime_ = r.u64();
 }
 
 } // namespace smappic::riscv

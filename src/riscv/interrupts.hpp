@@ -65,6 +65,12 @@ class ClintController
         return static_cast<std::uint32_t>(msip_.size());
     }
 
+    /** Serializes wires, compare registers and MTIME. */
+    void saveState(snap::Writer &w) const;
+    /** Restores wire/register state WITHOUT firing the wire callback —
+     *  the cores' own mip bits are restored separately. */
+    void restoreState(snap::Reader &r);
+
   private:
     void setWire(std::vector<bool> &wires, std::uint32_t hart,
                  std::uint32_t irq, bool level);

@@ -1,6 +1,7 @@
 #include "riscv/plic.hpp"
 
 #include "sim/log.hpp"
+#include "snap/state_io.hpp"
 
 namespace smappic::riscv
 {
@@ -169,6 +170,75 @@ PlicController::write(Addr offset, std::uint32_t value)
             complete(hart, value);
         }
     }
+}
+
+namespace
+{
+
+void
+saveBoolVec(snap::Writer &w, const std::vector<bool> &v)
+{
+    w.u64(v.size());
+    for (bool b : v)
+        w.boolean(b);
+}
+
+void
+restoreBoolVec(snap::Reader &r, std::vector<bool> &v)
+{
+    std::uint64_t size = r.u64();
+    fatalIf(size != v.size(), "checkpoint PLIC vector size mismatch");
+    for (std::size_t i = 0; i < v.size(); ++i)
+        v[i] = r.boolean();
+}
+
+} // namespace
+
+void
+PlicController::saveState(snap::Writer &w) const
+{
+    w.u64(priority_.size());
+    for (std::uint32_t p : priority_)
+        w.u32(p);
+    saveBoolVec(w, level_);
+    saveBoolVec(w, pending_);
+    saveBoolVec(w, inService_);
+    w.u64(enable_.size());
+    for (std::uint64_t e : enable_)
+        w.u64(e);
+    w.u64(threshold_.size());
+    for (std::uint32_t t : threshold_)
+        w.u32(t);
+    saveBoolVec(w, wireLevel_);
+}
+
+void
+PlicController::restoreState(snap::Reader &r)
+{
+    std::uint64_t sources = r.u64();
+    fatalIf(
+        sources != priority_.size(),
+        strfmt("checkpoint PLIC has %llu sources, controller expects %llu",
+               static_cast<unsigned long long>(sources),
+               static_cast<unsigned long long>(priority_.size())));
+    for (std::uint32_t &p : priority_)
+        p = r.u32();
+    restoreBoolVec(r, level_);
+    restoreBoolVec(r, pending_);
+    restoreBoolVec(r, inService_);
+    std::uint64_t harts = r.u64();
+    fatalIf(harts != enable_.size(),
+            strfmt("checkpoint PLIC has %llu harts, controller expects %llu",
+                   static_cast<unsigned long long>(harts),
+                   static_cast<unsigned long long>(enable_.size())));
+    for (std::uint64_t &e : enable_)
+        e = r.u64();
+    std::uint64_t thresholds = r.u64();
+    fatalIf(thresholds != threshold_.size(),
+            "checkpoint PLIC threshold count mismatch");
+    for (std::uint32_t &t : threshold_)
+        t = r.u32();
+    restoreBoolVec(r, wireLevel_);
 }
 
 } // namespace smappic::riscv

@@ -19,6 +19,12 @@
 
 #include "sim/types.hpp"
 
+namespace smappic::snap
+{
+class Writer;
+class Reader;
+} // namespace smappic::snap
+
 namespace smappic::riscv
 {
 
@@ -69,6 +75,12 @@ class PlicController
     {
         return static_cast<std::uint32_t>(threshold_.size());
     }
+
+    /** Serializes the full controller state. */
+    void saveState(snap::Writer &w) const;
+    /** Restores WITHOUT firing the wire callback — the downstream
+     *  packetizer/core wires are restored from their own sections. */
+    void restoreState(snap::Reader &r);
 
   private:
     void evaluate();

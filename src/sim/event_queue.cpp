@@ -55,4 +55,12 @@ EventQueue::reset()
     nextSeq_ = 0;
 }
 
+void
+EventQueue::jumpTo(Cycles now)
+{
+    panicIf(!heap_.empty(),
+            "jumpTo with pending events would orphan their closures");
+    now_ = now;
+}
+
 } // namespace smappic::sim

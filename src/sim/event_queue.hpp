@@ -43,6 +43,14 @@ class EventQueue
     /** True when no events remain. */
     bool empty() const { return heap_.empty(); }
 
+    /** Timestamp of the earliest pending event. @pre !empty(). */
+    Cycles nextEventTime() const { return heap_.top().when; }
+
+    /** Restore-time clock jump: sets now without running anything.
+     *  Requires an empty queue (pending closures cannot be preserved
+     *  across a jump) and panics otherwise. */
+    void jumpTo(Cycles now);
+
     /** Number of pending events. */
     std::size_t pending() const { return heap_.size(); }
 

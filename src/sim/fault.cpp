@@ -167,6 +167,26 @@ FaultInjector::decide(std::string_view site)
 }
 
 void
+FaultInjector::forEachSite(
+    const std::function<void(const std::string &, std::uint64_t,
+                             std::uint64_t, std::uint64_t)> &fn) const
+{
+    for (const auto &[name, state] : sites_) {
+        auto [s0, s1] = state.rng.state();
+        fn(name, s0, s1, state.events);
+    }
+}
+
+void
+FaultInjector::restoreSite(const std::string &site, std::uint64_t rng_s0,
+                           std::uint64_t rng_s1, std::uint64_t events)
+{
+    SiteState &state = siteState(site);
+    state.rng.setState(rng_s0, rng_s1);
+    state.events = events;
+}
+
+void
 FaultInjector::corruptBytes(std::string_view site, std::uint8_t *bytes,
                             std::size_t len)
 {

@@ -19,6 +19,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <string>
 #include <string_view>
@@ -123,6 +124,34 @@ class FaultInjector
 
     /** Events seen so far at @p site (0 if never queried). */
     std::uint64_t siteEvents(std::string_view site) const;
+
+    /** The fault plan this injector evaluates. */
+    const FaultPlan &plan() const { return plan_; }
+
+    /** Invokes @p fn(site, rng_s0, rng_s1, events) for every site state,
+     *  in site-name order (checkpointing). */
+    void forEachSite(
+        const std::function<void(const std::string &, std::uint64_t,
+                                 std::uint64_t, std::uint64_t)> &fn) const;
+
+    /** Restores (creating if needed) one site's RNG stream + counter. */
+    void restoreSite(const std::string &site, std::uint64_t rng_s0,
+                     std::uint64_t rng_s1, std::uint64_t events);
+
+    /** Forgets every site state (prelude to a full restoreSite sweep, so
+     *  sites first touched after the checkpoint don't survive it). */
+    void resetSites() { sites_.clear(); }
+
+    /** Restores the aggregate injection counters. */
+    void
+    restoreCounters(std::uint64_t drops, std::uint64_t corruptions,
+                    std::uint64_t delays, std::uint64_t slv_errs)
+    {
+        drops_ = drops;
+        corruptions_ = corruptions;
+        delays_ = delays;
+        slvErrs_ = slv_errs;
+    }
 
   private:
     struct SiteState

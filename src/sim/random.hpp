@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <utility>
 
 namespace smappic::sim
 {
@@ -61,6 +62,24 @@ class Xoroshiro
     chance(double p)
     {
         return uniform() < p;
+    }
+
+    /** Raw generator state, for checkpointing mid-stream. */
+    std::pair<std::uint64_t, std::uint64_t>
+    state() const
+    {
+        return {s0_, s1_};
+    }
+
+    /** Restores a state captured with state(). All-zero is illegal for
+     *  xoroshiro; such input is nudged to the nonzero fixed point. */
+    void
+    setState(std::uint64_t s0, std::uint64_t s1)
+    {
+        s0_ = s0;
+        s1_ = s1;
+        if (s0_ == 0 && s1_ == 0)
+            s1_ = 1;
     }
 
   private:

@@ -100,6 +100,21 @@ class QueueServer
         return static_cast<std::uint32_t>(nextFree_.size());
     }
 
+    /** Per-way next-free times (checkpointing). */
+    const std::vector<Cycles> &lanes() const { return nextFree_; }
+
+    /** Restores state captured with lanes()/the counters. @p lanes must
+     *  match the server's way count. */
+    void
+    restore(std::vector<Cycles> lanes, Cycles busy,
+            std::uint64_t requests, Cycles queued)
+    {
+        nextFree_ = std::move(lanes);
+        busy_ = busy;
+        requests_ = requests;
+        queuedTotal_ = queued;
+    }
+
   private:
     std::vector<Cycles> nextFree_;
     Cycles busy_ = 0;
@@ -154,6 +169,8 @@ class TrafficShaper
     void setBytesPerCycle(double bpc) { bytesPerCycle_ = bpc; }
     std::uint64_t bytesSent() const { return bytesSent_; }
     const QueueServer &server() const { return server_; }
+    QueueServer &server() { return server_; }
+    void setBytesSent(std::uint64_t bytes) { bytesSent_ = bytes; }
 
     void
     reset()

@@ -65,6 +65,25 @@ class Summary
     double min() const { return count_ ? min_ : 0.0; }
     double max() const { return count_ ? max_ : 0.0; }
 
+    // Raw accumulator access for bit-exact checkpointing: the empty-set
+    // sentinels (+-inf) and sumSq must round-trip unchanged, which the
+    // derived accessors above cannot provide.
+    double sumSquares() const { return sumSq_; }
+    double rawMin() const { return min_; }
+    double rawMax() const { return max_; }
+
+    /** Restores raw accumulator state captured with the accessors. */
+    void
+    restore(std::uint64_t count, double sum, double sum_sq, double raw_min,
+            double raw_max)
+    {
+        count_ = count;
+        sum_ = sum;
+        sumSq_ = sum_sq;
+        min_ = raw_min;
+        max_ = raw_max;
+    }
+
     /** Population variance of the observations. */
     double
     variance() const
@@ -121,6 +140,18 @@ class Histogram
     void merge(const Histogram &o);
 
     void reset();
+
+    /** Restores bucket/summary state (checkpointing). @p counts must
+     *  match the histogram's bucket count. */
+    void
+    restore(std::vector<std::uint64_t> counts, std::uint64_t overflow,
+            std::uint64_t underflow, const Summary &summary)
+    {
+        counts_ = std::move(counts);
+        overflow_ = overflow;
+        underflow_ = underflow;
+        summary_ = summary;
+    }
 
   private:
     std::vector<std::uint64_t> counts_;
@@ -210,6 +241,10 @@ class StatRegistry
     const std::map<std::string, Summary> &summaries() const
     {
         return summaries_;
+    }
+    const std::map<std::string, Histogram> &histograms() const
+    {
+        return histograms_;
     }
 
   private:

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Commit-progress watchdog for multi-node runs.
+ *
+ * Cloud FPGA prototypes wedge in ways an on-prem rig rarely sees: a node
+ * stops committing because a link degraded, an interrupt packet was lost,
+ * or the shell dropped a DMA — and the rest of the system keeps running,
+ * burning hours of simulation that can never finish. The watchdog samples
+ * per-node committed-instruction heartbeats at every quantum barrier; a
+ * node that stays live (unfinished cores) but commits nothing for the
+ * configured number of cycles is *stalled*. Policy is configurable:
+ * report (count it and keep going), panic (fail fast for CI), or recover
+ * (the platform rolls back to the last good checkpoint and resumes —
+ * see Prototype and docs/INTERNALS.md for the recovery state machine).
+ *
+ * Determinism: the watchdog observes only barrier-time state (committed
+ * counts, liveness, the boundary cycle), all of which are worker-count
+ * invariant under the phased engine's contract, so detection — and any
+ * recovery it triggers — fires at the same barrier for any worker count.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/stats.hpp"
+#include "sim/types.hpp"
+
+namespace smappic::sim
+{
+
+/** What to do when a stalled node is detected. */
+enum class WatchdogAction : std::uint8_t
+{
+    kReport = 0, ///< Record stats ("watchdog.stallsDetected") only.
+    kPanic = 1,  ///< Panic with the stalled node list (fail fast).
+    kRecover = 2, ///< Roll back to the last checkpoint and resume.
+};
+
+/** Watchdog knobs carried by PrototypeConfig. */
+struct WatchdogConfig
+{
+    /** Cycles a live node may go without committing an instruction
+     *  before it counts as stalled; 0 disables the watchdog. */
+    Cycles stallCycles = 0;
+    WatchdogAction action = WatchdogAction::kReport;
+    /** Recovery attempts before kRecover degrades to kReport — bounds
+     *  the rollback loop when the wedge is deterministic. */
+    std::uint32_t maxRecoveries = 3;
+
+    bool enabled() const { return stallCycles > 0; }
+};
+
+/** Per-node no-commit-progress detector (one per Prototype run). */
+class Watchdog
+{
+  public:
+    /** Stall verdict for one observation. */
+    struct Verdict
+    {
+        bool stallDetected = false;
+        std::vector<std::uint32_t> stalledNodes;
+    };
+
+    Watchdog(const WatchdogConfig &cfg, std::uint32_t nodes,
+             StatRegistry *stats);
+
+    /**
+     * Samples the heartbeats at a barrier.
+     * @param now The barrier's boundary cycle.
+     * @param committed Per-node committed-instruction totals.
+     * @param live Per-node "has unfinished cores" flags; nodes that are
+     *        done can never stall.
+     *
+     * After a stall fires, the stalled nodes' progress marks rebase to
+     * @p now so one wedge is reported once per stallCycles window, not
+     * once per barrier.
+     */
+    Verdict observe(Cycles now, const std::vector<std::uint64_t> &committed,
+                    const std::vector<bool> &live);
+
+    /** Re-primes every heartbeat (after a restore rewinds the state the
+     *  committed counts are derived from). */
+    void rebase();
+
+    /** Records one completed rollback. */
+    void noteRecovery() { ++recoveries_; }
+
+    std::uint64_t stallsDetected() const { return stalls_; }
+    std::uint64_t recoveries() const { return recoveries_; }
+    const WatchdogConfig &config() const { return cfg_; }
+
+  private:
+    WatchdogConfig cfg_;
+    StatRegistry *stats_;
+    bool primed_ = false;
+    std::vector<std::uint64_t> lastCommitted_;
+    std::vector<Cycles> lastProgress_;
+    std::uint64_t stalls_ = 0;
+    std::uint64_t recoveries_ = 0;
+};
+
+} // namespace smappic::sim

@@ -1,0 +1,455 @@
+#include "snap/state_io.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <ostream>
+
+#include "sim/log.hpp"
+
+namespace smappic::snap
+{
+
+namespace
+{
+
+constexpr std::uint8_t kMagic[4] = {'S', 'M', 'C', 'K'};
+constexpr std::size_t kHeaderBytes = 4 + 4 + 8 + 4 + 4;
+constexpr std::size_t kSectionHeaderBytes = 4 + 4 + 8 + 4 + 4;
+
+void
+putLe(std::vector<std::uint8_t> &buf, std::uint64_t v, std::size_t bytes)
+{
+    for (std::size_t i = 0; i < bytes; ++i)
+        buf.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void
+writeLe(std::ostream &os, std::uint64_t v, std::size_t bytes)
+{
+    std::uint8_t raw[8];
+    for (std::size_t i = 0; i < bytes; ++i)
+        raw[i] = static_cast<std::uint8_t>(v >> (8 * i));
+    os.write(reinterpret_cast<const char *>(raw),
+             static_cast<std::streamsize>(bytes));
+}
+
+std::uint64_t
+bitsOf(double v)
+{
+    std::uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(v));
+    std::memcpy(&bits, &v, sizeof(bits));
+    return bits;
+}
+
+double
+doubleOf(std::uint64_t bits)
+{
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+}
+
+} // namespace
+
+Writer::Writer(std::ostream &os) : os_(os)
+{
+    // Placeholder header; finish() patches section count and config hash.
+    os_.write(reinterpret_cast<const char *>(kMagic), 4);
+    writeLe(os_, kSmckVersion, 4);
+    writeLe(os_, 0, 8);
+    writeLe(os_, 0, 4);
+    writeLe(os_, 0, 4);
+}
+
+void
+Writer::begin(Section tag)
+{
+    panicIf(open_, "SMCK writer: begin() with a section already open");
+    open_ = true;
+    tag_ = static_cast<std::uint32_t>(tag);
+    buf_.clear();
+}
+
+void
+Writer::end()
+{
+    panicIf(!open_, "SMCK writer: end() without begin()");
+    open_ = false;
+    std::uint32_t crc =
+        buf_.empty() ? 0 : sim::crc32(buf_.data(), buf_.size());
+    writeLe(os_, tag_, 4);
+    writeLe(os_, 0, 4);
+    writeLe(os_, buf_.size(), 8);
+    writeLe(os_, crc, 4);
+    writeLe(os_, 0, 4);
+    if (!buf_.empty())
+        os_.write(reinterpret_cast<const char *>(buf_.data()),
+                  static_cast<std::streamsize>(buf_.size()));
+    ++sections_;
+    buf_.clear();
+}
+
+void
+Writer::finish()
+{
+    panicIf(open_, "SMCK writer: finish() with a section open");
+    os_.seekp(8, std::ios::beg);
+    writeLe(os_, configHash_, 8);
+    writeLe(os_, sections_, 4);
+    os_.seekp(0, std::ios::end);
+    os_.flush();
+}
+
+void
+Writer::u16(std::uint16_t v)
+{
+    putLe(buf_, v, 2);
+}
+
+void
+Writer::u32(std::uint32_t v)
+{
+    putLe(buf_, v, 4);
+}
+
+void
+Writer::u64(std::uint64_t v)
+{
+    putLe(buf_, v, 8);
+}
+
+void
+Writer::f64(double v)
+{
+    putLe(buf_, bitsOf(v), 8);
+}
+
+void
+Writer::bytes(const void *data, std::size_t len)
+{
+    const auto *p = static_cast<const std::uint8_t *>(data);
+    buf_.insert(buf_.end(), p, p + len);
+}
+
+void
+Writer::str(const std::string &s)
+{
+    u32(static_cast<std::uint32_t>(s.size()));
+    bytes(s.data(), s.size());
+}
+
+Reader::Reader(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary | std::ios::ate);
+    fatalIf(!is, "SMCK: cannot open '" + path + "'");
+    std::streamsize size = is.tellg();
+    is.seekg(0, std::ios::beg);
+    data_.resize(static_cast<std::size_t>(size));
+    if (size > 0)
+        is.read(reinterpret_cast<char *>(data_.data()), size);
+    fatalIf(!is, "SMCK: short read on '" + path + "'");
+
+    fatalIf(data_.size() < kHeaderBytes,
+            "SMCK: '" + path + "' is too small to be a checkpoint");
+    fatalIf(std::memcmp(data_.data(), kMagic, 4) != 0,
+            "SMCK: '" + path + "' has no SMCK magic");
+
+    auto le = [&](std::uint64_t off, std::size_t bytes) {
+        std::uint64_t v = 0;
+        for (std::size_t i = 0; i < bytes; ++i)
+            v |= static_cast<std::uint64_t>(data_[off + i]) << (8 * i);
+        return v;
+    };
+    version_ = static_cast<std::uint32_t>(le(4, 4));
+    fatalIf(version_ != kSmckVersion,
+            strfmt("SMCK: '%s' is format version %u, this build reads %u",
+                   path.c_str(), version_, kSmckVersion));
+    configHash_ = le(8, 8);
+    auto count = static_cast<std::uint32_t>(le(16, 4));
+
+    std::uint64_t at = kHeaderBytes;
+    for (std::uint32_t s = 0; s < count; ++s) {
+        fatalIf(at + kSectionHeaderBytes > data_.size(),
+                "SMCK: '" + path + "' is truncated in a section header");
+        SectionDesc d;
+        d.tag = static_cast<std::uint32_t>(le(at, 4));
+        d.size = le(at + 8, 8);
+        d.crc = static_cast<std::uint32_t>(le(at + 16, 4));
+        d.offset = at + kSectionHeaderBytes;
+        fatalIf(d.offset + d.size > data_.size(),
+                "SMCK: '" + path + "' is truncated in a section payload");
+        sections_.push_back(d);
+        at = d.offset + d.size;
+    }
+}
+
+const Reader::SectionDesc *
+Reader::find(Section tag) const
+{
+    for (const SectionDesc &d : sections_) {
+        if (d.tag == static_cast<std::uint32_t>(tag))
+            return &d;
+    }
+    return nullptr;
+}
+
+bool
+Reader::has(Section tag) const
+{
+    return find(tag) != nullptr;
+}
+
+void
+Reader::open(Section tag)
+{
+    const SectionDesc *d = find(tag);
+    fatalIf(!d, strfmt("SMCK: checkpoint has no section %u",
+                       static_cast<std::uint32_t>(tag)));
+    std::uint32_t crc =
+        d->size == 0 ? 0
+                     : sim::crc32(data_.data() + d->offset,
+                                  static_cast<std::size_t>(d->size));
+    fatalIf(crc != d->crc,
+            strfmt("SMCK: section %u fails its CRC (stored %08x, "
+                   "computed %08x) — the checkpoint is corrupt",
+                   d->tag, d->crc, crc));
+    cursor_ = d->offset;
+    end_ = d->offset + d->size;
+}
+
+void
+Reader::need(std::size_t len) const
+{
+    fatalIf(cursor_ + len > end_,
+            "SMCK: section payload ends mid-field (corrupt or "
+            "version-skewed checkpoint)");
+}
+
+std::uint8_t
+Reader::u8()
+{
+    need(1);
+    return data_[cursor_++];
+}
+
+std::uint16_t
+Reader::u16()
+{
+    need(2);
+    std::uint16_t v = 0;
+    for (int i = 0; i < 2; ++i)
+        v = static_cast<std::uint16_t>(v |
+                                       (data_[cursor_ + i] << (8 * i)));
+    cursor_ += 2;
+    return v;
+}
+
+std::uint32_t
+Reader::u32()
+{
+    need(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= static_cast<std::uint32_t>(data_[cursor_ + i]) << (8 * i);
+    cursor_ += 4;
+    return v;
+}
+
+std::uint64_t
+Reader::u64()
+{
+    need(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= static_cast<std::uint64_t>(data_[cursor_ + i]) << (8 * i);
+    cursor_ += 8;
+    return v;
+}
+
+double
+Reader::f64()
+{
+    return doubleOf(u64());
+}
+
+void
+Reader::bytes(void *out, std::size_t len)
+{
+    need(len);
+    std::memcpy(out, data_.data() + cursor_, len);
+    cursor_ += len;
+}
+
+std::string
+Reader::str()
+{
+    std::uint32_t len = u32();
+    need(len);
+    std::string s(reinterpret_cast<const char *>(data_.data() + cursor_),
+                  len);
+    cursor_ += len;
+    return s;
+}
+
+void
+saveServer(Writer &w, const sim::QueueServer &server)
+{
+    const auto &lanes = server.lanes();
+    w.u32(static_cast<std::uint32_t>(lanes.size()));
+    for (Cycles c : lanes)
+        w.u64(c);
+    w.u64(server.busyCycles());
+    w.u64(server.requests());
+    w.u64(server.queuedCycles());
+}
+
+void
+restoreServer(Reader &r, sim::QueueServer &server)
+{
+    std::uint32_t ways = r.u32();
+    fatalIf(ways != server.ways(),
+            "SMCK: queue-server way count mismatch (config skew)");
+    std::vector<Cycles> lanes(ways);
+    for (Cycles &c : lanes)
+        c = r.u64();
+    Cycles busy = r.u64();
+    std::uint64_t requests = r.u64();
+    Cycles queued = r.u64();
+    server.restore(std::move(lanes), busy, requests, queued);
+}
+
+void
+saveShaper(Writer &w, const sim::TrafficShaper &shaper)
+{
+    saveServer(w, shaper.server());
+    w.u64(shaper.bytesSent());
+}
+
+void
+restoreShaper(Reader &r, sim::TrafficShaper &shaper)
+{
+    restoreServer(r, shaper.server());
+    shaper.setBytesSent(r.u64());
+}
+
+void
+saveRegistry(Writer &w, const sim::StatRegistry &reg)
+{
+    // std::map iteration is already name-sorted: deterministic layout.
+    w.u32(static_cast<std::uint32_t>(reg.counters().size()));
+    for (const auto &[name, c] : reg.counters()) {
+        w.str(name);
+        w.u64(c.value());
+    }
+    w.u32(static_cast<std::uint32_t>(reg.summaries().size()));
+    for (const auto &[name, s] : reg.summaries()) {
+        w.str(name);
+        w.u64(s.count());
+        w.f64(s.sum());
+        w.f64(s.sumSquares());
+        w.f64(s.rawMin());
+        w.f64(s.rawMax());
+    }
+    w.u32(static_cast<std::uint32_t>(reg.histograms().size()));
+    for (const auto &[name, h] : reg.histograms()) {
+        w.str(name);
+        w.u32(static_cast<std::uint32_t>(h.buckets()));
+        w.f64(h.bucketWidth());
+        for (std::size_t i = 0; i < h.buckets(); ++i)
+            w.u64(h.bucketCount(i));
+        w.u64(h.overflow());
+        w.u64(h.underflow());
+        const sim::Summary &s = h.summary();
+        w.u64(s.count());
+        w.f64(s.sum());
+        w.f64(s.sumSquares());
+        w.f64(s.rawMin());
+        w.f64(s.rawMax());
+    }
+}
+
+void
+restoreRegistry(Reader &r, sim::StatRegistry &reg)
+{
+    reg.resetAll();
+    std::uint32_t counters = r.u32();
+    for (std::uint32_t i = 0; i < counters; ++i) {
+        std::string name = r.str();
+        reg.counter(name).increment(r.u64());
+    }
+    std::uint32_t summaries = r.u32();
+    for (std::uint32_t i = 0; i < summaries; ++i) {
+        std::string name = r.str();
+        std::uint64_t count = r.u64();
+        double sum = r.f64();
+        double sum_sq = r.f64();
+        double raw_min = r.f64();
+        double raw_max = r.f64();
+        reg.summaryStat(name).restore(count, sum, sum_sq, raw_min,
+                                      raw_max);
+    }
+    std::uint32_t histograms = r.u32();
+    for (std::uint32_t i = 0; i < histograms; ++i) {
+        std::string name = r.str();
+        std::uint32_t buckets = r.u32();
+        double width = r.f64();
+        std::vector<std::uint64_t> counts(buckets);
+        for (std::uint64_t &c : counts)
+            c = r.u64();
+        std::uint64_t overflow = r.u64();
+        std::uint64_t underflow = r.u64();
+        std::uint64_t scount = r.u64();
+        double ssum = r.f64();
+        double ssum_sq = r.f64();
+        double smin = r.f64();
+        double smax = r.f64();
+        sim::Summary s;
+        s.restore(scount, ssum, ssum_sq, smin, smax);
+        sim::Histogram &h = reg.histogram(name, buckets, width);
+        fatalIf(h.buckets() != buckets,
+                "SMCK: histogram shape mismatch for '" + name + "'");
+        h.restore(std::move(counts), overflow, underflow, s);
+    }
+}
+
+void
+saveFaultInjector(Writer &w, const sim::FaultInjector &fi)
+{
+    std::uint32_t sites = 0;
+    fi.forEachSite([&](const std::string &, std::uint64_t, std::uint64_t,
+                       std::uint64_t) { ++sites; });
+    w.u32(sites);
+    fi.forEachSite([&](const std::string &name, std::uint64_t s0,
+                       std::uint64_t s1, std::uint64_t events) {
+        w.str(name);
+        w.u64(s0);
+        w.u64(s1);
+        w.u64(events);
+    });
+    w.u64(fi.dropsInjected());
+    w.u64(fi.corruptionsInjected());
+    w.u64(fi.delaysInjected());
+    w.u64(fi.slvErrsInjected());
+}
+
+void
+restoreFaultInjector(Reader &r, sim::FaultInjector &fi)
+{
+    fi.resetSites();
+    std::uint32_t sites = r.u32();
+    for (std::uint32_t i = 0; i < sites; ++i) {
+        std::string name = r.str();
+        std::uint64_t s0 = r.u64();
+        std::uint64_t s1 = r.u64();
+        std::uint64_t events = r.u64();
+        fi.restoreSite(name, s0, s1, events);
+    }
+    std::uint64_t drops = r.u64();
+    std::uint64_t corruptions = r.u64();
+    std::uint64_t delays = r.u64();
+    std::uint64_t slv_errs = r.u64();
+    fi.restoreCounters(drops, corruptions, delays, slv_errs);
+}
+
+} // namespace smappic::snap

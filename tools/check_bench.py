@@ -62,6 +62,11 @@ def main():
 
     failures = 0
     for path, spec in sorted(baseline.items()):
+        if not isinstance(spec, dict) or ("min" not in spec and
+                                          "value" not in spec):
+            raise SystemExit(
+                f"error: baseline {sys.argv[1]}: metric '{path}' must be "
+                f"an object with a 'value' or 'min' key")
         if path not in flat:
             print(f"FAIL {path}: missing from bench output")
             failures += 1

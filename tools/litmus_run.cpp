@@ -18,6 +18,7 @@
  * mismatch or checker violation (the repro command is printed).
  */
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -30,6 +31,17 @@ using namespace smappic;
 
 namespace
 {
+
+void
+printUsage()
+{
+    std::fprintf(stderr,
+                 "usage: litmus_run "
+                 "--litmus|--torture|--torture-sweep N "
+                 "[--spec AxBxC] [--seed N] [--iters N] [--ops N]"
+                 " [--lines N] [--threads N] [--quantum N] "
+                 "[--faulty] [--minimize]\n");
+}
 
 struct Options
 {
@@ -47,10 +59,21 @@ struct Options
     bool minimize = false;
 };
 
+/** Strict numeric parse: the whole operand must be a number, and it
+ *  must fit — "12x", "" or an overflowing literal are usage errors, not
+ *  silently-misread zeros. */
 std::uint64_t
 parseU64(const char *s)
 {
-    return std::strtoull(s, nullptr, 0);
+    char *end = nullptr;
+    errno = 0;
+    std::uint64_t v = std::strtoull(s, &end, 0);
+    if (end == s || *end != '\0' || errno == ERANGE) {
+        std::fprintf(stderr, "bad numeric value '%s'\n", s);
+        printUsage();
+        std::exit(2);
+    }
+    return v;
 }
 
 int
@@ -166,6 +189,7 @@ main(int argc, char **argv)
         auto next = [&]() -> const char * {
             if (i + 1 >= argc) {
                 std::fprintf(stderr, "%s needs a value\n", a.c_str());
+                printUsage();
                 std::exit(2);
             }
             return argv[++i];
@@ -187,13 +211,8 @@ main(int argc, char **argv)
         else if (a == "--faulty") opt.faulty = true;
         else if (a == "--minimize") opt.minimize = true;
         else {
-            std::fprintf(stderr,
-                         "unknown option %s\nusage: litmus_run "
-                         "--litmus|--torture|--torture-sweep N "
-                         "[--spec AxBxC] [--seed N] [--iters N] [--ops N]"
-                         " [--lines N] [--threads N] [--quantum N] "
-                         "[--faulty] [--minimize]\n",
-                         a.c_str());
+            std::fprintf(stderr, "unknown option %s\n", a.c_str());
+            printUsage();
             return 2;
         }
     }

@@ -18,6 +18,7 @@
  * Usage: trace_dump <trace.bin> [options]
  */
 
+#include <cerrno>
 #include <cinttypes>
 #include <cstdint>
 #include <cstdio>
@@ -60,6 +61,21 @@ usage(const char *argv0)
     return 2;
 }
 
+/** Strict numeric parse: rejects empty, trailing garbage and overflow
+ *  instead of silently reading them as 0. */
+bool
+parseU64Strict(const char *s, std::uint64_t &out)
+{
+    char *end = nullptr;
+    errno = 0;
+    out = std::strtoull(s, &end, 10);
+    if (end == s || *end != '\0' || errno == ERANGE) {
+        std::fprintf(stderr, "bad numeric value '%s'\n", s);
+        return false;
+    }
+    return true;
+}
+
 bool
 parseComponentList(const std::string &list, std::uint32_t &mask)
 {
@@ -90,31 +106,43 @@ parseComponentList(const std::string &list, std::uint32_t &mask)
 bool
 parseOptions(int argc, char **argv, Options &opt)
 {
+    auto takesValue = [](const std::string &a) {
+        return a == "--json" || a == "--node" || a == "--component" ||
+               a == "--window";
+    };
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
+        if (takesValue(arg) && i + 1 >= argc) {
+            std::fprintf(stderr, "%s needs a value\n", arg.c_str());
+            return false;
+        }
         if (arg == "--check") {
             opt.check = true;
-        } else if (arg == "--json" && i + 1 < argc) {
+        } else if (arg == "--json") {
             opt.jsonOut = argv[++i];
-        } else if (arg == "--node" && i + 1 < argc) {
+        } else if (arg == "--node") {
+            std::uint64_t node = 0;
+            if (!parseU64Strict(argv[++i], node) || node > 0xffff) {
+                std::fprintf(stderr, "--node wants a node index\n");
+                return false;
+            }
             opt.filterNode = true;
-            opt.node = static_cast<std::uint16_t>(
-                std::strtoul(argv[++i], nullptr, 10));
-        } else if (arg == "--component" && i + 1 < argc) {
+            opt.node = static_cast<std::uint16_t>(node);
+        } else if (arg == "--component") {
             opt.filterComponents = true;
             if (!parseComponentList(argv[++i], opt.componentMask))
                 return false;
-        } else if (arg == "--window" && i + 1 < argc) {
+        } else if (arg == "--window") {
             std::string w = argv[++i];
             std::size_t colon = w.find(':');
-            if (colon == std::string::npos) {
+            if (colon == std::string::npos ||
+                !parseU64Strict(w.substr(0, colon).c_str(),
+                                opt.windowFrom) ||
+                !parseU64Strict(w.c_str() + colon + 1, opt.windowTo)) {
                 std::fprintf(stderr, "--window wants <from>:<to>\n");
                 return false;
             }
             opt.filterWindow = true;
-            opt.windowFrom = std::strtoull(w.c_str(), nullptr, 10);
-            opt.windowTo =
-                std::strtoull(w.c_str() + colon + 1, nullptr, 10);
         } else if (!arg.empty() && arg[0] != '-' && opt.input.empty()) {
             opt.input = arg;
         } else {
@@ -122,7 +150,11 @@ parseOptions(int argc, char **argv, Options &opt)
             return false;
         }
     }
-    return !opt.input.empty();
+    if (opt.input.empty()) {
+        std::fprintf(stderr, "missing <trace.bin> operand\n");
+        return false;
+    }
+    return true;
 }
 
 bool
