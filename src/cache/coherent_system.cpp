@@ -413,6 +413,29 @@ CoherentSystem::deviceAccess(const DeviceWindow &w, GlobalTileId gid,
     return AccessResult{t - now, ServiceLevel::kDevice, crossed};
 }
 
+bool
+CoherentSystem::fetchFastHit(GlobalTileId gid, Addr addr, Cycles &lat)
+{
+    // Any armed test mutation routes everything down the slow path: the
+    // stale-copy bookkeeping (stalePeek) lives there.
+    if (mutation_ != TestMutation::kNone)
+        return false;
+    // lookup() touches the LRU on a hit — the identical (checkpointed)
+    // side effect the slow path's hit branch performs — and mutates
+    // nothing on a miss.
+    if (!l1i_[gid].lookup(addr))
+        return false;
+    if (parallel_) {
+        stats_->counter("cs.l1.hits").increment();
+    } else {
+        if (l1HitsSerial_ == nullptr)
+            l1HitsSerial_ = &stats_->counter("cs.l1.hits");
+        l1HitsSerial_->increment();
+    }
+    lat = timing_.l1HitLatency;
+    return true;
+}
+
 AccessResult
 CoherentSystem::access(GlobalTileId gid, Addr addr, AccessType type,
                        std::uint32_t bytes, Cycles now)

@@ -276,6 +276,20 @@ class CoherentSystem
     AccessResult access(GlobalTileId gid, Addr addr, AccessType type,
                         std::uint32_t bytes, Cycles now);
 
+    /**
+     * Decode-cache fast path for instruction fetches: when @p addr hits
+     * @p gid's L1I, replays exactly the side effects the full access()
+     * walk would have on that hit — the L1I LRU touch and the
+     * "cs.l1.hits" increment — and returns true with @p lat set to the
+     * L1 hit latency. Returns false (having mutated nothing; a missing
+     * lookup() leaves the LRU untouched) when the fetch must take the
+     * full walk: L1I miss, or any test mutation armed (the stale-data
+     * plumbing lives on the slow path). An L1I hit implies the line is
+     * neither a device window nor CDR-remote — those never fill the L1I
+     * — so the skipped prefix of access() is provably side-effect-free.
+     */
+    bool fetchFastHit(GlobalTileId gid, Addr addr, Cycles &lat);
+
     /** Functional backing store (data plane). */
     mem::MainMemory &memory() { return memory_; }
     const mem::MainMemory &memory() const { return memory_; }
@@ -533,6 +547,15 @@ class CoherentSystem
 
     bool parallel_ = false;
     std::recursive_mutex mu_;
+
+    /**
+     * Cached "cs.l1.hits" counter for the serial-mode fast path (map
+     * nodes are pointer-stable, and without Redirects counter() always
+     * resolves to the same node). Under the phased engine lookups must
+     * go through the registry every time to land in the acting node's
+     * TLS shard, so the cache is bypassed while parallel_ is set.
+     */
+    sim::Counter *l1HitsSerial_ = nullptr;
 
     CoherenceObserver *observer_ = nullptr;
 

@@ -22,8 +22,46 @@ MainMemory::touchPage(std::uint64_t idx)
         it = pages_.emplace(idx, PageEntry{}).first;
         it->second.bytes.assign(kPageBytes, 0);
     }
-    it->second.epoch = epoch_;
-    return it->second;
+    PageEntry &page = it->second;
+    page.epoch = epoch_;
+    if (page.stamp == nullptr)
+        page.stamp = &stampSlot(idx);
+    // Bumped before the caller mutates the bytes: a CodeRef sampled
+    // around the write can only go conservatively stale, never miss it.
+    page.stamp->fetch_add(1, std::memory_order_release);
+    return page;
+}
+
+std::atomic<std::uint64_t> &
+MainMemory::stampSlot(std::uint64_t idx)
+{
+    auto &slot = stamps_[idx];
+    if (!slot)
+        slot = std::make_unique<std::atomic<std::uint64_t>>(0);
+    return *slot;
+}
+
+void
+MainMemory::bumpAllStamps()
+{
+    for (auto &[idx, slot] : stamps_)
+        slot->fetch_add(1, std::memory_order_release);
+}
+
+const std::atomic<std::uint64_t> &
+MainMemory::pageWriteStamp(Addr addr)
+{
+    // Write lock: the slot may have to be created, rehashing stamps_.
+    auto lock = writeLock();
+    return stampSlot(addr / kPageBytes);
+}
+
+void
+MainMemory::clear()
+{
+    auto lock = writeLock();
+    pages_.clear();
+    bumpAllStamps();
 }
 
 void
@@ -126,6 +164,9 @@ MainMemory::restoreState(snap::Reader &r)
 {
     auto lock = writeLock();
     pages_.clear();
+    // Every memoized reader (decode caches) must drop bytes read from
+    // the pre-restore image, including from pages absent afterwards.
+    bumpAllStamps();
     epoch_ = 0;
     std::uint64_t count = r.u64();
     pages_.reserve(count);

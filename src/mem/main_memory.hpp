@@ -7,6 +7,7 @@
 
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <cstring>
 #include <memory>
@@ -48,8 +49,20 @@ class MainMemory
     /** Number of materialized 4 KiB pages (for footprint checks). */
     std::size_t pagesAllocated() const { return pages_.size(); }
 
-    /** Drops all contents. */
-    void clear() { pages_.clear(); }
+    /** Drops all contents (and invalidates every page write stamp). */
+    void clear();
+
+    /**
+     * Monotonic write stamp of @p addr's page, bumped *before* every
+     * overlapping write — stores, atomics, DMA, bridge traffic and
+     * loaders all funnel through writeBytes/store, so a reader holding
+     * {&stamp, observed value} (riscv::CodeRef) can prove bytes it read
+     * are still current. Stamp slots are never deallocated and survive
+     * clear()/restoreState() (both bump every slot), so the reference
+     * outlives any page image and never dangles. Stamps are transient
+     * bookkeeping like the dirty epochs: saveState does not write them.
+     */
+    const std::atomic<std::uint64_t> &pageWriteStamp(Addr addr);
 
     /**
      * Enables (or disables) internal locking so node phases of the phased
@@ -84,10 +97,14 @@ class MainMemory
     {
         std::vector<std::uint8_t> bytes;
         std::uint64_t epoch = 0; ///< Epoch of the last write.
+        /** Cached pointer into stamps_ (lazily wired by touchPage). */
+        std::atomic<std::uint64_t> *stamp = nullptr;
     };
 
     const PageEntry *findPage(std::uint64_t idx) const;
     PageEntry &touchPage(std::uint64_t idx);
+    std::atomic<std::uint64_t> &stampSlot(std::uint64_t idx);
+    void bumpAllStamps();
 
     std::shared_lock<std::shared_mutex>
     readLock() const
@@ -106,6 +123,11 @@ class MainMemory
     void writeBytesImpl(Addr addr, const void *in, std::uint64_t len);
 
     std::unordered_map<std::uint64_t, PageEntry> pages_;
+    /** Per-page write stamps; slots are created on demand and never
+     *  destroyed, so pointers handed out stay valid forever. */
+    std::unordered_map<std::uint64_t,
+                       std::unique_ptr<std::atomic<std::uint64_t>>>
+        stamps_;
     std::uint64_t epoch_ = 0;
     bool concurrent_ = false;
     mutable std::shared_mutex mu_;

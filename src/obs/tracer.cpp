@@ -18,6 +18,7 @@ componentName(Component c)
       case Component::kPcie: return "pcie";
       case Component::kBridge: return "bridge";
       case Component::kCore: return "core";
+      case Component::kDecodeCache: return "decodeCache";
     }
     panic("unknown trace component");
 }
@@ -37,6 +38,8 @@ kindName(EventKind kind)
       case EventKind::kBridgeRx: return "bridgeRx";
       case EventKind::kCoreCommit: return "coreCommit";
       case EventKind::kCoreStall: return "coreStall";
+      case EventKind::kDecodeFill: return "decodeFill";
+      case EventKind::kDecodeFlush: return "decodeFlush";
     }
     panic("unknown trace event kind");
 }
@@ -48,7 +51,7 @@ Tracer::configure(const TraceConfig &cfg, std::uint32_t nodes)
     fatalIf(cfg.enabled && cfg.ringCapacity == 0,
             "tracer ring capacity must be positive");
     enabled_ = cfg.enabled;
-    mask_ = cfg.components & kAllComponents;
+    mask_ = cfg.components & kEveryComponent;
     capacity_ = cfg.ringCapacity;
     coreStallCycles_ = cfg.coreStallCycles;
     rings_.clear();

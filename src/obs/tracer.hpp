@@ -41,9 +41,10 @@ enum class Component : std::uint8_t
     kPcie = 2,   ///< PCIe fabric transactions.
     kBridge = 3, ///< Inter-node bridge frames.
     kCore = 4,   ///< Core commit/stall events.
+    kDecodeCache = 5, ///< Decode-cache fills/flushes (opt-in).
 };
 
-inline constexpr std::uint32_t kNumComponents = 5;
+inline constexpr std::uint32_t kNumComponents = 6;
 
 /** Bit for @p c in a component mask. */
 constexpr std::uint32_t
@@ -52,8 +53,19 @@ componentBit(Component c)
     return 1u << static_cast<std::uint32_t>(c);
 }
 
-inline constexpr std::uint32_t kAllComponents =
+/** Every selectable component (the configure-time clamp). */
+inline constexpr std::uint32_t kEveryComponent =
     (1u << kNumComponents) - 1;
+
+/**
+ * The default component mask. The decode cache is deliberately not in
+ * it: its fill/flush events only exist while the cache is enabled, so
+ * tracing them by default would break the contract that the trace
+ * binary is byte-identical with the decode cache on or off. Opt in with
+ * `components |= componentBit(Component::kDecodeCache)`.
+ */
+inline constexpr std::uint32_t kAllComponents =
+    kEveryComponent & ~componentBit(Component::kDecodeCache);
 
 /** What happened at a trace point. Each kind belongs to one Component. */
 enum class EventKind : std::uint8_t
@@ -69,9 +81,11 @@ enum class EventKind : std::uint8_t
     kBridgeRx = 8,    ///< Packet reassembled on the receive side.
     kCoreCommit = 9,  ///< Instruction retired (arg=pc, duration=cycles).
     kCoreStall = 10,  ///< Retirement took >= the configured threshold.
+    kDecodeFill = 11, ///< Decode-cache fill (arg=pc).
+    kDecodeFlush = 12, ///< Whole-cache flush (FENCE.I/SFENCE/restore).
 };
 
-inline constexpr std::uint32_t kNumEventKinds = 11;
+inline constexpr std::uint32_t kNumEventKinds = 13;
 
 /** Short stable names for exporters ("cache", "cacheMiss", ...). */
 const char *componentName(Component c);
@@ -122,6 +136,9 @@ kindComponent(EventKind kind)
       case EventKind::kCoreCommit:
       case EventKind::kCoreStall:
         return Component::kCore;
+      case EventKind::kDecodeFill:
+      case EventKind::kDecodeFlush:
+        return Component::kDecodeCache;
     }
     return Component::kCache; // Unreachable for valid kinds.
 }

@@ -236,6 +236,21 @@ class Prototype::CorePort : public riscv::MemPort
             proto_.cs_->memory().load(addr, 4));
     }
 
+    bool
+    fetchFastHit(Addr addr, Cycles now, Cycles &lat) override
+    {
+        (void)now;
+        return proto_.cs_->fetchFastHit(gid_, addr, lat);
+    }
+
+    riscv::CodeRef
+    codeRef(Addr addr) override
+    {
+        const auto &stamp = proto_.cs_->memory().pageWriteStamp(addr);
+        return riscv::CodeRef{&stamp,
+                              stamp.load(std::memory_order_acquire)};
+    }
+
     std::uint64_t
     atomic(Addr addr, std::uint32_t bytes,
            const std::function<std::uint64_t(std::uint64_t)> &rmw,
@@ -433,6 +448,7 @@ Prototype::Prototype(const PrototypeConfig &cfg) : cfg_(cfg)
         riscv::CoreConfig ccfg = riscv::corePreset(cfg.coreModel);
         ccfg.hartId = g;
         ccfg.resetPc = kDramBase;
+        ccfg.decodeCache = cfg.core.decodeCache;
         auto core = std::make_unique<riscv::RvCore>(ccfg, *ports_.back(),
                                                     &stats_);
         core->setEcallHandler([this, g](riscv::RvCore &c) {
@@ -1049,7 +1065,9 @@ Prototype::configFingerprint() const
 {
     // FNV-1a over the fields that shape serialized state. A checkpoint
     // from a differently shaped prototype must be rejected up front;
-    // the worker-thread count is excluded on purpose.
+    // the worker-thread count is excluded on purpose, as is
+    // core.decodeCache (transient, checkpoint-invisible state — any
+    // setting must accept any setting's checkpoints).
     std::uint64_t h = 0xcbf29ce484222325ULL;
     auto mix = [&h](std::uint64_t v) {
         for (int i = 0; i < 8; ++i) {

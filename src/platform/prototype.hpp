@@ -81,6 +81,19 @@ struct PrototypeConfig
     cache::HomingPolicy homing = cache::HomingPolicy::kAddressNode;
     cache::TimingParams timing;
     std::uint64_t seed = 1;
+    /** Host-side core tuning that is observably invisible to the guest. */
+    struct CoreTuning
+    {
+        /**
+         * Per-core decoded-instruction cache (riscv/decode_cache.hpp).
+         * On by default: it is timing-neutral by construction — stats,
+         * traces and checkpoints are byte-identical either way — so it
+         * is deliberately excluded from configFingerprint() and
+         * checkpoints interchange freely between on and off.
+         */
+        riscv::DecodeCacheConfig decodeCache;
+    };
+    CoreTuning core;
     /** Transient-fault schedule injected into the substrate (PCIe fabric,
      *  bridges, DRAM path). Empty = no injector is built, zero cost. */
     sim::FaultPlan faultPlan;

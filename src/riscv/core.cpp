@@ -62,7 +62,8 @@ faultCause(MemAccess access)
 
 RvCore::RvCore(const CoreConfig &cfg, MemPort &port,
                sim::StatRegistry *stats)
-    : cfg_(cfg), port_(port), stats_(stats), pc_(cfg.resetPc)
+    : cfg_(cfg), port_(port), stats_(stats), decodeCache_(cfg.decodeCache),
+      pc_(cfg.resetPc)
 {
     fatalIf(cfg.bhtEntries == 0 || (cfg.bhtEntries & (cfg.bhtEntries - 1)),
             "BHT entry count must be a power of two");
@@ -83,6 +84,8 @@ void
 RvCore::setTracer(obs::Tracer *tracer, NodeId node, Cycles stall_cycles)
 {
     tracer_ = tracer ? tracer->handleFor(obs::Component::kCore) : nullptr;
+    tracerDecode_ =
+        tracer ? tracer->handleFor(obs::Component::kDecodeCache) : nullptr;
     traceNode_ = static_cast<std::uint16_t>(node);
     traceStallCycles_ = stall_cycles;
 }
@@ -91,6 +94,22 @@ bool
 RvCore::translationActive() const
 {
     return (satp_ >> 60) == 8 && priv_ != 3;
+}
+
+void
+RvCore::flushDecodeCache()
+{
+    if (!decodeCache_.enabled())
+        return;
+    decodeCache_.flush();
+    if (tracerDecode_) {
+        obs::TraceEvent ev = obs::event(obs::EventKind::kDecodeFlush);
+        ev.cycle = cycles_;
+        ev.arg = pc_;
+        ev.node = traceNode_;
+        ev.tile = static_cast<std::uint16_t>(cfg_.hartId);
+        tracerDecode_->record(ev);
+    }
 }
 
 RvCore::TlbEntry *
@@ -374,6 +393,7 @@ RvCore::writeCsr(std::uint16_t num, std::uint64_t value)
       case kCsrSatp:
         satp_ = value;
         tlbFlush();
+        flushDecodeCache();
         break;
       default:
         break; // Writes to unimplemented/read-only CSRs are ignored.
@@ -438,13 +458,60 @@ RvCore::step()
         cycles_ += total;
         return total;
     }
-    Cycles fetch_lat = 0;
-    std::uint32_t word = port_.fetch(tr.paddr, cycles_, fetch_lat);
-    if (fetch_lat > 1)
-        total += fetch_lat - 1; // L1I hit is covered by the base cycle.
+    std::uint32_t word = 0;
+    DecodedInst d;
+    bool decoded = false;
+    // Decode-cache fast path. Only untranslated fetches qualify: a
+    // translated fetch's iTLB lookup mutates checkpointed replacement
+    // state, which the fast path must not skip. The L1I-hit gate
+    // (fetchFastHit) replicates the hit path's timing and side effects
+    // exactly and inherits coherence invalidations; the entry's write
+    // stamp catches same-hart stores, DMA and loader writes.
+    if (decodeCache_.enabled() && !translationActive()) {
+        if (const DecodeCache::Entry *e = decodeCache_.find(pc)) {
+            Cycles hit_lat = 0;
+            if (port_.fetchFastHit(tr.paddr, cycles_, hit_lat)) {
+                if (hit_lat > 1)
+                    total += hit_lat - 1;
+                word = e->word;
+                d = e->inst;
+                decoded = true;
+                decodeCache_.countHit();
+            } else {
+                decodeCache_.countBypass();
+            }
+        }
+        if (!decoded) {
+            // The stamp is sampled before the fetch so a write racing
+            // the fill can only make the entry conservatively stale.
+            CodeRef ref = port_.codeRef(tr.paddr);
+            Cycles fetch_lat = 0;
+            word = port_.fetch(tr.paddr, cycles_, fetch_lat);
+            if (fetch_lat > 1)
+                total += fetch_lat - 1;
+            d = decode(word);
+            decoded = true;
+            decodeCache_.fill(pc, word, d, ref);
+            if (tracerDecode_) {
+                obs::TraceEvent ev =
+                    obs::event(obs::EventKind::kDecodeFill);
+                ev.cycle = cycles_;
+                ev.arg = pc;
+                ev.node = traceNode_;
+                ev.tile = static_cast<std::uint16_t>(cfg_.hartId);
+                tracerDecode_->record(ev);
+            }
+        }
+    }
+    if (!decoded) {
+        Cycles fetch_lat = 0;
+        word = port_.fetch(tr.paddr, cycles_, fetch_lat);
+        if (fetch_lat > 1)
+            total += fetch_lat - 1; // L1I hit is covered by the base cycle.
+        d = decode(word);
+    }
     lastWord_ = word;
 
-    DecodedInst d = decode(word);
     if (trace_)
         trace_(pc, d);
     Addr next_pc = pc + 4;
@@ -719,6 +786,11 @@ RvCore::step()
       case Op::kSfenceVma:
         if (d.op == Op::kSfenceVma)
             tlbFlush();
+        // FENCE.I is the architectural store->fetch synchronization
+        // point; SFENCE.VMA retires mapping changes. Both drop every
+        // memoized decode (plain FENCE does not order fetches).
+        if (d.op != Op::kFence)
+            flushDecodeCache();
         break;
       case Op::kEcall: {
           if (ecall_ && ecall_(*this))
@@ -979,6 +1051,10 @@ RvCore::restoreState(snap::Reader &r)
     exitCode_ = static_cast<std::int64_t>(r.u64());
     lastWord_ = r.u32();
     lastStall_ = static_cast<Stall>(r.u8());
+
+    // The restored memory image may differ arbitrarily from the one the
+    // memoized decodes were taken against.
+    flushDecodeCache();
 }
 
 } // namespace smappic::riscv

@@ -18,6 +18,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "riscv/decode_cache.hpp"
 #include "riscv/isa.hpp"
 #include "sim/stats.hpp"
 #include "sim/types.hpp"
@@ -67,6 +68,36 @@ class MemPort
     atomic(Addr addr, std::uint32_t bytes,
            const std::function<std::uint64_t(std::uint64_t)> &rmw,
            Cycles now, Cycles &lat) = 0;
+
+    /**
+     * Decode-cache fast path: when the fetch of @p addr would hit the
+     * L1I, performs the hit path's side effects (LRU touch, hit counter)
+     * and returns true with @p lat set to the hit latency; otherwise
+     * returns false having changed nothing, and the caller must issue
+     * the full fetch(). The default (ports without a timing hierarchy)
+     * never takes the fast path.
+     */
+    virtual bool
+    fetchFastHit(Addr addr, Cycles now, Cycles &lat)
+    {
+        (void)addr;
+        (void)now;
+        (void)lat;
+        return false;
+    }
+
+    /**
+     * Write-stamp handle covering the bytes behind @p addr (see
+     * CodeRef). Must be sampled before the corresponding fetch(). The
+     * default returns a null ref, which DecodeCache::fill refuses to
+     * cache — ports without stamp support stay correct for free.
+     */
+    virtual CodeRef
+    codeRef(Addr addr)
+    {
+        (void)addr;
+        return {};
+    }
 };
 
 /** Static configuration of one core (Table 2 defaults). */
@@ -83,6 +114,9 @@ struct CoreConfig
     Cycles mulLatency = 2;
     Cycles divLatency = 20;
     Cycles tlbWalkBase = 6;       ///< Walker overhead beyond PTE loads.
+    /** Decoded-instruction cache (decode_cache.hpp). Timing-neutral by
+     *  construction; disable to run the original fetch/decode path. */
+    DecodeCacheConfig decodeCache;
 };
 
 /** Why run() returned. */
@@ -160,10 +194,17 @@ class RvCore
 
     const CoreConfig &config() const { return cfg_; }
 
+    /** The decoded-instruction cache (hit/miss counters for benches). */
+    const DecodeCache &decodeCache() const { return decodeCache_; }
+
     /** Serializes the full architectural + microarchitectural state
-     *  (registers, CSRs, reservation, BHT, TLBs, halt bookkeeping). */
+     *  (registers, CSRs, reservation, BHT, TLBs, halt bookkeeping). The
+     *  decode cache is transient derived state and is deliberately not
+     *  written: checkpoints are byte-identical with it on or off. */
     void saveState(snap::Writer &w) const;
-    /** Restores into a core built from the same CoreConfig. */
+    /** Restores into a core built from the same CoreConfig; flushes the
+     *  decode cache (the restored memory image may differ arbitrarily
+     *  from the one the entries were decoded against). */
     void restoreState(snap::Reader &r);
 
   private:
@@ -185,6 +226,8 @@ class RvCore
     };
 
     bool translationActive() const;
+    /** Flushes the decode cache, emitting the kDecodeFlush trace event. */
+    void flushDecodeCache();
     TranslateResult translate(Addr vaddr, MemAccess access, Cycles &lat);
     TlbEntry *tlbLookup(std::vector<TlbEntry> &tlb, Addr vaddr);
     void tlbFill(std::vector<TlbEntry> &tlb, std::uint64_t vpn,
@@ -204,8 +247,10 @@ class RvCore
     MemPort &port_;
     sim::StatRegistry *stats_;
     obs::Tracer *tracer_ = nullptr;
+    obs::Tracer *tracerDecode_ = nullptr;
     std::uint16_t traceNode_ = 0;
     Cycles traceStallCycles_ = 8;
+    DecodeCache decodeCache_;
 
     std::uint64_t regs_[32] = {};
     Addr pc_;

@@ -1,0 +1,23 @@
+#include "riscv/decode_cache.hpp"
+
+#include "sim/log.hpp"
+
+namespace smappic::riscv
+{
+
+DecodeCache::DecodeCache(const DecodeCacheConfig &cfg)
+    : enabled_(cfg.enabled)
+{
+    if (!enabled_) {
+        // One permanently-invalid entry keeps find() memory-safe even
+        // when a caller skips the enabled() check.
+        entries_.resize(1);
+        return;
+    }
+    fatalIf(cfg.sets == 0 || (cfg.sets & (cfg.sets - 1)) != 0,
+            "decode cache entry count must be a power of two");
+    mask_ = cfg.sets - 1;
+    entries_.resize(cfg.sets);
+}
+
+} // namespace smappic::riscv

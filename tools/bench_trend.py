@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Append a bench run's headline metrics to the CI perf-trend JSONL.
+
+Usage:
+    bench_trend.py <trend.jsonl> <bench-name> <bench-output> \
+        --metrics a.b,c.d [--better lower] [--commit SHA]
+
+The bench output is parsed exactly like check_bench.py does (a bare JSON
+file or the ``json: {...}`` stdout line) and flattened to dotted paths.
+One JSON line per requested metric is appended to the trend file:
+
+    {"bench": ..., "metric": ..., "value": ..., "commit": ...}
+
+``--better lower`` tags every appended point for check_bench.py --trend
+(times regress upward; the default direction is higher-is-better).
+check_bench.py --trend consumes the accumulated file.
+"""
+
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from check_bench import flatten_json, load_result  # noqa: E402
+
+
+def main(argv):
+    args = argv[1:]
+    positional = []
+    metrics = []
+    better = None
+    commit = None
+    it = iter(args)
+    for arg in it:
+        if arg == "--metrics":
+            metrics = [m for m in next(it, "").split(",") if m]
+        elif arg == "--better":
+            better = next(it, None)
+        elif arg == "--commit":
+            commit = next(it, None)
+        else:
+            positional.append(arg)
+    if len(positional) != 3 or not metrics:
+        raise SystemExit(__doc__)
+    trend_path, bench, out_path = positional
+
+    flat = flatten_json(load_result(out_path))
+    lines = []
+    for metric in metrics:
+        if metric not in flat:
+            raise SystemExit(
+                f"error: metric '{metric}' missing from {out_path}")
+        value = flat[metric]
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            raise SystemExit(
+                f"error: metric '{metric}' is not numeric: {value!r}")
+        point = {"bench": bench, "metric": metric, "value": value}
+        if better is not None:
+            point["better"] = better
+        if commit is not None:
+            point["commit"] = commit
+        lines.append(json.dumps(point, sort_keys=True))
+
+    with open(trend_path, "a") as f:
+        for line in lines:
+            f.write(line + "\n")
+    for line in lines:
+        print(line)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

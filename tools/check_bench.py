@@ -1,8 +1,12 @@
 #!/usr/bin/env python3
 """Perf gate: compare a bench's JSON output against a checked-in baseline.
 
-Usage: check_bench.py <baseline.json> <bench-output-file>
+Usage:
+    check_bench.py <baseline.json> <bench-output-file>
+    check_bench.py --trend <trend.jsonl> [--window N] [--threshold F]
 
+Baseline mode
+-------------
 The bench output may be the raw stdout of a bench binary (the script then
 extracts the machine block from its ``json: {...}`` line) or a bare JSON
 file. The result object is flattened to dotted paths (lists become numeric
@@ -10,17 +14,32 @@ components), and every entry of the baseline is checked against the value
 at the same path:
 
     {"value": v, "tol": 0.15}    |result - v| <= tol * |v|  (tol 0 = exact;
-                                 also the form for exact bools/strings)
+                                 also the form for exact bools/strings).
+                                 When v is 0 the tolerance is absolute --
+                                 |result| <= tol -- because a relative band
+                                 around zero would degenerate to exact.
     {"min": v}                   result >= v
     {"min": v, "min_hw": n}      as above, but skipped (reported, not
                                  enforced) when the result's top-level
                                  hw_concurrency is below n -- speedup
                                  floors are meaningless on starved hosts
 
+Trend mode
+----------
+The trend file is JSONL appended by the CI perf-trend job: one object per
+metric per run, ``{"bench": ..., "metric": ..., "value": ...}`` plus any
+context keys (commit, run id). An optional ``"better": "lower"`` marks
+metrics where smaller is better (times); the default is higher-is-better
+(throughputs, speedups). For every (bench, metric) series the newest point
+is compared against the rolling median of up to --window (default 5)
+preceding points; it fails when it regresses by more than --threshold
+(default 0.10, i.e. 10%). Series with no history pass.
+
 Exits 0 when every enforced check passes, 1 otherwise.
 """
 
 import json
+import statistics
 import sys
 
 
@@ -52,11 +71,8 @@ def flatten_json(obj, prefix=""):
     return out
 
 
-def main():
-    if len(sys.argv) != 3:
-        raise SystemExit(__doc__)
-    baseline = json.load(open(sys.argv[1]))
-    result = load_result(sys.argv[2])
+def check_baseline(baseline, result, baseline_name="baseline"):
+    """Returns the number of failed checks, printing one line per check."""
     flat = flatten_json(result)
     hw = result.get("hw_concurrency")
 
@@ -65,7 +81,7 @@ def main():
         if not isinstance(spec, dict) or ("min" not in spec and
                                           "value" not in spec):
             raise SystemExit(
-                f"error: baseline {sys.argv[1]}: metric '{path}' must be "
+                f"error: baseline {baseline_name}: metric '{path}' must be "
                 f"an object with a 'value' or 'min' key")
         if path not in flat:
             print(f"FAIL {path}: missing from bench output")
@@ -90,12 +106,108 @@ def main():
                 ok = got == want
                 print(f"{'PASS' if ok else 'FAIL'} {path}: {got} "
                       f"== {want}")
+            elif want == 0:
+                # A relative band around zero is an exact match in
+                # disguise; use the tolerance as an absolute bound.
+                ok = isinstance(got, (int, float)) and abs(got) <= tol
+                print(f"{'PASS' if ok else 'FAIL'} {path}: {got} "
+                      f"within +/-{tol} of 0")
+                failures += 0 if ok else 1
+                continue
             else:
                 ok = isinstance(got, (int, float)) and \
                     abs(got - want) <= tol * abs(want)
                 print(f"{'PASS' if ok else 'FAIL'} {path}: {got} "
                       f"within {tol:.0%} of {want}")
             failures += 0 if ok else 1
+
+    return failures
+
+
+def load_trend(path):
+    """Parses a JSONL trend file into a list of point dicts."""
+    points = []
+    with open(path) as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                point = json.loads(line)
+            except ValueError:
+                raise SystemExit(f"error: {path}:{lineno}: not JSON")
+            for key in ("bench", "metric", "value"):
+                if key not in point:
+                    raise SystemExit(
+                        f"error: {path}:{lineno}: missing '{key}'")
+            points.append(point)
+    return points
+
+
+def check_trend(points, window=5, threshold=0.10):
+    """Returns the number of regressed series, printing one line each.
+
+    For every (bench, metric) series, in file order, the newest point is
+    compared against the median of up to ``window`` preceding points. A
+    higher-is-better metric fails below median * (1 - threshold); a
+    ``"better": "lower"`` metric fails above median * (1 + threshold).
+    """
+    series = {}
+    for point in points:
+        series.setdefault((point["bench"], point["metric"]),
+                          []).append(point)
+
+    failures = 0
+    for (bench, metric), pts in sorted(series.items()):
+        latest = pts[-1]
+        history = [p["value"] for p in pts[:-1]][-window:]
+        name = f"{bench}.{metric}"
+        if not history:
+            print(f"PASS {name}: {latest['value']} (no history)")
+            continue
+        median = statistics.median(history)
+        lower_is_better = latest.get("better") == "lower"
+        if lower_is_better:
+            bound = median * (1 + threshold)
+            ok = latest["value"] <= bound
+            rel = "<="
+        else:
+            bound = median * (1 - threshold)
+            ok = latest["value"] >= bound
+            rel = ">="
+        print(f"{'PASS' if ok else 'FAIL'} {name}: {latest['value']} "
+              f"{rel} {bound:.4g} (median {median:.4g} of last "
+              f"{len(history)}, threshold {threshold:.0%})")
+        failures += 0 if ok else 1
+
+    return failures
+
+
+def main(argv):
+    if len(argv) >= 2 and argv[1] == "--trend":
+        args = argv[2:]
+        path = None
+        window = 5
+        threshold = 0.10
+        it = iter(args)
+        for arg in it:
+            if arg == "--window":
+                window = int(next(it, "5"))
+            elif arg == "--threshold":
+                threshold = float(next(it, "0.10"))
+            elif path is None:
+                path = arg
+            else:
+                raise SystemExit(__doc__)
+        if path is None:
+            raise SystemExit(__doc__)
+        failures = check_trend(load_trend(path), window, threshold)
+    elif len(argv) == 3:
+        baseline = json.load(open(argv[1]))
+        result = load_result(argv[2])
+        failures = check_baseline(baseline, result, argv[1])
+    else:
+        raise SystemExit(__doc__)
 
     if failures:
         print(f"\n{failures} check(s) failed")
@@ -105,4 +217,4 @@ def main():
 
 
 if __name__ == "__main__":
-    sys.exit(main())
+    sys.exit(main(sys.argv))

@@ -1,0 +1,154 @@
+#!/usr/bin/env python3
+"""clang-tidy delta gate: fail only on warnings new against the baseline.
+
+Usage:
+    check_tidy.py --build-dir <dir> [--update] [--jobs N]
+                  [--baseline tools/tidy_baseline.txt]
+
+Runs clang-tidy (checks come from the repo's .clang-tidy) over every
+tracked .cpp under src/ using the compile database in --build-dir (needs
+-DCMAKE_EXPORT_COMPILE_COMMANDS=ON). Warnings are counted per check and
+compared with the checked-in baseline:
+
+  - A check whose count exceeds its baseline entry fails the gate: new
+    warnings are errors, pre-existing ones are tolerated.
+  - Counts below baseline print a ratchet hint; run with --update to
+    lower (or initially record) the baseline.
+
+The baseline file holds "count<TAB>check-name" lines; '#' comments and
+blank lines are ignored.
+"""
+
+import collections
+import os
+import re
+import subprocess
+import sys
+
+WARNING_RE = re.compile(r"warning: .* \[([A-Za-z0-9.,_-]+)\]\s*$")
+
+
+def repo_root():
+    return os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def source_files():
+    out = subprocess.run(
+        ["git", "ls-files", "src/**/*.cpp", "src/*.cpp"],
+        cwd=repo_root(), capture_output=True, text=True, check=True)
+    return [f for f in out.stdout.splitlines() if f]
+
+
+def run_tidy(build_dir, files, jobs):
+    """Returns {check-name: count} over all files' clang-tidy warnings."""
+    counts = collections.Counter()
+    # Batch to keep command lines short but startup cost amortized.
+    batch = max(1, len(files) // max(jobs, 1) + 1)
+    procs = []
+    for i in range(0, len(files), batch):
+        procs.append(subprocess.Popen(
+            ["clang-tidy", "-p", build_dir, "--quiet"]
+            + files[i:i + batch],
+            cwd=repo_root(), stdout=subprocess.PIPE,
+            stderr=subprocess.DEVNULL, text=True))
+    for proc in procs:
+        stdout, _ = proc.communicate()
+        for line in stdout.splitlines():
+            m = WARNING_RE.search(line)
+            if m:
+                # A diagnostic may list several checks ("a,b"): count
+                # it once under the first (primary) check.
+                counts[m.group(1).split(",")[0]] += 1
+    return counts
+
+
+def load_baseline(path):
+    counts = {}
+    if not os.path.exists(path):
+        return counts
+    with open(path) as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split(None, 1)
+            if len(parts) != 2 or not parts[0].isdigit():
+                raise SystemExit(
+                    f"error: {path}:{lineno}: expected 'count check'")
+            counts[parts[1]] = int(parts[0])
+    return counts
+
+
+def write_baseline(path, counts):
+    with open(path, "w") as f:
+        f.write("# clang-tidy warning baseline: one 'count check' line "
+                "per check.\n")
+        f.write("# Regenerate with: "
+                "python3 tools/check_tidy.py --build-dir build --update\n")
+        for check in sorted(counts):
+            if counts[check]:
+                f.write(f"{counts[check]}\t{check}\n")
+
+
+def main(argv):
+    build_dir = None
+    update = False
+    jobs = os.cpu_count() or 2
+    baseline_path = os.path.join(repo_root(), "tools", "tidy_baseline.txt")
+    it = iter(argv[1:])
+    for arg in it:
+        if arg == "--build-dir":
+            build_dir = next(it, None)
+        elif arg == "--update":
+            update = True
+        elif arg == "--jobs":
+            jobs = int(next(it, "2"))
+        elif arg == "--baseline":
+            baseline_path = next(it, None)
+        else:
+            raise SystemExit(__doc__)
+    if not build_dir:
+        raise SystemExit(__doc__)
+    if not os.path.exists(os.path.join(build_dir,
+                                       "compile_commands.json")):
+        raise SystemExit(f"error: {build_dir}/compile_commands.json "
+                         "missing (configure with "
+                         "-DCMAKE_EXPORT_COMPILE_COMMANDS=ON)")
+
+    files = source_files()
+    print(f"clang-tidy over {len(files)} files...")
+    counts = run_tidy(build_dir, files, jobs)
+
+    if update:
+        write_baseline(baseline_path, counts)
+        print(f"baseline updated: {sum(counts.values())} warning(s) "
+              f"across {len(counts)} check(s)")
+        return 0
+
+    baseline = load_baseline(baseline_path)
+    failures = 0
+    for check in sorted(set(counts) | set(baseline)):
+        got = counts.get(check, 0)
+        allowed = baseline.get(check, 0)
+        if got > allowed:
+            print(f"FAIL {check}: {got} warning(s), baseline allows "
+                  f"{allowed}")
+            failures += 1
+        elif got < allowed:
+            print(f"NOTE {check}: {got} < baseline {allowed} -- ratchet "
+                  f"down with --update")
+        else:
+            print(f"PASS {check}: {got}")
+
+    if failures:
+        print(f"\n{failures} check(s) grew new warnings; fix them or, "
+              f"for accepted debt, refresh tools/tidy_baseline.txt "
+              f"with --update")
+        return 1
+    print(f"\nno new clang-tidy warnings "
+          f"({sum(counts.values())} tolerated)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,162 @@
+#!/usr/bin/env python3
+"""Unit tests for check_bench.py (stdlib unittest; run directly from CI).
+
+Covers the baseline checker -- including the zero-baseline case, where
+the tolerance must act as an absolute bound instead of degenerating to an
+exact match -- and the --trend rolling-median regression gate, including
+the headline case of a synthetic 15% regression against a stable history.
+"""
+
+import io
+import json
+import os
+import sys
+import tempfile
+import unittest
+from contextlib import redirect_stdout
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import check_bench  # noqa: E402
+
+
+def run_baseline(baseline, result):
+    with redirect_stdout(io.StringIO()):
+        return check_bench.check_baseline(baseline, result)
+
+
+def run_trend(points, **kwargs):
+    with redirect_stdout(io.StringIO()):
+        return check_bench.check_trend(points, **kwargs)
+
+
+class BaselineTest(unittest.TestCase):
+    def test_relative_tolerance_passes_and_fails(self):
+        baseline = {"cycles": {"value": 100, "tol": 0.10}}
+        self.assertEqual(run_baseline(baseline, {"cycles": 105}), 0)
+        self.assertEqual(run_baseline(baseline, {"cycles": 120}), 1)
+
+    def test_zero_baseline_uses_absolute_tolerance(self):
+        # The regression this guards: tol * |0| == 0 used to make any
+        # non-zero result fail even when a tolerance was given.
+        baseline = {"drift": {"value": 0, "tol": 0.1}}
+        self.assertEqual(run_baseline(baseline, {"drift": 0}), 0)
+        self.assertEqual(run_baseline(baseline, {"drift": 0.05}), 0)
+        self.assertEqual(run_baseline(baseline, {"drift": -0.05}), 0)
+        self.assertEqual(run_baseline(baseline, {"drift": 0.2}), 1)
+
+    def test_zero_baseline_without_tolerance_is_exact(self):
+        baseline = {"drift": {"value": 0}}
+        self.assertEqual(run_baseline(baseline, {"drift": 0}), 0)
+        self.assertEqual(run_baseline(baseline, {"drift": 0.01}), 1)
+
+    def test_min_floor_and_hw_skip(self):
+        baseline = {"speedup": {"min": 1.5, "min_hw": 4}}
+        self.assertEqual(
+            run_baseline(baseline, {"speedup": 1.7, "hw_concurrency": 8}),
+            0)
+        self.assertEqual(
+            run_baseline(baseline, {"speedup": 1.2, "hw_concurrency": 8}),
+            1)
+        # Starved host: reported but not enforced.
+        self.assertEqual(
+            run_baseline(baseline, {"speedup": 1.2, "hw_concurrency": 2}),
+            0)
+
+    def test_bools_and_missing_metrics(self):
+        baseline = {"ok": {"value": True}, "gone": {"value": 1}}
+        self.assertEqual(
+            run_baseline(baseline, {"ok": True, "gone": 1}), 0)
+        self.assertEqual(run_baseline(baseline, {"ok": False, "gone": 1}),
+                         1)
+        self.assertEqual(run_baseline(baseline, {"ok": True}), 1)
+
+    def test_nested_paths_flatten(self):
+        baseline = {"runs.1.cycles": {"value": 7}}
+        self.assertEqual(
+            run_baseline(baseline, {"runs": [{"cycles": 3},
+                                             {"cycles": 7}]}), 0)
+
+    def test_json_line_extraction(self):
+        with tempfile.NamedTemporaryFile("w", suffix=".out",
+                                         delete=False) as f:
+            f.write("noise\njson: {\"x\": 3}\nmore noise\n")
+            path = f.name
+        try:
+            self.assertEqual(check_bench.load_result(path), {"x": 3})
+        finally:
+            os.unlink(path)
+
+
+def trend_points(values, bench="b", metric="m", **extra):
+    return [dict(bench=bench, metric=metric, value=v, **extra)
+            for v in values]
+
+
+class TrendTest(unittest.TestCase):
+    def test_stable_series_passes(self):
+        pts = trend_points([10.0, 10.2, 9.9, 10.1, 10.0, 10.05])
+        self.assertEqual(run_trend(pts), 0)
+
+    def test_fifteen_percent_regression_fails(self):
+        # The acceptance case: a synthetic 15% drop against a stable
+        # rolling median must trip the 10% gate.
+        pts = trend_points([10.0, 10.1, 9.9, 10.0, 10.0, 8.5])
+        self.assertEqual(run_trend(pts), 1)
+
+    def test_regression_within_threshold_passes(self):
+        pts = trend_points([10.0, 10.0, 10.0, 10.0, 10.0, 9.5])
+        self.assertEqual(run_trend(pts), 0)
+
+    def test_no_history_passes(self):
+        self.assertEqual(run_trend(trend_points([10.0])), 0)
+        self.assertEqual(run_trend([]), 0)
+
+    def test_window_limits_history(self):
+        # Old slow points must age out of the 5-point window: the median
+        # is taken over the recent fast points, so the final slow point
+        # is a regression even though it matches ancient history.
+        pts = trend_points([5.0, 5.0, 10.0, 10.0, 10.0, 10.0, 10.0, 5.0])
+        self.assertEqual(run_trend(pts, window=5), 1)
+
+    def test_lower_is_better_direction(self):
+        good = trend_points([100.0, 101.0, 99.0, 100.0, 95.0],
+                            better="lower")
+        self.assertEqual(run_trend(good), 0)
+        bad = trend_points([100.0, 101.0, 99.0, 100.0, 120.0],
+                           better="lower")
+        self.assertEqual(run_trend(bad), 1)
+
+    def test_independent_series_are_separate(self):
+        pts = (trend_points([10.0, 10.0, 10.0, 8.0], metric="a") +
+               trend_points([7.0, 7.0, 7.0, 7.1], metric="b"))
+        self.assertEqual(run_trend(pts), 1)
+
+    def test_trend_file_round_trip(self):
+        pts = trend_points([10.0, 10.0, 10.0, 8.0], commit="abc")
+        with tempfile.NamedTemporaryFile("w", suffix=".jsonl",
+                                         delete=False) as f:
+            for p in pts:
+                f.write(json.dumps(p) + "\n")
+            path = f.name
+        try:
+            loaded = check_bench.load_trend(path)
+            self.assertEqual(loaded, pts)
+            self.assertEqual(run_trend(loaded), 1)
+        finally:
+            os.unlink(path)
+
+    def test_malformed_lines_are_rejected(self):
+        with tempfile.NamedTemporaryFile("w", suffix=".jsonl",
+                                         delete=False) as f:
+            f.write("{\"bench\": \"b\", \"metric\": \"m\"}\n")
+            path = f.name
+        try:
+            with self.assertRaises(SystemExit):
+                check_bench.load_trend(path)
+        finally:
+            os.unlink(path)
+
+
+if __name__ == "__main__":
+    unittest.main()
