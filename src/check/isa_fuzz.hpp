@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Seeded ISA fuzzing for the lockstep differential checker.
+ *
+ * generateFuzzProgram() builds a self-terminating random RV64 assembly
+ * program from a (seed, count, mix) triple: an mhartid dispatch header
+ * sends each hart into its own instruction stream (disjoint 512-byte
+ * data regions, optional cross-hart shared lines), every branch is
+ * forward-only over a bounded filler window so termination needs no
+ * reasoning, and each stream funnels into the standard
+ * `a7=93 ecall` exit stub. Generation is a pure function of the config,
+ * so any divergence reproduces from its command line alone.
+ *
+ * runFuzz() stands up a Prototype with the lockstep checker enabled,
+ * runs the generated program under the configured engine (sequential or
+ * phased at N workers, decode cache on or off, optionally with a
+ * test-only defect armed) and returns the divergence evidence.
+ * runFuzzAndMinimize() shrinks a diverging config by halving the
+ * instruction count while the failure still reproduces — the
+ * torture-harness runAndMinimize discipline — and renders the final
+ * `repro:` line.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "check/lockstep.hpp"
+#include "riscv/core.hpp"
+#include "sim/types.hpp"
+
+namespace smappic::check
+{
+
+/** Instruction mix of a fuzz program. */
+enum class FuzzMix : std::uint8_t
+{
+    kAlu, ///< Base-ISA ALU ops, lui, forward branches.
+    kMul, ///< M extension (with ALU operand churn).
+    kMem, ///< Loads/stores over the hart's private region.
+    kAmo, ///< LR/SC pairs and AMOs (plus loads/stores).
+    kCsr, ///< CSR read/modify/write traffic incl. counter reads.
+    kAll, ///< Weighted blend of all of the above.
+    kSmc, ///< Self-modifying patch loop (decode-invalidation stress).
+};
+
+const char *mixName(FuzzMix mix);
+/** @throws FatalError on an unknown mix name. */
+FuzzMix parseMix(const std::string &name);
+
+/** One fuzz run, fully determined by its field values. */
+struct FuzzConfig
+{
+    std::string spec = "1x1x2"; ///< Prototype geometry ("FxNxT").
+    std::uint64_t seed = 1;
+    std::uint32_t count = 256; ///< Instruction slots per hart.
+    FuzzMix mix = FuzzMix::kAll;
+    bool shared = false;   ///< Sprinkle cross-hart shared-line accesses.
+    std::uint32_t threads = 0; ///< 0 = sequential engine; >=1 = phased.
+    Cycles quantum = 256;      ///< Phased quantum (threads >= 1 only).
+    bool decodeCache = true;
+    riscv::CoreTestMutation defect = riscv::CoreTestMutation::kNone;
+};
+
+/** Outcome of one fuzz run. */
+struct FuzzResult
+{
+    bool diverged = false;
+    std::uint64_t commits = 0;
+    bool exitedCleanly = false; ///< Every hart reached the exit stub.
+    std::vector<Divergence> divergences;
+};
+
+/** Outcome of runFuzzAndMinimize. */
+struct MinimizeResult
+{
+    FuzzResult result;     ///< Final run of the minimized config.
+    FuzzConfig minimized;  ///< Smallest config still diverging.
+    std::uint32_t shrinkSteps = 0;
+    std::string repro;     ///< "repro: diff_run ..." (empty if clean).
+};
+
+/** Renders the diff_run command line reproducing @p cfg. */
+std::string reproCommand(const FuzzConfig &cfg);
+
+/** Deterministic program text for @p cfg on @p harts harts. */
+std::string generateFuzzProgram(const FuzzConfig &cfg,
+                                std::uint32_t harts);
+
+/** Builds the platform, runs the program, returns the evidence. */
+FuzzResult runFuzz(const FuzzConfig &cfg);
+
+/** runFuzz + halving-count shrink while the divergence reproduces. */
+MinimizeResult runFuzzAndMinimize(const FuzzConfig &cfg);
+
+} // namespace smappic::check

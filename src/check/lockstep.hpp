@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Golden-model lock-step differential checker.
+ *
+ * check::LockstepChecker attaches to one or more riscv::RvCore harts
+ * through the per-commit observer callback (RvCore::setCommitFn) and
+ * replays every committed instruction on a private ref::GoldenCore — a
+ * timing-free spec interpreter with its own flat memory image. After each
+ * replay the two architectural post-states are diffed field by field
+ * (pc, x1..x31, privilege, the machine-mode CSR file); the first
+ * mismatch per occurrence is recorded as a Divergence carrying full
+ * context (hart, commit index, cycle, pc, disassembly, both register
+ * files) and the checker resynchronizes the golden hart from the DUT so
+ * later real divergences are still visible.
+ *
+ * Environment synchronization: results the spec cannot predict — reads
+ * of free-running counter CSRs and mip, loads from device space or from
+ * configured cross-hart shared ranges — are taken from the DUT's
+ * post-state rd (the DUT is trusted as the *input source* but not as the
+ * *semantics*). Interrupt redirects, environment-absorbed ecalls and
+ * instructions under active Sv39 translation fall outside the golden
+ * model and trigger a sync instead of a diff.
+ *
+ * Thread model: the commit callback runs on whatever thread steps the
+ * core. All per-hart state is confined to that thread (the phased
+ * engine never migrates a core mid-quantum); only the shared divergence
+ * list and the commit counter are synchronized.
+ */
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "ref/golden.hpp"
+#include "riscv/core.hpp"
+#include "sim/stats.hpp"
+#include "sim/types.hpp"
+
+namespace smappic::check
+{
+
+/** Lockstep checker knobs (PrototypeConfig::lockstep). */
+struct LockstepConfig
+{
+    /** Master switch; a disabled checker installs no commit observers. */
+    bool enabled = false;
+    /**
+     * The DRAM window the golden model replays from its own image.
+     * Loads outside [memBase, memBase + memSize) are environment-synced
+     * from the DUT and stores there are dropped. memSize == 0 means the
+     * entire address space is modeled (bare-core unit tests).
+     */
+    Addr memBase = 0;
+    std::uint64_t memSize = 0;
+    /**
+     * Cross-hart shared ranges (base, size). Each golden hart owns a
+     * private memory image, so data genuinely written by other harts is
+     * unknowable to it; loads from these ranges are environment-synced
+     * like device space. The ISA fuzzer's shared-line variants set this.
+     */
+    std::vector<std::pair<Addr, std::uint64_t>> shared;
+    /** Recording cap; checking and resync continue past it. */
+    std::size_t maxDivergences = 8;
+};
+
+/** One observed DUT/golden mismatch, with enough context to act on. */
+struct Divergence
+{
+    std::uint32_t hart = 0;
+    std::uint64_t commitIndex = 0; ///< Per-hart architectural step count.
+    Cycles cycle = 0;              ///< DUT core cycle at detection.
+    Addr pc = 0;
+    std::uint32_t word = 0;
+    std::string message; ///< Multi-line report (field diff + reg files).
+};
+
+/** The differential checker; owns one golden hart per attached core. */
+class LockstepChecker
+{
+  public:
+    explicit LockstepChecker(const LockstepConfig &cfg,
+                             sim::StatRegistry *stats = nullptr);
+    ~LockstepChecker();
+
+    LockstepChecker(const LockstepChecker &) = delete;
+    LockstepChecker &operator=(const LockstepChecker &) = delete;
+
+    /**
+     * Attaches to @p core: builds a golden hart mirroring its hart id
+     * and reset pc and installs the commit observer. The core must
+     * outlive the checker's last callback (i.e. stop stepping before the
+     * checker is destroyed).
+     */
+    void attach(riscv::RvCore &core);
+
+    /** Copies a program/data image into every golden hart's memory.
+     *  Call after attach and before the first step. */
+    void loadImage(Addr addr, const void *data, std::uint64_t len);
+
+    std::uint64_t commits() const
+    {
+        return commits_.load(std::memory_order_relaxed);
+    }
+    std::vector<Divergence> divergences() const;
+    /** Human-readable report of every recorded divergence. */
+    std::string report() const;
+
+  private:
+    struct Hart;
+
+    void onCommit(std::size_t idx, riscv::RvCore &core,
+                  const riscv::CommitRecord &rec);
+    void syncFromDut(Hart &h, riscv::RvCore &core);
+    void recordDivergence(Hart &h, riscv::RvCore &core,
+                          const riscv::CommitRecord &rec,
+                          const std::string &what);
+    bool envOwned(Addr addr, std::uint32_t bytes) const;
+
+    LockstepConfig cfg_;
+    sim::StatRegistry *stats_;
+    std::vector<std::unique_ptr<Hart>> harts_;
+    std::atomic<std::uint64_t> commits_{0};
+
+    mutable std::mutex mutex_; ///< Guards divergences_ (and lazy stat).
+    std::vector<Divergence> divergences_;
+};
+
+} // namespace smappic::check

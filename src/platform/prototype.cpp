@@ -493,6 +493,22 @@ Prototype::Prototype(const PrototypeConfig &cfg) : cfg_(cfg)
         cores_.push_back(std::move(core));
     }
 
+    // Lockstep differential checker: one golden hart per core, fed by
+    // the commit observer. Built after the cores so attach() can mirror
+    // their hart ids and reset pcs.
+    if (cfg_.lockstep.enabled) {
+        check::LockstepConfig lcfg = cfg_.lockstep;
+        if (lcfg.memSize == 0) {
+            lcfg.memBase = kDramBase;
+            lcfg.memSize = static_cast<std::uint64_t>(cfg_.totalNodes()) *
+                           cfg_.memPerNode;
+        }
+        lockstep_ =
+            std::make_unique<check::LockstepChecker>(lcfg, &stats_);
+        for (auto &c : cores_)
+            lockstep_->attach(*c);
+    }
+
     // Observability: configure the tracer and hand each traced component
     // its cached per-component handle (null when tracing is disabled or
     // the component is masked out, so every trace point costs exactly one
@@ -579,9 +595,13 @@ Prototype::accelWindow(GlobalTileId tile) const
 void
 Prototype::loadProgram(const riscv::Program &prog)
 {
-    for (const auto &seg : prog.segments)
+    for (const auto &seg : prog.segments) {
         cs_->memory().writeBytes(seg.base, seg.bytes.data(),
                                  seg.bytes.size());
+        if (lockstep_)
+            lockstep_->loadImage(seg.base, seg.bytes.data(),
+                                 seg.bytes.size());
+    }
 }
 
 riscv::Program
@@ -602,9 +622,13 @@ Prototype::loadSourceReplicated(const std::string &source)
     riscv::Program prog = as.assemble(source);
     for (NodeId n = 0; n < cfg_.totalNodes(); ++n) {
         Addr off = static_cast<Addr>(n) * cfg_.memPerNode;
-        for (const auto &seg : prog.segments)
+        for (const auto &seg : prog.segments) {
             cs_->memory().writeBytes(seg.base + off, seg.bytes.data(),
                                      seg.bytes.size());
+            if (lockstep_)
+                lockstep_->loadImage(seg.base + off, seg.bytes.data(),
+                                     seg.bytes.size());
+        }
     }
     for (GlobalTileId g = 0; g < cores_.size(); ++g) {
         NodeId n = g / cfg_.tilesPerNode;

@@ -30,6 +30,7 @@
 #include "bridge/inter_node_bridge.hpp"
 #include "cache/coherent_system.hpp"
 #include "check/coherence_checker.hpp"
+#include "check/lockstep.hpp"
 #include "io/sd_card.hpp"
 #include "io/uart16550.hpp"
 #include "mem/axi_dram.hpp"
@@ -114,6 +115,16 @@ struct PrototypeConfig
      *  when enabled the prototype owns a CoherenceChecker observing every
      *  protocol transition of the memory system. */
     check::CheckConfig check;
+    /**
+     * Golden-model lock-step differential checker (src/check/lockstep).
+     * Off by default; when enabled the prototype owns a LockstepChecker
+     * replaying every core's commits on per-hart golden interpreters.
+     * memBase/memSize == 0 auto-sizes to the platform's DRAM window.
+     * Purely observational — timing, stats (absent divergences), traces
+     * and checkpoint bytes are unchanged — but incompatible with
+     * checkpoint restore (the golden image cannot be reconstructed).
+     */
+    check::LockstepConfig lockstep;
     /** Cycle-accurate event tracing (src/obs/). Off by default; when
      *  enabled every selected component records into per-node ring
      *  buffers merged deterministically (see docs/INTERNALS.md). */
@@ -162,6 +173,8 @@ class Prototype
     sim::FaultInjector *faultInjector() { return faultInjector_.get(); }
     /** Null unless config().check.enabled. */
     check::CoherenceChecker *checker() { return checker_.get(); }
+    /** Null unless config().lockstep.enabled. */
+    check::LockstepChecker *lockstep() { return lockstep_.get(); }
     /** The platform tracer (inert unless config().trace.enabled). */
     obs::Tracer &tracer() { return tracer_; }
     const obs::Tracer &tracer() const { return tracer_; }
@@ -328,6 +341,7 @@ class Prototype
 
     std::unique_ptr<cache::CoherentSystem> cs_;
     std::unique_ptr<check::CoherenceChecker> checker_;
+    std::unique_ptr<check::LockstepChecker> lockstep_;
     std::unique_ptr<sim::FaultInjector> faultInjector_;
     std::unique_ptr<pcie::PcieFabric> fabric_;
     std::vector<std::unique_ptr<bridge::InterNodeBridge>> bridges_;

@@ -1,0 +1,575 @@
+#include "ref/golden.hpp"
+
+namespace smappic::ref
+{
+
+namespace
+{
+
+using riscv::Op;
+
+std::int64_t
+asSigned(std::uint64_t v)
+{
+    return static_cast<std::int64_t>(v);
+}
+
+std::uint64_t
+sext32(std::uint64_t v)
+{
+    return static_cast<std::uint64_t>(
+        static_cast<std::int64_t>(static_cast<std::int32_t>(v)));
+}
+
+std::uint64_t
+sextBytes(std::uint64_t v, std::uint32_t bytes)
+{
+    switch (bytes) {
+      case 1:
+        return static_cast<std::uint64_t>(
+            static_cast<std::int64_t>(static_cast<std::int8_t>(v)));
+      case 2:
+        return static_cast<std::uint64_t>(
+            static_cast<std::int64_t>(static_cast<std::int16_t>(v)));
+      case 4:
+        return sext32(v);
+      default:
+        return v;
+    }
+}
+
+} // namespace
+
+// ---------------------------------------------------------------- memory
+
+const std::vector<std::uint8_t> *
+GoldenMemory::page(std::uint64_t idx) const
+{
+    auto it = pages_.find(idx);
+    return it == pages_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::uint8_t> &
+GoldenMemory::touch(std::uint64_t idx)
+{
+    auto &p = pages_[idx];
+    if (p.empty())
+        p.assign(kPageBytes, 0);
+    return p;
+}
+
+std::uint64_t
+GoldenMemory::load(Addr addr, std::uint32_t bytes) const
+{
+    std::uint64_t v = 0;
+    for (std::uint32_t i = 0; i < bytes; ++i) {
+        Addr a = addr + i;
+        const auto *p = page(a / kPageBytes);
+        std::uint64_t byte = p ? (*p)[a % kPageBytes] : 0;
+        v |= byte << (8 * i);
+    }
+    return v;
+}
+
+void
+GoldenMemory::store(Addr addr, std::uint32_t bytes, std::uint64_t value)
+{
+    for (std::uint32_t i = 0; i < bytes; ++i) {
+        Addr a = addr + i;
+        touch(a / kPageBytes)[a % kPageBytes] =
+            static_cast<std::uint8_t>(value >> (8 * i));
+    }
+}
+
+void
+GoldenMemory::writeBytes(Addr addr, const void *in, std::uint64_t len)
+{
+    const auto *src = static_cast<const std::uint8_t *>(in);
+    for (std::uint64_t i = 0; i < len; ++i) {
+        Addr a = addr + i;
+        touch(a / kPageBytes)[a % kPageBytes] = src[i];
+    }
+}
+
+// ------------------------------------------------------------------ core
+
+GoldenCore::GoldenCore(const GoldenConfig &cfg, GoldenMemory &mem)
+    : cfg_(cfg), mem_(mem), pc_(cfg.resetPc)
+{
+}
+
+void
+GoldenCore::takeTrap(std::uint64_t cause, std::uint64_t tval)
+{
+    mepc_ = pc_;
+    mcause_ = cause;
+    mtval_ = tval;
+    std::uint64_t mie_bit = (mstatus_ & riscv::kMstatusMie) ? 1 : 0;
+    mstatus_ &= ~(riscv::kMstatusMie | riscv::kMstatusMpie |
+                  (3ULL << riscv::kMstatusMppShift));
+    mstatus_ |= mie_bit << 7;
+    mstatus_ |= static_cast<std::uint64_t>(priv_)
+                << riscv::kMstatusMppShift;
+    priv_ = 3;
+
+    Addr base = mtvec_ & ~3ULL;
+    if ((mtvec_ & 3) == 1 && (cause & riscv::kInterruptBit))
+        pc_ = base + 4 * (cause & 0xff);
+    else
+        pc_ = base;
+}
+
+std::uint64_t
+GoldenCore::readCsr(std::uint16_t num) const
+{
+    switch (num) {
+      case riscv::kCsrMstatus: return mstatus_;
+      case riscv::kCsrMisa:
+        // RV64 (MXL=2) with I, M, A, S, U.
+        return (2ULL << 62) | (1 << 0) | (1 << 8) | (1 << 12) | (1 << 18) |
+               (1 << 20);
+      case riscv::kCsrMie: return mie_;
+      case riscv::kCsrMtvec: return mtvec_;
+      case riscv::kCsrMepc: return mepc_;
+      case riscv::kCsrMcause: return mcause_;
+      case riscv::kCsrMtval: return mtval_;
+      case riscv::kCsrMscratch: return mscratch_;
+      case riscv::kCsrMhartid: return cfg_.hartId;
+      case riscv::kCsrSatp: return satp_;
+      // Environment-owned: free-running counters and the interrupt
+      // pending bits are inputs, not spec state — the checker supplies
+      // the DUT-observed value.
+      case riscv::kCsrMip:
+      case riscv::kCsrCycle:
+      case riscv::kCsrMcycle:
+      case riscv::kCsrTime:
+      case riscv::kCsrInstret:
+      case riscv::kCsrMinstret:
+        return envCsr_ ? envCsr_(num) : 0;
+      default:
+        return 0;
+    }
+}
+
+void
+GoldenCore::writeCsr(std::uint16_t num, std::uint64_t value)
+{
+    switch (num) {
+      case riscv::kCsrMstatus:
+        mstatus_ = riscv::legalizeMstatusWrite(value);
+        break;
+      case riscv::kCsrMie:
+        mie_ = value;
+        break;
+      case riscv::kCsrMip:
+        mip_ = value;
+        break;
+      case riscv::kCsrMtvec:
+        mtvec_ = riscv::legalizeMtvecWrite(value);
+        break;
+      case riscv::kCsrMepc:
+        mepc_ = riscv::legalizeMepcWrite(value);
+        break;
+      case riscv::kCsrMcause:
+        mcause_ = value;
+        break;
+      case riscv::kCsrMtval:
+        mtval_ = value;
+        break;
+      case riscv::kCsrMscratch:
+        mscratch_ = value;
+        break;
+      case riscv::kCsrSatp:
+        satp_ = riscv::legalizeSatpWrite(satp_, value);
+        break;
+      default:
+        break; // Unimplemented/read-only CSR writes are ignored.
+    }
+}
+
+void
+GoldenCore::setCsrRaw(std::uint16_t num, std::uint64_t value)
+{
+    switch (num) {
+      case riscv::kCsrMstatus: mstatus_ = value; break;
+      case riscv::kCsrMie: mie_ = value; break;
+      case riscv::kCsrMip: mip_ = value; break;
+      case riscv::kCsrMtvec: mtvec_ = value; break;
+      case riscv::kCsrMepc: mepc_ = value; break;
+      case riscv::kCsrMcause: mcause_ = value; break;
+      case riscv::kCsrMtval: mtval_ = value; break;
+      case riscv::kCsrMscratch: mscratch_ = value; break;
+      case riscv::kCsrSatp: satp_ = value; break;
+      default: break;
+    }
+}
+
+GoldenCore::Step
+GoldenCore::step()
+{
+    Step out;
+    out.pc = pc_;
+
+    Addr pc = pc_;
+    if (pc & 3) {
+        takeTrap(riscv::kCauseMisalignedFetch, pc);
+        out.trapped = true;
+        return out;
+    }
+
+    std::uint32_t word = mem_.fetch(pc);
+    out.word = word;
+    riscv::DecodedInst d = riscv::decode(word);
+
+    Addr next_pc = pc + 4;
+    bool redirect = false;
+
+    auto rs1 = [&] { return regs_[d.rs1]; };
+    auto rs2 = [&] { return regs_[d.rs2]; };
+    auto wr = [&](std::uint64_t v) {
+        if (d.rd != 0)
+            regs_[d.rd] = v;
+    };
+    auto trap = [&](std::uint64_t cause, std::uint64_t tval) {
+        takeTrap(cause, tval);
+        redirect = true;
+        out.trapped = true;
+    };
+    // Loads whose value the environment supplies set rd directly (the
+    // hook returns the post-extension value).
+    auto envRead = [&](Addr a, std::uint32_t bytes) {
+        std::uint64_t v = 0;
+        if (envLoad_)
+            envLoad_(a, bytes, v);
+        wr(v);
+    };
+
+    switch (d.op) {
+      case Op::kLui:
+        wr(static_cast<std::uint64_t>(d.imm));
+        break;
+      case Op::kAuipc:
+        wr(pc + static_cast<std::uint64_t>(d.imm));
+        break;
+      case Op::kJal:
+        wr(pc + 4);
+        next_pc = pc + static_cast<std::uint64_t>(d.imm);
+        break;
+      case Op::kJalr: {
+          Addr target = (rs1() + static_cast<std::uint64_t>(d.imm)) & ~1ULL;
+          wr(pc + 4);
+          next_pc = target;
+          break;
+      }
+      case Op::kBeq: case Op::kBne: case Op::kBlt: case Op::kBge:
+      case Op::kBltu: case Op::kBgeu: {
+          bool taken = false;
+          switch (d.op) {
+            case Op::kBeq: taken = rs1() == rs2(); break;
+            case Op::kBne: taken = rs1() != rs2(); break;
+            case Op::kBlt: taken = asSigned(rs1()) < asSigned(rs2()); break;
+            case Op::kBge:
+              taken = asSigned(rs1()) >= asSigned(rs2());
+              break;
+            case Op::kBltu: taken = rs1() < rs2(); break;
+            case Op::kBgeu: taken = rs1() >= rs2(); break;
+            default: break;
+          }
+          if (taken)
+              next_pc = pc + static_cast<std::uint64_t>(d.imm);
+          break;
+      }
+      case Op::kLb: case Op::kLh: case Op::kLw: case Op::kLd:
+      case Op::kLbu: case Op::kLhu: case Op::kLwu: {
+          Addr va = rs1() + static_cast<std::uint64_t>(d.imm);
+          std::uint32_t bytes = 1;
+          if (d.op == Op::kLh || d.op == Op::kLhu)
+              bytes = 2;
+          else if (d.op == Op::kLw || d.op == Op::kLwu)
+              bytes = 4;
+          else if (d.op == Op::kLd)
+              bytes = 8;
+          if (envOwned(va, bytes)) {
+              envRead(va, bytes);
+              break;
+          }
+          std::uint64_t v = mem_.load(va, bytes);
+          if (d.op == Op::kLb || d.op == Op::kLh || d.op == Op::kLw)
+              v = sextBytes(v, bytes);
+          wr(v);
+          break;
+      }
+      case Op::kSb: case Op::kSh: case Op::kSw: case Op::kSd: {
+          Addr va = rs1() + static_cast<std::uint64_t>(d.imm);
+          std::uint32_t bytes = 1;
+          if (d.op == Op::kSh)
+              bytes = 2;
+          else if (d.op == Op::kSw)
+              bytes = 4;
+          else if (d.op == Op::kSd)
+              bytes = 8;
+          if (!envOwned(va, bytes))
+              mem_.store(va, bytes, rs2());
+          hasReservation_ = false;
+          break;
+      }
+      case Op::kAddi: wr(rs1() + static_cast<std::uint64_t>(d.imm)); break;
+      case Op::kSlti: wr(asSigned(rs1()) < d.imm ? 1 : 0); break;
+      case Op::kSltiu:
+        wr(rs1() < static_cast<std::uint64_t>(d.imm) ? 1 : 0);
+        break;
+      case Op::kXori: wr(rs1() ^ static_cast<std::uint64_t>(d.imm)); break;
+      case Op::kOri: wr(rs1() | static_cast<std::uint64_t>(d.imm)); break;
+      case Op::kAndi: wr(rs1() & static_cast<std::uint64_t>(d.imm)); break;
+      case Op::kSlli: wr(rs1() << d.imm); break;
+      case Op::kSrli: wr(rs1() >> d.imm); break;
+      case Op::kSrai:
+        wr(static_cast<std::uint64_t>(asSigned(rs1()) >> d.imm));
+        break;
+      case Op::kAdd: wr(rs1() + rs2()); break;
+      case Op::kSub: wr(rs1() - rs2()); break;
+      case Op::kSll: wr(rs1() << (rs2() & 63)); break;
+      case Op::kSlt: wr(asSigned(rs1()) < asSigned(rs2()) ? 1 : 0); break;
+      case Op::kSltu: wr(rs1() < rs2() ? 1 : 0); break;
+      case Op::kXor: wr(rs1() ^ rs2()); break;
+      case Op::kSrl: wr(rs1() >> (rs2() & 63)); break;
+      case Op::kSra:
+        wr(static_cast<std::uint64_t>(asSigned(rs1()) >> (rs2() & 63)));
+        break;
+      case Op::kOr: wr(rs1() | rs2()); break;
+      case Op::kAnd: wr(rs1() & rs2()); break;
+      case Op::kAddiw:
+        wr(sext32(rs1() + static_cast<std::uint64_t>(d.imm)));
+        break;
+      case Op::kSlliw: wr(sext32(rs1() << d.imm)); break;
+      case Op::kSrliw:
+        wr(sext32(static_cast<std::uint32_t>(rs1()) >> d.imm));
+        break;
+      case Op::kSraiw:
+        wr(static_cast<std::uint64_t>(static_cast<std::int64_t>(
+            static_cast<std::int32_t>(rs1()) >> d.imm)));
+        break;
+      case Op::kAddw: wr(sext32(rs1() + rs2())); break;
+      case Op::kSubw: wr(sext32(rs1() - rs2())); break;
+      case Op::kSllw: wr(sext32(rs1() << (rs2() & 31))); break;
+      case Op::kSrlw:
+        wr(sext32(static_cast<std::uint32_t>(rs1()) >> (rs2() & 31)));
+        break;
+      case Op::kSraw:
+        wr(static_cast<std::uint64_t>(static_cast<std::int64_t>(
+            static_cast<std::int32_t>(rs1()) >> (rs2() & 31))));
+        break;
+      case Op::kMul: wr(rs1() * rs2()); break;
+      case Op::kMulh: {
+          auto a = static_cast<__int128>(asSigned(rs1()));
+          auto b = static_cast<__int128>(asSigned(rs2()));
+          wr(static_cast<std::uint64_t>((a * b) >> 64));
+          break;
+      }
+      case Op::kMulhsu: {
+          auto a = static_cast<__int128>(asSigned(rs1()));
+          auto b = static_cast<__int128>(
+              static_cast<unsigned __int128>(rs2()));
+          wr(static_cast<std::uint64_t>((a * b) >> 64));
+          break;
+      }
+      case Op::kMulhu: {
+          auto a = static_cast<unsigned __int128>(rs1());
+          auto b = static_cast<unsigned __int128>(rs2());
+          wr(static_cast<std::uint64_t>((a * b) >> 64));
+          break;
+      }
+      case Op::kDiv: {
+          std::int64_t a = asSigned(rs1());
+          std::int64_t b = asSigned(rs2());
+          if (b == 0)
+              wr(~0ULL);
+          else if (a == INT64_MIN && b == -1)
+              wr(static_cast<std::uint64_t>(a));
+          else
+              wr(static_cast<std::uint64_t>(a / b));
+          break;
+      }
+      case Op::kDivu: wr(rs2() == 0 ? ~0ULL : rs1() / rs2()); break;
+      case Op::kRem: {
+          std::int64_t a = asSigned(rs1());
+          std::int64_t b = asSigned(rs2());
+          if (b == 0)
+              wr(static_cast<std::uint64_t>(a));
+          else if (a == INT64_MIN && b == -1)
+              wr(0);
+          else
+              wr(static_cast<std::uint64_t>(a % b));
+          break;
+      }
+      case Op::kRemu: wr(rs2() == 0 ? rs1() : rs1() % rs2()); break;
+      case Op::kMulw: wr(sext32(rs1() * rs2())); break;
+      case Op::kDivw: {
+          auto a = static_cast<std::int32_t>(rs1());
+          auto b = static_cast<std::int32_t>(rs2());
+          if (b == 0)
+              wr(~0ULL);
+          else if (a == INT32_MIN && b == -1)
+              wr(sext32(static_cast<std::uint32_t>(a)));
+          else
+              wr(sext32(static_cast<std::uint32_t>(a / b)));
+          break;
+      }
+      case Op::kDivuw: {
+          auto a = static_cast<std::uint32_t>(rs1());
+          auto b = static_cast<std::uint32_t>(rs2());
+          wr(b == 0 ? ~0ULL : sext32(a / b));
+          break;
+      }
+      case Op::kRemw: {
+          auto a = static_cast<std::int32_t>(rs1());
+          auto b = static_cast<std::int32_t>(rs2());
+          if (b == 0)
+              wr(sext32(static_cast<std::uint32_t>(a)));
+          else if (a == INT32_MIN && b == -1)
+              wr(0);
+          else
+              wr(sext32(static_cast<std::uint32_t>(a % b)));
+          break;
+      }
+      case Op::kRemuw: {
+          auto a = static_cast<std::uint32_t>(rs1());
+          auto b = static_cast<std::uint32_t>(rs2());
+          wr(b == 0 ? sext32(a) : sext32(a % b));
+          break;
+      }
+      case Op::kFence:
+      case Op::kFenceI:
+      case Op::kSfenceVma:
+        break; // Ordering only; no architectural effect here.
+      case Op::kEcall:
+        // The environment-absorbed case never reaches the golden core
+        // (the checker syncs instead); a replayed ecall always traps.
+        trap(priv_ == 3 ? riscv::kCauseEcallM
+                        : riscv::kCauseEcallU + priv_,
+             0);
+        break;
+      case Op::kEbreak:
+        // The DUT parks on ebreak without retiring, so a replayed one
+        // signals desync; trap per spec and let the diff surface it.
+        trap(riscv::kCauseBreakpoint, pc);
+        break;
+      case Op::kCsrrw: case Op::kCsrrs: case Op::kCsrrc:
+      case Op::kCsrrwi: case Op::kCsrrsi: case Op::kCsrrci: {
+          bool imm_form = d.op == Op::kCsrrwi || d.op == Op::kCsrrsi ||
+                          d.op == Op::kCsrrci;
+          std::uint64_t src =
+              imm_form ? static_cast<std::uint64_t>(d.imm) : rs1();
+          std::uint64_t old = readCsr(d.csr);
+          bool is_set = d.op == Op::kCsrrs || d.op == Op::kCsrrsi;
+          bool is_clear = d.op == Op::kCsrrc || d.op == Op::kCsrrci;
+          // csrrs/csrrc with x0 (or zimm 0) read without writing.
+          bool writes = !(is_set || is_clear) ||
+                        (imm_form ? d.imm != 0 : d.rs1 != 0);
+          if (writes) {
+              std::uint64_t next = src;
+              if (is_set)
+                  next = old | src;
+              else if (is_clear)
+                  next = old & ~src;
+              writeCsr(d.csr, next);
+          }
+          wr(old);
+          break;
+      }
+      case Op::kMret:
+      case Op::kSret: {
+          // All traps are taken in M mode; sret is treated as mret.
+          unsigned mpp = static_cast<unsigned>(
+              (mstatus_ >> riscv::kMstatusMppShift) & 3);
+          if (mstatus_ & riscv::kMstatusMpie)
+              mstatus_ |= riscv::kMstatusMie;
+          else
+              mstatus_ &= ~riscv::kMstatusMie;
+          mstatus_ |= riscv::kMstatusMpie;
+          mstatus_ &= ~(3ULL << riscv::kMstatusMppShift);
+          priv_ = mpp;
+          next_pc = mepc_;
+          break;
+      }
+      case Op::kWfi:
+        // Replayed only when the DUT retired it (interrupt pending):
+        // architecturally a nop.
+        break;
+      case Op::kLrW: case Op::kLrD: {
+          Addr va = rs1();
+          std::uint32_t bytes = d.op == Op::kLrW ? 4 : 8;
+          if (envOwned(va, bytes)) {
+              envRead(va, bytes);
+          } else {
+              std::uint64_t v = mem_.load(va, bytes);
+              wr(d.op == Op::kLrW ? sext32(v) : v);
+          }
+          hasReservation_ = true;
+          reservation_ = lineAlign(va);
+          break;
+      }
+      case Op::kScW: case Op::kScD: {
+          Addr va = rs1();
+          std::uint32_t bytes = d.op == Op::kScW ? 4 : 8;
+          if (envOwned(va, bytes)) {
+              envRead(va, bytes); // DUT-observed success flag.
+          } else if (hasReservation_ && reservation_ == lineAlign(va)) {
+              mem_.store(va, bytes, rs2());
+              wr(0);
+          } else {
+              wr(1);
+          }
+          hasReservation_ = false;
+          break;
+      }
+      default: {
+          if (d.isAmo()) {
+              Addr va = rs1();
+              bool is64 = d.op >= Op::kAmoSwapD;
+              std::uint32_t bytes = is64 ? 8 : 4;
+              if (envOwned(va, bytes)) {
+                  envRead(va, bytes); // DUT-observed old value.
+                  hasReservation_ = false;
+                  break;
+              }
+              std::uint64_t old = mem_.load(va, bytes);
+              std::uint64_t a = is64 ? old : sext32(old);
+              std::uint64_t s = is64 ? rs2() : sext32(rs2());
+              std::uint64_t next = a;
+              switch (d.op) {
+                case Op::kAmoSwapW: case Op::kAmoSwapD: next = s; break;
+                case Op::kAmoAddW: case Op::kAmoAddD: next = a + s; break;
+                case Op::kAmoXorW: case Op::kAmoXorD: next = a ^ s; break;
+                case Op::kAmoAndW: case Op::kAmoAndD: next = a & s; break;
+                case Op::kAmoOrW: case Op::kAmoOrD: next = a | s; break;
+                case Op::kAmoMinW: case Op::kAmoMinD:
+                  next = asSigned(a) < asSigned(s) ? a : s;
+                  break;
+                case Op::kAmoMaxW: case Op::kAmoMaxD:
+                  next = asSigned(a) > asSigned(s) ? a : s;
+                  break;
+                case Op::kAmoMinuW: case Op::kAmoMinuD:
+                  next = a < s ? a : s;
+                  break;
+                case Op::kAmoMaxuW: case Op::kAmoMaxuD:
+                  next = a > s ? a : s;
+                  break;
+                default: break;
+              }
+              mem_.store(va, bytes, next);
+              wr(is64 ? old : sext32(old));
+              hasReservation_ = false;
+              break;
+          }
+          trap(riscv::kCauseIllegalInst, word);
+          break;
+      }
+    }
+
+    if (!redirect)
+        pc_ = next_pc;
+    return out;
+}
+
+} // namespace smappic::ref

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Timing-free golden RV64IMA(+Zicsr) reference interpreter.
+ *
+ * ref::GoldenCore executes one instruction at a time against a flat
+ * ref::GoldenMemory and nothing else: no pipeline, no caches, no TLBs,
+ * no translation, no device models. It exists as the independent
+ * specification half of the lockstep differential checker
+ * (check::LockstepChecker): the DUT's timing interpreter commits an
+ * instruction, the golden core replays it from its own state, and the
+ * two post-states are diffed field by field.
+ *
+ * The split of responsibilities:
+ *  - Execution semantics (ALU/M/A results, sign extension, traps, CSR
+ *    WARL behavior, LR/SC reservations) are implemented here from the
+ *    spec, independently of RvCore's switch.
+ *  - Decoding reuses riscv::decode(): the decoder is cross-checked by
+ *    the assembler round-trip suites, and sharing it keeps the golden
+ *    core honest about *which word* was fetched — a stale decode in the
+ *    DUT shows up as a word/state mismatch because the golden core
+ *    always fetches fresh bytes from its own memory.
+ *  - Environment inputs the spec cannot predict — free-running counter
+ *    CSRs (cycle/time/instret), mip, and loads from device space or
+ *    cross-hart shared ranges — are resolved through checker-supplied
+ *    hooks instead of being modeled.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "riscv/isa.hpp"
+#include "sim/types.hpp"
+
+namespace smappic::ref
+{
+
+/** Flat sparse little-endian byte store; unwritten bytes read as 0. */
+class GoldenMemory
+{
+  public:
+    static constexpr std::uint64_t kPageBytes = 4096;
+
+    /** Zero-extending little-endian load of @p bytes (1..8). */
+    std::uint64_t load(Addr addr, std::uint32_t bytes) const;
+    /** Little-endian store of the low @p bytes of @p value (1..8). */
+    void store(Addr addr, std::uint32_t bytes, std::uint64_t value);
+    void writeBytes(Addr addr, const void *in, std::uint64_t len);
+    std::uint32_t fetch(Addr addr) const
+    {
+        return static_cast<std::uint32_t>(load(addr, 4));
+    }
+
+  private:
+    const std::vector<std::uint8_t> *page(std::uint64_t idx) const;
+    std::vector<std::uint8_t> &touch(std::uint64_t idx);
+
+    std::unordered_map<std::uint64_t, std::vector<std::uint8_t>> pages_;
+};
+
+/** Static configuration of one golden hart. */
+struct GoldenConfig
+{
+    std::uint32_t hartId = 0;
+    Addr resetPc = 0x80000000;
+};
+
+/** One timing-free reference hart. */
+class GoldenCore
+{
+  public:
+    /**
+     * Resolves reads of environment-owned CSRs (cycle, time, instret,
+     * mcycle, minstret, mip): the checker supplies the value the DUT
+     * observed. Unset reads return 0.
+     */
+    using EnvCsrFn = std::function<std::uint64_t(std::uint16_t csr)>;
+
+    /**
+     * Resolves a load whose address the environment owns (device space
+     * or a shared range): returns true and the *final rd value* (after
+     * any sign extension — for an SC, the success flag; for an AMO, the
+     * extended old value). Unset env loads produce 0.
+     */
+    using EnvLoadFn =
+        std::function<bool(Addr addr, std::uint32_t bytes,
+                           std::uint64_t &rd)>;
+
+    /** True when [addr, addr+bytes) is environment-owned. Data reads
+     *  there go through EnvLoadFn and data writes are dropped (the
+     *  environment's memory is not modeled). Unset = nothing is. */
+    using EnvRangeFn = std::function<bool(Addr addr, std::uint32_t bytes)>;
+
+    /** Outcome of one golden step. */
+    struct Step
+    {
+        Addr pc = 0;            ///< pc the step started at.
+        std::uint32_t word = 0; ///< Instruction word fetched (0 on
+                                ///< misaligned-pc traps).
+        bool trapped = false;   ///< The step redirected into mtvec.
+    };
+
+    GoldenCore(const GoldenConfig &cfg, GoldenMemory &mem);
+
+    /** Executes exactly one instruction (or fetch trap) from pc. */
+    Step step();
+
+    // Architectural state access (for the checker's diff and sync).
+    std::uint64_t reg(unsigned idx) const { return regs_[idx]; }
+    void setReg(unsigned idx, std::uint64_t v)
+    {
+        if (idx != 0 && idx < 32)
+            regs_[idx] = v;
+    }
+    Addr pc() const { return pc_; }
+    void setPc(Addr pc) { pc_ = pc; }
+    unsigned privilege() const { return priv_; }
+    void setPrivilege(unsigned p) { priv_ = p; }
+    /** CSR value as a csrr would see it (env CSRs via the hook). */
+    std::uint64_t csr(std::uint16_t num) const { return readCsr(num); }
+    /** Raw state overwrite for checker resync — no WARL legalization. */
+    void setCsrRaw(std::uint16_t num, std::uint64_t value);
+    /** True when Sv39 translation would apply to the next instruction —
+     *  outside the golden model's scope (the checker syncs instead). */
+    bool translationActive() const
+    {
+        return (satp_ >> 60) == 8 && priv_ != 3;
+    }
+
+    void setEnvCsrFn(EnvCsrFn fn) { envCsr_ = std::move(fn); }
+    void setEnvLoadFn(EnvLoadFn fn) { envLoad_ = std::move(fn); }
+    void setEnvRangeFn(EnvRangeFn fn) { envRange_ = std::move(fn); }
+
+    GoldenMemory &memory() { return mem_; }
+
+  private:
+    void takeTrap(std::uint64_t cause, std::uint64_t tval);
+    std::uint64_t readCsr(std::uint16_t num) const;
+    void writeCsr(std::uint16_t num, std::uint64_t value);
+    bool envOwned(Addr addr, std::uint32_t bytes) const
+    {
+        return envRange_ && envRange_(addr, bytes);
+    }
+
+    GoldenConfig cfg_;
+    GoldenMemory &mem_;
+
+    std::uint64_t regs_[32] = {};
+    Addr pc_;
+    unsigned priv_ = 3;
+
+    std::uint64_t mstatus_ = 0;
+    std::uint64_t mie_ = 0;
+    std::uint64_t mip_ = 0;
+    std::uint64_t mtvec_ = 0;
+    std::uint64_t mepc_ = 0;
+    std::uint64_t mcause_ = 0;
+    std::uint64_t mtval_ = 0;
+    std::uint64_t mscratch_ = 0;
+    std::uint64_t satp_ = 0;
+
+    bool hasReservation_ = false;
+    Addr reservation_ = 0;
+
+    EnvCsrFn envCsr_;
+    EnvLoadFn envLoad_;
+    EnvRangeFn envRange_;
+};
+
+} // namespace smappic::ref

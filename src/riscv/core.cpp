@@ -10,11 +10,6 @@ namespace smappic::riscv
 namespace
 {
 
-// mstatus bit positions.
-constexpr std::uint64_t kMstatusMie = 1ULL << 3;
-constexpr std::uint64_t kMstatusMpie = 1ULL << 7;
-constexpr unsigned kMstatusMppShift = 11;
-
 // PTE bits.
 constexpr std::uint64_t kPteV = 1 << 0;
 constexpr std::uint64_t kPteR = 1 << 1;
@@ -366,7 +361,7 @@ RvCore::writeCsr(std::uint16_t num, std::uint64_t value)
 {
     switch (num) {
       case kCsrMstatus:
-        mstatus_ = value;
+        mstatus_ = legalizeMstatusWrite(value);
         break;
       case kCsrMie:
         mie_ = value;
@@ -376,10 +371,10 @@ RvCore::writeCsr(std::uint16_t num, std::uint64_t value)
         mip_ = value;
         break;
       case kCsrMtvec:
-        mtvec_ = value;
+        mtvec_ = legalizeMtvecWrite(value);
         break;
       case kCsrMepc:
-        mepc_ = value & ~1ULL;
+        mepc_ = legalizeMepcWrite(value);
         break;
       case kCsrMcause:
         mcause_ = value;
@@ -391,7 +386,7 @@ RvCore::writeCsr(std::uint16_t num, std::uint64_t value)
         mscratch_ = value;
         break;
       case kCsrSatp:
-        satp_ = value;
+        satp_ = legalizeSatpWrite(satp_, value);
         tlbFlush();
         flushDecodeCache();
         break;
@@ -437,15 +432,34 @@ RvCore::step()
     lastStall_ = Stall::kNone;
     if (maybeTakeInterrupt()) {
         cycles_ += cfg_.mispredictPenalty; // Redirect cost.
+        if (commit_) {
+            CommitRecord rec;
+            rec.pc = pc_;
+            rec.interrupt = true;
+            commit_(*this, rec);
+        }
         return cfg_.mispredictPenalty;
     }
 
     Cycles total = cfg_.baseCycles; // Pipeline base CPI.
     Addr pc = pc_;
 
+    // Fetch-side traps retire nothing but still redirect control; the
+    // commit observer hears about them so a lockstep follower can track
+    // the pc.
+    auto commitFetchTrap = [&] {
+        if (!commit_)
+            return;
+        CommitRecord rec;
+        rec.pc = pc;
+        rec.trapped = true;
+        commit_(*this, rec);
+    };
+
     if (pc & 3) {
         takeTrap(kCauseMisalignedFetch, pc);
         cycles_ += total;
+        commitFetchTrap();
         return total;
     }
 
@@ -456,6 +470,7 @@ RvCore::step()
     if (tr.fault) {
         takeTrap(tr.cause, pc);
         cycles_ += total;
+        commitFetchTrap();
         return total;
     }
     std::uint32_t word = 0;
@@ -516,6 +531,7 @@ RvCore::step()
         trace_(pc, d);
     Addr next_pc = pc + 4;
     bool redirect = false;
+    bool env_absorbed = false;
 
     auto rs1 = [&] { return regs_[d.rs1]; };
     auto rs2 = [&] { return regs_[d.rs2]; };
@@ -688,7 +704,10 @@ RvCore::step()
       case Op::kMulh: {
           auto a = static_cast<__int128>(asSigned(rs1()));
           auto b = static_cast<__int128>(asSigned(rs2()));
-          wr(static_cast<std::uint64_t>((a * b) >> 64));
+          std::uint64_t hi = static_cast<std::uint64_t>((a * b) >> 64);
+          if (mutation_ == CoreTestMutation::kMulhCorrupt)
+              hi ^= 0x4000000000000000ULL;
+          wr(hi);
           total += cfg_.mulLatency - 1;
           break;
       }
@@ -793,8 +812,10 @@ RvCore::step()
             flushDecodeCache();
         break;
       case Op::kEcall: {
-          if (ecall_ && ecall_(*this))
+          if (ecall_ && ecall_(*this)) {
+              env_absorbed = true;
               break;
+          }
           std::uint64_t cause = priv_ == 3 ? kCauseEcallM
                                            : kCauseEcallU + priv_;
           takeTrap(cause, 0);
@@ -888,7 +909,10 @@ RvCore::step()
                   break;
               bool is64 = d.op >= Op::kAmoSwapD;
               std::uint32_t bytes = is64 ? 8 : 4;
-              std::uint64_t src = rs2();
+              // Word AMOs operate on 32-bit values: both operands are
+              // sign-extended so the min/max comparisons preserve the
+              // 32-bit order regardless of rs2's upper bits.
+              std::uint64_t src = is64 ? rs2() : sext32(rs2());
               Cycles lat = 0;
               std::uint64_t old = port_.atomic(
                   pa, bytes,
@@ -948,7 +972,23 @@ RvCore::step()
             tracer_->record(ev);
         }
     }
+    if (commit_) {
+        CommitRecord rec;
+        rec.pc = pc;
+        rec.word = word;
+        rec.inst = &d;
+        rec.trapped = redirect || trapped;
+        rec.envAbsorbed = env_absorbed;
+        commit_(*this, rec);
+    }
     return total;
+}
+
+void
+RvCore::setTestMutation(CoreTestMutation m)
+{
+    mutation_ = m;
+    decodeCache_.setIgnoreStaleStamps(m == CoreTestMutation::kStaleDecode);
 }
 
 void

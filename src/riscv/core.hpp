@@ -128,6 +128,44 @@ enum class HaltReason : std::uint8_t
     kWfi,         ///< Waiting for interrupt with none pending.
 };
 
+/**
+ * One architecturally visible step, as reported to the commit observer
+ * (see RvCore::setCommitFn). Three shapes:
+ *  - a retired instruction: @p inst points at the decoded form (valid
+ *    only for the duration of the callback), @p trapped tells whether it
+ *    redirected into the trap handler, @p envAbsorbed whether an ecall
+ *    was consumed by the environment instead of trapping;
+ *  - a synchronous fetch-side trap that retired nothing (@p inst null,
+ *    @p trapped true): misaligned pc or instruction page fault;
+ *  - an asynchronous interrupt redirect (@p interrupt true, @p inst
+ *    null): pc/mstatus changed with no instruction retired.
+ * The callback runs after the core's state update, so the core exposes
+ * the post-step architectural state.
+ */
+struct CommitRecord
+{
+    Addr pc = 0;               ///< pc the step started at.
+    std::uint32_t word = 0;    ///< Raw instruction word (0 if none).
+    const DecodedInst *inst = nullptr;
+    bool trapped = false;
+    bool envAbsorbed = false;
+    bool interrupt = false;
+};
+
+/**
+ * Test-only defeat switches proving the lockstep checker catches real
+ * defect classes (mirrors cache::TestMutation). Never set in production.
+ */
+enum class CoreTestMutation : std::uint8_t
+{
+    kNone,
+    /** mulh returns a wrong high word (silent ALU corruption). */
+    kMulhCorrupt,
+    /** The decode cache serves entries whose page write stamp is stale
+     *  (suppressed self-modifying-code invalidation). */
+    kStaleDecode,
+};
+
 /** RV64IMA hart. */
 class RvCore
 {
@@ -137,6 +175,9 @@ class RvCore
 
     /** Instruction trace hook, fired once per decoded instruction. */
     using TraceFn = std::function<void(Addr pc, const DecodedInst &)>;
+
+    /** Commit observer, fired after every architectural step. */
+    using CommitFn = std::function<void(RvCore &, const CommitRecord &)>;
 
     RvCore(const CoreConfig &cfg, MemPort &port,
            sim::StatRegistry *stats = nullptr);
@@ -173,6 +214,18 @@ class RvCore
 
     /** Installs an instruction-trace callback (empty to disable). */
     void setTraceFn(TraceFn fn) { trace_ = std::move(fn); }
+
+    /**
+     * Installs the commit observer (empty to disable). Fired once per
+     * architectural step — retired instruction, fetch-side trap, or
+     * interrupt redirect (see CommitRecord) — after the state update.
+     * EBREAK stalls and parked WFIs make no architectural progress and
+     * are not reported. Costs one branch per step when unset.
+     */
+    void setCommitFn(CommitFn fn) { commit_ = std::move(fn); }
+
+    /** Arms a test-only defeat switch (see CoreTestMutation). */
+    void setTestMutation(CoreTestMutation m);
 
     /**
      * Attaches the platform tracer (null to detach). Every retired
@@ -293,6 +346,8 @@ class RvCore
     Stall lastStall_ = Stall::kNone;
     EcallHandler ecall_;
     TraceFn trace_;
+    CommitFn commit_;
+    CoreTestMutation mutation_ = CoreTestMutation::kNone;
 };
 
 } // namespace smappic::riscv

@@ -116,7 +116,7 @@ class DecodeCache
     {
         Entry &e = entries_[(pc >> 2) & mask_];
         if (e.valid && e.pc == pc && e.gen == gen_) {
-            if (e.ref.current())
+            if (e.ref.current() || ignoreStaleStamps_)
                 return &e;
             e.valid = false;
             ++stats_.invalidations;
@@ -124,6 +124,15 @@ class DecodeCache
         ++stats_.misses;
         return nullptr;
     }
+
+    /**
+     * Test-only defeat switch (CoreTestMutation::kStaleDecode): serve
+     * tag-matching entries even when their page write stamp is stale,
+     * simulating a lost self-modifying-code invalidation so the lockstep
+     * checker can prove it catches the defect class. Never set in
+     * production.
+     */
+    void setIgnoreStaleStamps(bool on) { ignoreStaleStamps_ = on; }
 
     void countHit() { ++stats_.hits; }
     void countBypass() { ++stats_.bypasses; }
@@ -164,6 +173,7 @@ class DecodeCache
 
   private:
     bool enabled_;
+    bool ignoreStaleStamps_ = false;
     std::uint32_t mask_ = 0;
     std::uint64_t gen_ = 0;
     DecodeCacheStats stats_;

@@ -102,4 +102,59 @@ inline constexpr std::uint32_t kIrqMsi = 3;  ///< Machine software.
 inline constexpr std::uint32_t kIrqMti = 7;  ///< Machine timer.
 inline constexpr std::uint32_t kIrqMei = 11; ///< Machine external.
 
+// mstatus fields.
+inline constexpr std::uint64_t kMstatusSie = 1ULL << 1;
+inline constexpr std::uint64_t kMstatusMie = 1ULL << 3;
+inline constexpr std::uint64_t kMstatusSpie = 1ULL << 5;
+inline constexpr std::uint64_t kMstatusMpie = 1ULL << 7;
+inline constexpr std::uint64_t kMstatusSpp = 1ULL << 8;
+inline constexpr unsigned kMstatusMppShift = 11;
+
+// WARL legalization of CSR writes. These helpers are the single source
+// of truth for which bits the model implements: both RvCore and the
+// golden reference interpreter (ref::GoldenCore) funnel CSR writes
+// through them, so a WARL choice can never silently differ between the
+// timing model and the specification model.
+
+/** mstatus bits writable through the CSR interface (M/S/U privilege
+ *  stack only — no FS/XS/MPRV/TVM/TSR/SUM/MXR state is modeled). */
+inline constexpr std::uint64_t kMstatusWritableMask =
+    kMstatusSie | kMstatusMie | kMstatusSpie | kMstatusMpie | kMstatusSpp |
+    (3ULL << kMstatusMppShift);
+
+/** Masks reserved mstatus bits and legalizes MPP (2 is reserved → U). */
+constexpr std::uint64_t
+legalizeMstatusWrite(std::uint64_t value)
+{
+    std::uint64_t v = value & kMstatusWritableMask;
+    if (((v >> kMstatusMppShift) & 3) == 2)
+        v &= ~(3ULL << kMstatusMppShift);
+    return v;
+}
+
+/** mtvec: 4-aligned base, mode 0 (direct) or 1 (vectored); reserved
+ *  modes legalize to direct. */
+constexpr std::uint64_t
+legalizeMtvecWrite(std::uint64_t value)
+{
+    std::uint64_t mode = value & 3;
+    return (value & ~3ULL) | (mode <= 1 ? mode : 0);
+}
+
+/** mepc: IALIGN=32 (no C extension), so bits [1:0] read as zero. */
+constexpr std::uint64_t
+legalizeMepcWrite(std::uint64_t value)
+{
+    return value & ~3ULL;
+}
+
+/** satp: only Bare (0) and Sv39 (8) are supported; a write with a
+ *  reserved mode takes no effect and the old value is retained. */
+constexpr std::uint64_t
+legalizeSatpWrite(std::uint64_t old, std::uint64_t value)
+{
+    std::uint64_t mode = value >> 60;
+    return (mode == 0 || mode == 8) ? value : old;
+}
+
 } // namespace smappic::riscv

@@ -62,6 +62,27 @@ class FlatPort : public riscv::MemPort
         return old;
     }
 
+    // Every fetch through this port "hits" at latency 1 (see fetch()),
+    // so the decode-cache fast path is timing-identical here. Wiring
+    // these up lets bare-core tests exercise the cache — including the
+    // kStaleDecode defeat switch — without a cache hierarchy.
+    bool
+    fetchFastHit(Addr, Cycles, Cycles &lat) override
+    {
+        lat = 1;
+        return true;
+    }
+
+    riscv::CodeRef
+    codeRef(Addr addr) override
+    {
+        riscv::CodeRef ref;
+        const auto &stamp = memory.pageWriteStamp(addr);
+        ref.stamp = &stamp;
+        ref.seen = stamp.load(std::memory_order_acquire);
+        return ref;
+    }
+
     mem::MainMemory memory;
     std::uint64_t loads_ = 0;
     std::uint64_t stores_ = 0;

@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "check/lockstep.hpp"
 #include "riscv/assembler.hpp"
 #include "riscv/core.hpp"
 #include "sim/random.hpp"
@@ -416,6 +417,165 @@ TEST_P(MixedTortureSweep, RandomMixedSequenceMatchesGoldenState)
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, MixedTortureSweep, ::testing::Range(0, 8));
+
+} // namespace
+} // namespace smappic::riscv
+
+namespace smappic::riscv
+{
+namespace
+{
+
+using test::FlatPort;
+
+/**
+ * A-extension torture: random AMO traffic and contiguous LR/SC pairs
+ * over a golden byte image and register file, double-checked by the
+ * lockstep golden-model checker (src/check/lockstep.hpp) riding on the
+ * same run. Word AMOs deliberately feed operands with dirty upper
+ * halves — the 32-bit min/max comparison must ignore them.
+ */
+class AmoTortureSweep : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(AmoTortureSweep, RandomAtomicSequenceMatchesGoldenState)
+{
+    std::uint64_t seed =
+        static_cast<std::uint64_t>(GetParam()) * 2097593 + 17;
+    RecordProperty("seed", std::to_string(seed));
+    sim::Xoroshiro rng(seed);
+    constexpr Addr kScratch = 0x80500000;
+    constexpr std::uint64_t kWindow = 128;
+
+    auto sext32 = [](std::uint64_t v) {
+        return static_cast<std::uint64_t>(
+            static_cast<std::int64_t>(static_cast<std::int32_t>(v)));
+    };
+
+    std::uint8_t image[kWindow] = {};
+    std::uint64_t state[32] = {};
+    std::ostringstream src;
+    src << "_start:\n  li x31, " << kScratch << "\n";
+    for (int r = 18; r <= 26; ++r) {
+        std::uint64_t v = rng.next();
+        state[r] = v;
+        src << "  li x" << r << ", " << static_cast<std::int64_t>(v)
+            << "\n";
+    }
+
+    auto pick = [&] { return 18 + static_cast<int>(rng.below(9)); };
+    auto imageLoad = [&](Addr off, unsigned bytes) {
+        std::uint64_t v = 0;
+        for (unsigned b = 0; b < bytes; ++b)
+            v |= static_cast<std::uint64_t>(image[off + b]) << (8 * b);
+        return v;
+    };
+    auto imageStore = [&](Addr off, unsigned bytes, std::uint64_t v) {
+        for (unsigned b = 0; b < bytes; ++b)
+            image[off + b] = static_cast<std::uint8_t>(v >> (8 * b));
+    };
+
+    const char *amo_op[] = {"amoswap", "amoadd",  "amoxor",
+                            "amoand",  "amoor",   "amomin",
+                            "amomax",  "amominu", "amomaxu"};
+    for (int i = 0; i < 200; ++i) {
+        switch (rng.below(4)) {
+          case 0: { // AMO (both widths)
+            bool dbl = rng.chance(0.5);
+            unsigned bytes = dbl ? 8 : 4;
+            Addr off = rng.below(kWindow / bytes) * bytes;
+            int rd = pick(), rs2 = pick();
+            const char *op = amo_op[rng.below(std::size(amo_op))];
+            src << "  addi x30, x31, " << off << "\n";
+            src << "  " << op << (dbl ? ".d" : ".w") << " x" << rd
+                << ", x" << rs2 << ", (x30)\n";
+            std::uint64_t old = imageLoad(off, bytes);
+            // 32-bit AMOs compare/combine sign-extended words; sext32
+            // preserves both signed and unsigned 32-bit order.
+            std::uint64_t a = dbl ? old : sext32(old);
+            std::uint64_t s = dbl ? state[rs2] : sext32(state[rs2]);
+            auto sa = static_cast<std::int64_t>(a);
+            auto ss = static_cast<std::int64_t>(s);
+            std::uint64_t next = a;
+            if (std::string(op) == "amoswap") next = s;
+            else if (std::string(op) == "amoadd") next = a + s;
+            else if (std::string(op) == "amoxor") next = a ^ s;
+            else if (std::string(op) == "amoand") next = a & s;
+            else if (std::string(op) == "amoor") next = a | s;
+            else if (std::string(op) == "amomin") next = sa < ss ? a : s;
+            else if (std::string(op) == "amomax") next = sa > ss ? a : s;
+            else if (std::string(op) == "amominu") next = a < s ? a : s;
+            else next = a > s ? a : s;
+            imageStore(off, bytes, next);
+            state[rd] = dbl ? old : sext32(old);
+            break;
+          }
+          case 1: { // Contiguous LR/SC pair (always succeeds bare-core)
+            bool dbl = rng.chance(0.5);
+            unsigned bytes = dbl ? 8 : 4;
+            Addr off = rng.below(kWindow / bytes) * bytes;
+            int rd = pick(), rs = pick(), rt = pick();
+            const char *sfx = dbl ? ".d" : ".w";
+            src << "  addi x30, x31, " << off << "\n";
+            src << "  lr" << sfx << " x" << rd << ", (x30)\n";
+            src << "  sc" << sfx << " x" << rt << ", x" << rs
+                << ", (x30)\n";
+            std::uint64_t v = imageLoad(off, bytes);
+            state[rd] = dbl ? v : sext32(v);
+            imageStore(off, bytes, state[rs]);
+            state[rt] = 0; // Reservation held: SC succeeds.
+            break;
+          }
+          case 2: { // ALU churn
+            int rd = pick(), rs1 = pick(), rs2 = pick();
+            static const char *alu[] = {"add", "sub", "xor", "mul"};
+            const char *op = alu[rng.below(std::size(alu))];
+            src << "  " << op << " x" << rd << ", x" << rs1 << ", x"
+                << rs2 << "\n";
+            state[rd] = golden(op, state[rs1], state[rs2], 0);
+            break;
+          }
+          default: { // Plain dword load
+            int rd = pick();
+            Addr off = rng.below(kWindow / 8) * 8;
+            src << "  ld x" << rd << ", " << off << "(x31)\n";
+            state[rd] = imageLoad(off, 8);
+            break;
+          }
+        }
+    }
+    src << "  li a7, 93\n  li a0, 0\n  ecall\n";
+
+    FlatPort port;
+    Assembler as;
+    Program prog = as.assemble(src.str());
+    test::loadProgram(port.memory, prog);
+    CoreConfig cfg;
+    cfg.resetPc = prog.entry;
+    RvCore core(cfg, port);
+    test::installExitHandler(core);
+
+    check::LockstepConfig lcfg;
+    check::LockstepChecker checker(lcfg);
+    checker.attach(core);
+    for (const auto &seg : prog.segments)
+        checker.loadImage(seg.base, seg.bytes.data(), seg.bytes.size());
+
+    ASSERT_EQ(core.run(20000), HaltReason::kExited);
+
+    for (int r = 18; r <= 26; ++r)
+        EXPECT_EQ(core.reg(static_cast<unsigned>(r)), state[r])
+            << "x" << r << " diverged (seed " << seed << ")";
+    for (std::uint64_t b = 0; b < kWindow; ++b)
+        ASSERT_EQ(port.memory.load(kScratch + b, 1), image[b])
+            << "byte " << b << " (seed " << seed << ")";
+    EXPECT_TRUE(checker.divergences().empty())
+        << "seed " << seed << "\n" << checker.report();
+    EXPECT_GT(checker.commits(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AmoTortureSweep, ::testing::Range(0, 10));
 
 } // namespace
 } // namespace smappic::riscv
