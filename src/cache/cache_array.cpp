@@ -59,6 +59,16 @@ CacheArray::lookup(Addr addr)
 }
 
 bool
+CacheArray::lookupIfState(Addr addr, std::uint32_t state)
+{
+    Entry *e = find(addr);
+    if (!e || e->state != state)
+        return false;
+    e->lastUse = ++useClock_;
+    return true;
+}
+
+bool
 CacheArray::probe(Addr addr) const
 {
     return find(addr) != nullptr;

@@ -49,6 +49,14 @@ class CacheArray
     /** True when @p addr's line is present; updates LRU on hit. */
     bool lookup(Addr addr);
 
+    /**
+     * True when @p addr's line is resident with aux state exactly
+     * @p state, updating LRU as lookup() would; a miss or a state
+     * mismatch mutates nothing. Single-scan fusion of
+     * probe() + state() + lookup() for hit fast paths.
+     */
+    bool lookupIfState(Addr addr, std::uint32_t state);
+
     /** True when present; does not touch LRU (snoop/inspection path). */
     bool probe(Addr addr) const;
 

@@ -57,6 +57,7 @@ CoherentSystem::CoherentSystem(const Geometry &geo, const TimingParams &timing,
         bpc_.emplace_back(geo.bpcBytes, geo.bpcWays);
         llc_.emplace_back(geo.llcSliceBytes, geo.llcWays);
     }
+    tileMu_ = std::make_unique<std::mutex[]>(total);
     llcServer_.assign(total, sim::QueueServer(4));
     dramServer_.assign(geo.nodes, sim::QueueServer(timing_.dramBanks));
     for (std::uint32_t n = 0; n < geo.nodes; ++n) {
@@ -201,9 +202,14 @@ CoherentSystem::dramAccess(NodeId node, std::uint32_t bytes, Cycles t)
 void
 CoherentSystem::dropPrivate(Addr line, GlobalTileId gid)
 {
-    l1d_[gid].invalidate(line);
-    l1i_[gid].invalidate(line);
-    bpc_[gid].invalidate(line);
+    {
+        // The recalled tile may be running its lock-free-looking hit
+        // path on another worker right now; its guard orders the two.
+        auto tile_guard = tileGuard(gid);
+        l1d_[gid].invalidate(line);
+        l1i_[gid].invalidate(line);
+        bpc_[gid].invalidate(line);
+    }
     maybeClearStale(line, gid);
     auto it = directory_.find(line);
     if (it == directory_.end())
@@ -420,6 +426,9 @@ CoherentSystem::fetchFastHit(GlobalTileId gid, Addr addr, Cycles &lat)
     // stale-copy bookkeeping (stalePeek) lives there.
     if (mutation_ != TestMutation::kNone)
         return false;
+    // Same guard the slow hit path holds: a peer's recall can be
+    // invalidating this tile's lines on another worker (see tileGuard).
+    auto tile_guard = tileGuard(gid);
     // lookup() touches the LRU on a hit — the identical (checkpointed)
     // side effect the slow path's hit branch performs — and mutates
     // nothing on a miss.
@@ -431,6 +440,62 @@ CoherentSystem::fetchFastHit(GlobalTileId gid, Addr addr, Cycles &lat)
         if (l1HitsSerial_ == nullptr)
             l1HitsSerial_ = &stats_->counter("cs.l1.hits");
         l1HitsSerial_->increment();
+    }
+    lat = timing_.l1HitLatency;
+    return true;
+}
+
+bool
+CoherentSystem::loadFastHit(GlobalTileId gid, Addr addr, Cycles &lat)
+{
+    // Bail conditions mirror fetchFastHit, plus the observer: armed
+    // mutations need the slow path's stale-copy bookkeeping, and an
+    // attached coherence checker contracts to see full transitions.
+    // (Hit branches never notify observers even on the slow path, so
+    // the observer bail is belt and braces, not a parity requirement.)
+    if (mutation_ != TestMutation::kNone || observer_ != nullptr)
+        return false;
+    // Same guard the slow hit path holds: a peer's recall can be
+    // invalidating this tile's lines on another worker (see tileGuard).
+    auto tile_guard = tileGuard(gid);
+    // lookup() touches the LRU on a hit — the identical (checkpointed)
+    // side effect the slow path's L1 hit branch performs — and mutates
+    // nothing on a miss.
+    if (!l1d_[gid].lookup(addr))
+        return false;
+    if (parallel_) {
+        stats_->counter("cs.l1.hits").increment();
+    } else {
+        if (l1HitsSerial_ == nullptr)
+            l1HitsSerial_ = &stats_->counter("cs.l1.hits");
+        l1HitsSerial_->increment();
+    }
+    lat = timing_.l1HitLatency;
+    return true;
+}
+
+bool
+CoherentSystem::storeFastHit(GlobalTileId gid, Addr addr, Cycles &lat)
+{
+    if (mutation_ != TestMutation::kNone || observer_ != nullptr)
+        return false;
+    Addr line = lineAlign(addr);
+    // Same guard the slow hit path holds: a peer's recall can be
+    // invalidating this tile's lines on another worker (see tileGuard).
+    auto tile_guard = tileGuard(gid);
+    // One scan settles presence + M state and performs the slow path's
+    // exact BPC LRU touch; a miss or non-M state mutates nothing. The
+    // discarded-result lookup matches the slow path's probe-then-touch
+    // pair: LRU moves only when the line is resident.
+    if (!bpc_[gid].lookupIfState(line, kModified))
+        return false;
+    l1d_[gid].lookup(line);
+    if (parallel_) {
+        stats_->counter("cs.l1.storeHits").increment();
+    } else {
+        if (l1StoreHitsSerial_ == nullptr)
+            l1StoreHitsSerial_ = &stats_->counter("cs.l1.storeHits");
+        l1StoreHitsSerial_->increment();
     }
     lat = timing_.l1HitLatency;
     return true;
@@ -488,41 +553,50 @@ CoherentSystem::access(GlobalTileId gid, Addr addr, AccessType type,
 
     CacheArray &l1 = (type == AccessType::kFetch) ? l1i_[gid] : l1d_[gid];
 
-    // --- L1 hit path ---
-    if (type == AccessType::kLoad || type == AccessType::kFetch) {
-        if (l1.lookup(addr)) {
-            stats_->counter("cs.l1.hits").increment();
-            AccessResult res{timing_.l1HitLatency, ServiceLevel::kL1,
-                             false};
+    // Hit paths hold only this tile's guard: a peer's miss path can be
+    // recalling lines from these arrays concurrently (under mu_ plus
+    // this same tile guard). Released before the miss path takes mu_ —
+    // the lock order is strictly mu_ -> tile.
+    {
+        auto tile_guard = tileGuard(gid);
+
+        // --- L1 hit path ---
+        if (type == AccessType::kLoad || type == AccessType::kFetch) {
+            if (l1.lookup(addr)) {
+                stats_->counter("cs.l1.hits").increment();
+                AccessResult res{timing_.l1HitLatency, ServiceLevel::kL1,
+                                 false};
+                if (mutation_ != TestMutation::kNone)
+                    res.staleData = stalePeek(gid, line, type);
+                return res;
+            }
+        } else if (type == AccessType::kStore) {
+            // Write-through L1: a store completes at L1 speed only when
+            // the BPC already holds the line in M (the store buffer
+            // hides the write-through).
+            if (bpc_[gid].probe(line) &&
+                bpc_[gid].state(line) == kModified) {
+                bpc_[gid].lookup(line);
+                if (l1.probe(line))
+                    l1.lookup(line);
+                stats_->counter("cs.l1.storeHits").increment();
+                return AccessResult{timing_.l1HitLatency,
+                                    ServiceLevel::kL1, false};
+            }
+        }
+
+        // --- BPC hit path (loads/fetches with at least S) ---
+        if ((type == AccessType::kLoad || type == AccessType::kFetch) &&
+            bpc_[gid].lookup(line)) {
+            if (!l1.probe(line))
+                l1.insert(line, kShared);
+            stats_->counter("cs.bpc.hits").increment();
+            AccessResult res{timing_.l1MissDetect + timing_.privLatency,
+                             ServiceLevel::kPrivate, false};
             if (mutation_ != TestMutation::kNone)
                 res.staleData = stalePeek(gid, line, type);
             return res;
         }
-    } else if (type == AccessType::kStore) {
-        // Write-through L1: a store completes at L1 speed only when the
-        // BPC already holds the line in M (the store buffer hides the
-        // write-through).
-        if (bpc_[gid].probe(line) && bpc_[gid].state(line) == kModified) {
-            bpc_[gid].lookup(line);
-            if (l1.probe(line))
-                l1.lookup(line);
-            stats_->counter("cs.l1.storeHits").increment();
-            return AccessResult{timing_.l1HitLatency, ServiceLevel::kL1,
-                                false};
-        }
-    }
-
-    // --- BPC hit path (loads/fetches with at least S) ---
-    if ((type == AccessType::kLoad || type == AccessType::kFetch) &&
-        bpc_[gid].lookup(line)) {
-        if (!l1.probe(line))
-            l1.insert(line, kShared);
-        stats_->counter("cs.bpc.hits").increment();
-        AccessResult res{timing_.l1MissDetect + timing_.privLatency,
-                         ServiceLevel::kPrivate, false};
-        if (mutation_ != TestMutation::kNone)
-            res.staleData = stalePeek(gid, line, type);
-        return res;
     }
 
     // --- Miss: transaction to the home LLC slice ---
@@ -556,7 +630,10 @@ CoherentSystem::access(GlobalTileId gid, Addr addr, AccessType type,
               t = nocPath(hn, ht, nodeOf(og), tileOf(og), kReqBytes, t);
               t += timing_.privLatency;
               t = nocPath(nodeOf(og), tileOf(og), hn, ht, kDataBytes, t);
-              bpc_[og].setState(line, kShared);
+              {
+                  auto tile_guard = tileGuard(og);
+                  bpc_[og].setState(line, kShared);
+              }
               dir.sharers |= 1ULL << og;
               dir.owner = -1;
               dir.dirty = true;

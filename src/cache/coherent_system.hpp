@@ -290,6 +290,34 @@ class CoherentSystem
      */
     bool fetchFastHit(GlobalTileId gid, Addr addr, Cycles &lat);
 
+    /**
+     * Data fast path for scalar loads: when @p addr hits @p gid's L1D,
+     * replays exactly the side effects the full access() walk would
+     * have on that hit — the L1D LRU touch and the "cs.l1.hits"
+     * increment — and returns true with @p lat set to the L1 hit
+     * latency. Returns false (having mutated nothing) when the load
+     * must take the full walk: L1D miss, any test mutation armed (the
+     * stale-data plumbing lives on the slow path), or a coherence
+     * observer attached (observers contract to see every full
+     * transition). An L1D hit implies the line is neither a device
+     * window nor NC nor CDR-remote — none of those ever fill the L1D —
+     * so the skipped prefix of access() is provably side-effect-free.
+     */
+    bool loadFastHit(GlobalTileId gid, Addr addr, Cycles &lat);
+
+    /**
+     * Data fast path for scalar stores: when @p gid's BPC already owns
+     * @p addr's line in M, replays exactly the side effects the full
+     * access() walk would have on that store hit — the BPC (and, when
+     * resident, L1D) LRU touches and the "cs.l1.storeHits" increment —
+     * and returns true with @p lat set to the L1 hit latency. Returns
+     * false (having mutated nothing) on any other line state, an armed
+     * test mutation, or an attached observer; the caller then runs the
+     * full access(). M ownership implies exclusivity, so no recall,
+     * directory or tracer activity is skipped.
+     */
+    bool storeFastHit(GlobalTileId gid, Addr addr, Cycles &lat);
+
     /** Functional backing store (data plane). */
     mem::MainMemory &memory() { return memory_; }
     const mem::MainMemory &memory() const { return memory_; }
@@ -376,9 +404,11 @@ class CoherentSystem
      * that touch state shared between nodes — device windows, NC memory
      * operations and the whole miss path (directory, LLC/DRAM servers,
      * bridge shapers) — serialize on one recursive mutex, while L1/BPC
-     * hits stay lock-free (they only touch the requesting tile's arrays,
-     * which the phased engine confines to one worker). Off by default:
-     * the sequential engine pays one branch per access.
+     * hits take only their own tile's lock (the phased engine confines
+     * a tile's accesses to one worker, but a *peer's* miss path recalls
+     * lines from this tile's arrays mid-quantum, so hits cannot go
+     * entirely lock-free — see tileGuard()). Off by default: the
+     * sequential engine pays one branch per access.
      */
     void setParallel(bool on) { parallel_ = on; }
 
@@ -394,6 +424,25 @@ class CoherentSystem
     {
         return parallel_ ? std::unique_lock(mu_)
                          : std::unique_lock<std::recursive_mutex>();
+    }
+
+    /**
+     * Per-tile private-array lock as an RAII guard (empty when parallel
+     * mode is off). A tile's hit paths — the in-line L1/BPC hit cases of
+     * access() and the fetch/load/store fast paths — hold their own
+     * tile's guard; a miss path mutating a *different* tile's arrays
+     * (recall invalidations, owner downgrades) holds that tile's guard.
+     * Without it, a peer's recall races the owner's concurrent lookup on
+     * the same CacheArray bytes — a real data race that made phased
+     * cross-node-sharing runs nondeterministic. Lock order is strictly
+     * mu_ -> tile (hit paths never take mu_; miss paths take tile guards
+     * one at a time under mu_), so no cycle is possible.
+     */
+    std::unique_lock<std::mutex>
+    tileGuard(GlobalTileId gid)
+    {
+        return parallel_ ? std::unique_lock(tileMu_[gid])
+                         : std::unique_lock<std::mutex>();
     }
 
     /** Total DRAM-channel queueing observed (for congestion tests). */
@@ -547,6 +596,8 @@ class CoherentSystem
 
     bool parallel_ = false;
     std::recursive_mutex mu_;
+    /** One lock per tile's private arrays; see tileGuard(). */
+    std::unique_ptr<std::mutex[]> tileMu_;
 
     /**
      * Cached "cs.l1.hits" counter for the serial-mode fast path (map
@@ -556,6 +607,8 @@ class CoherentSystem
      * TLS shard, so the cache is bypassed while parallel_ is set.
      */
     sim::Counter *l1HitsSerial_ = nullptr;
+    /** Cached "cs.l1.storeHits" counter; same rules as l1HitsSerial_. */
+    sim::Counter *l1StoreHitsSerial_ = nullptr;
 
     CoherenceObserver *observer_ = nullptr;
 

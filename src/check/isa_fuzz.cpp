@@ -336,6 +336,8 @@ reproCommand(const FuzzConfig &cfg)
            << cfg.quantum;
     if (!cfg.decodeCache)
         os << " --no-decode-cache";
+    if (!cfg.dataFastPath)
+        os << " --no-data-fastpath";
     if (cfg.defect == riscv::CoreTestMutation::kMulhCorrupt)
         os << " --defect mulh";
     else if (cfg.defect == riscv::CoreTestMutation::kStaleDecode)
@@ -400,6 +402,7 @@ runFuzz(const FuzzConfig &cfg)
     platform::PrototypeConfig pcfg =
         platform::PrototypeConfig::parse(cfg.spec);
     pcfg.core.decodeCache.enabled = cfg.decodeCache;
+    pcfg.core.dataFastPath = cfg.dataFastPath;
     pcfg.lockstep.enabled = true;
     if (cfg.shared)
         pcfg.lockstep.shared.emplace_back(kSharedBase, kSharedBytes);

@@ -61,6 +61,7 @@ struct FuzzConfig
     std::uint32_t threads = 0; ///< 0 = sequential engine; >=1 = phased.
     Cycles quantum = 256;      ///< Phased quantum (threads >= 1 only).
     bool decodeCache = true;
+    bool dataFastPath = true; ///< L1D hit fast path (core.dataFastPath).
     riscv::CoreTestMutation defect = riscv::CoreTestMutation::kNone;
 };
 

@@ -140,6 +140,7 @@ runLitmus(const LitmusTest &test, const LitmusConfig &cfg)
         platform::PrototypeConfig::parse(cfg.spec);
     pcfg.parallel = cfg.parallel;
     pcfg.check = cfg.check;
+    pcfg.core.dataFastPath = cfg.dataFastPath;
 
     std::vector<GlobalTileId> harts =
         litmusPlacement(pcfg, test.threads.size());

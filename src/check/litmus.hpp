@@ -78,6 +78,10 @@ struct LitmusConfig
     std::vector<std::uint32_t> fixedSkews;
     /** Checker attachment for every iteration's prototype. */
     CheckConfig check{true, false, 64};
+    /** L1D hit fast path (core.dataFastPath). Note an attached checker
+     *  makes the fast path bail anyway; disable `check` to genuinely
+     *  exercise it. */
+    bool dataFastPath = true;
     std::uint64_t maxInstructions = 200'000;
     /** Runs after program load, before the cores start (arm mutations,
      *  warm caches, ...). */

@@ -50,6 +50,19 @@ struct TraceData
     }
 };
 
+/**
+ * Half-open window test shared by every trace consumer: a cycle is in
+ * the window [from, to) iff from <= cycle < to. The start is inclusive
+ * and the end exclusive so adjacent windows <A:B> and <B:C> tile a
+ * trace without overlap or gap; an event stamped exactly at `to` is
+ * NOT selected. `from >= to` selects nothing.
+ */
+inline bool
+cycleInWindow(Cycles cycle, Cycles from, Cycles to)
+{
+    return cycle >= from && cycle < to;
+}
+
 /** Serializes @p tracer's retained events to @p os. */
 void writeBinary(const Tracer &tracer, std::ostream &os);
 

@@ -251,6 +251,36 @@ class Prototype::CorePort : public riscv::MemPort
                               stamp.load(std::memory_order_acquire)};
     }
 
+    bool
+    loadFastHit(Addr addr, std::uint32_t bytes, Cycles now, Cycles &lat,
+                std::uint64_t &value) override
+    {
+        (void)now;
+        // An L1D hit can carry no stale-copy plumbing (loadFastHit
+        // bails on any armed mutation), so data always comes from the
+        // functional store, as on the slow path's non-stale branch.
+        if (!proto_.cs_->loadFastHit(gid_, addr, lat))
+            return false;
+        value = proto_.cs_->memory().load(addr, std::min(bytes, 8u));
+        return true;
+    }
+
+    bool
+    storeFastHit(Addr addr, std::uint32_t bytes, std::uint64_t value,
+                 Cycles now, Cycles &lat) override
+    {
+        (void)now;
+        // Probe the timing hierarchy before touching memory: a false
+        // return must leave every byte as it was. A BPC-M hit is never
+        // a device window, so the slow path's store-memory-first
+        // ordering (device handlers read the functional store) has no
+        // observable counterpart here.
+        if (!proto_.cs_->storeFastHit(gid_, addr, lat))
+            return false;
+        proto_.cs_->memory().store(addr, std::min(bytes, 8u), value);
+        return true;
+    }
+
     std::uint64_t
     atomic(Addr addr, std::uint32_t bytes,
            const std::function<std::uint64_t(std::uint64_t)> &rmw,
@@ -449,6 +479,7 @@ Prototype::Prototype(const PrototypeConfig &cfg) : cfg_(cfg)
         ccfg.hartId = g;
         ccfg.resetPc = kDramBase;
         ccfg.decodeCache = cfg.core.decodeCache;
+        ccfg.dataFastPath = cfg.core.dataFastPath;
         auto core = std::make_unique<riscv::RvCore>(ccfg, *ports_.back(),
                                                     &stats_);
         core->setEcallHandler([this, g](riscv::RvCore &c) {
@@ -1089,9 +1120,10 @@ Prototype::configFingerprint() const
 {
     // FNV-1a over the fields that shape serialized state. A checkpoint
     // from a differently shaped prototype must be rejected up front;
-    // the worker-thread count is excluded on purpose, as is
-    // core.decodeCache (transient, checkpoint-invisible state — any
-    // setting must accept any setting's checkpoints).
+    // the worker-thread count is excluded on purpose, as are
+    // core.decodeCache and core.dataFastPath (transient,
+    // checkpoint-invisible state — any setting must accept any
+    // setting's checkpoints).
     std::uint64_t h = 0xcbf29ce484222325ULL;
     auto mix = [&h](std::uint64_t v) {
         for (int i = 0; i < 8; ++i) {

@@ -93,6 +93,16 @@ struct PrototypeConfig
          * checkpoints interchange freely between on and off.
          */
         riscv::DecodeCacheConfig decodeCache;
+        /**
+         * L1D hit fast path for aligned scalar loads and BPC-M-state
+         * stores (CoherentSystem::loadFastHit/storeFastHit). On by
+         * default under the same contract as the decode cache: it is
+         * timing-neutral by construction — stats, traces and
+         * checkpoints are byte-identical either way — so it is
+         * deliberately excluded from configFingerprint() and
+         * checkpoints interchange freely between on and off.
+         */
+        bool dataFastPath = true;
     };
     CoreTuning core;
     /** Transient-fault schedule injected into the substrate (PCIe fabric,

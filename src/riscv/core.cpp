@@ -610,8 +610,19 @@ RvCore::step()
               bytes = 4;
           else if (d.op == Op::kLd)
               bytes = 8;
+          // Data fast path (dataFastPath knob): aligned untranslated
+          // scalar loads may short-circuit the full memory-system walk
+          // when the port can prove an L1D hit. loadFastHit replicates
+          // the hit path's timing and side effects exactly, so taking
+          // it is observably invisible; a false return changed nothing
+          // and the full load() runs as before. Translated accesses
+          // stay slow, like the decode fast path.
           Cycles lat = 0;
-          std::uint64_t v = port_.load(pa, bytes, cycles_, lat);
+          std::uint64_t v = 0;
+          if (!(cfg_.dataFastPath && !translationActive() &&
+                (pa & (bytes - 1)) == 0 &&
+                port_.loadFastHit(pa, bytes, cycles_, lat, v)))
+              v = port_.load(pa, bytes, cycles_, lat);
           total += lat;
           switch (d.op) {
             case Op::kLb:
@@ -643,8 +654,14 @@ RvCore::step()
               bytes = 4;
           else if (d.op == Op::kSd)
               bytes = 8;
+          // Same contract as the load fast path: a true return already
+          // performed the full store (timing, stats and data); false
+          // changed nothing, not even backing memory.
           Cycles lat = 0;
-          port_.store(pa, bytes, rs2(), cycles_, lat);
+          if (!(cfg_.dataFastPath && !translationActive() &&
+                (pa & (bytes - 1)) == 0 &&
+                port_.storeFastHit(pa, bytes, rs2(), cycles_, lat)))
+              port_.store(pa, bytes, rs2(), cycles_, lat);
           total += lat;
           hasReservation_ = false;
           break;

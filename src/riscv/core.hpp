@@ -98,6 +98,49 @@ class MemPort
         (void)addr;
         return {};
     }
+
+    /**
+     * Data fast path for scalar loads: when a load of @p bytes at
+     * @p addr would hit the L1D, performs the hit path's exact side
+     * effects (LRU touch, hit counter), reads the data into @p value
+     * and returns true with @p lat set to the hit latency; otherwise
+     * returns false having changed nothing, and the caller must issue
+     * the full load(). Only called for naturally aligned accesses.
+     * The default (ports without a timing hierarchy) never takes the
+     * fast path.
+     */
+    virtual bool
+    loadFastHit(Addr addr, std::uint32_t bytes, Cycles now, Cycles &lat,
+                std::uint64_t &value)
+    {
+        (void)addr;
+        (void)bytes;
+        (void)now;
+        (void)lat;
+        (void)value;
+        return false;
+    }
+
+    /**
+     * Data fast path for scalar stores: when a store of @p bytes at
+     * @p addr would complete at L1 speed (the private hierarchy already
+     * owns the line in M), performs the hit path's exact side effects,
+     * writes @p value to backing memory and returns true with @p lat
+     * set to the hit latency; otherwise returns false having changed
+     * nothing — not even memory — and the caller must issue the full
+     * store(). Only called for naturally aligned accesses.
+     */
+    virtual bool
+    storeFastHit(Addr addr, std::uint32_t bytes, std::uint64_t value,
+                 Cycles now, Cycles &lat)
+    {
+        (void)addr;
+        (void)bytes;
+        (void)value;
+        (void)now;
+        (void)lat;
+        return false;
+    }
 };
 
 /** Static configuration of one core (Table 2 defaults). */
@@ -117,6 +160,10 @@ struct CoreConfig
     /** Decoded-instruction cache (decode_cache.hpp). Timing-neutral by
      *  construction; disable to run the original fetch/decode path. */
     DecodeCacheConfig decodeCache;
+    /** L1D hit fast path for aligned scalar loads/stores
+     *  (MemPort::loadFastHit/storeFastHit). Timing-neutral by
+     *  construction; disable to run every access down the full walk. */
+    bool dataFastPath = true;
 };
 
 /** Why run() returned. */

@@ -77,6 +77,56 @@ TEST_P(LitmusEngines, StandardSuiteStaysWithinAllowedOutcomes)
 INSTANTIATE_TEST_SUITE_P(Engines, LitmusEngines,
                          ::testing::Values(0, 1, 2, 4));
 
+/** SB/MP/IRIW with the L1D fast path forced on AND off, sequential and
+ *  phased at 2/4 workers: deterministic seeds mean every pairing must
+ *  observe the identical outcome sequence — and both must pass. The
+ *  checker is detached for these runs; an attached observer makes the
+ *  fast path bail everywhere, which would compare the slow path against
+ *  itself. The sequential comparison uses the cross-node 2x1x2 spec;
+ *  the phased comparisons confine all harts to one node (1x1x4),
+ *  because the phased determinism contract only covers node-disjoint
+ *  mid-quantum footprints — cross-node sharing resolves miss races in
+ *  worker-interleaving order, so two runs of *either* path can
+ *  legitimately diverge there (outcome-table membership still holds
+ *  and is covered by LitmusEngines). */
+TEST(Litmus, DataFastPathOnAndOffObserveIdenticalOutcomes)
+{
+    for (const LitmusTest &t : standardLitmusSuite()) {
+        if (t.name != "SB" && t.name != "MP" && t.name != "IRIW")
+            continue;
+        for (std::uint32_t threads : {0u, 2u, 4u}) {
+            if (threads > 0 && t.threads.size() > 4)
+                continue;
+            LitmusConfig cfg;
+            cfg.spec = threads == 0 ? "2x1x2" : "1x1x4";
+            cfg.seed = 31 + threads;
+            cfg.iterations = 4;
+            cfg.check.enabled = false;
+            if (threads > 0) {
+                cfg.parallel.threads = threads;
+                cfg.parallel.quantum = 63;
+            }
+
+            cfg.dataFastPath = true;
+            LitmusResult on = runLitmus(t, cfg);
+            cfg.dataFastPath = false;
+            LitmusResult off = runLitmus(t, cfg);
+
+            EXPECT_TRUE(on.passed) << t.name << " fastpath on, "
+                                   << threads << " workers: "
+                                   << on.histogram();
+            EXPECT_TRUE(off.passed) << t.name << " fastpath off, "
+                                    << threads << " workers: "
+                                    << off.histogram();
+            ASSERT_EQ(on.outcomes.size(), off.outcomes.size());
+            for (std::size_t i = 0; i < on.outcomes.size(); ++i)
+                EXPECT_EQ(on.outcomes[i].values, off.outcomes[i].values)
+                    << t.name << " iteration " << i << ", " << threads
+                    << " workers";
+        }
+    }
+}
+
 /** The mutation self-test's shared setup: MP+preload with the writer
  *  skewed late so the reader's preload always lands first. */
 LitmusConfig

@@ -83,6 +83,29 @@ class FlatPort : public riscv::MemPort
         return ref;
     }
 
+    // Every data access through this port "hits" at the fixed latency
+    // (see load()/store()), so the data fast path is timing-identical
+    // here: same latency, same traffic counters, same memory effect.
+    bool
+    loadFastHit(Addr addr, std::uint32_t bytes, Cycles, Cycles &lat,
+                std::uint64_t &value) override
+    {
+        lat = memLat_;
+        ++loads_;
+        value = memory.load(addr, bytes);
+        return true;
+    }
+
+    bool
+    storeFastHit(Addr addr, std::uint32_t bytes, std::uint64_t value,
+                 Cycles, Cycles &lat) override
+    {
+        lat = memLat_;
+        ++stores_;
+        memory.store(addr, bytes, value);
+        return true;
+    }
+
     mem::MainMemory memory;
     std::uint64_t loads_ = 0;
     std::uint64_t stores_ = 0;

@@ -42,6 +42,24 @@ TEST(CacheArray, InsertThenHit)
     EXPECT_EQ(c.state(0x1000), 7u);
 }
 
+TEST(CacheArray, LookupIfStateMatchesProbeStateLookupFusion)
+{
+    CacheArray c(256, 4, 64); // One set, 4 ways.
+    c.insert(0x000, 2);
+    c.insert(0x100, 3);
+    // State mismatch: no hit, and crucially no LRU movement.
+    EXPECT_FALSE(c.lookupIfState(0x000, 3));
+    EXPECT_FALSE(c.lookupIfState(0x200, 2)); // Not resident.
+    // Matching state hits and touches LRU exactly like lookup():
+    // after touching only line 0x100, line 0x000 must be the victim.
+    EXPECT_TRUE(c.lookupIfState(0x100, 3));
+    c.insert(0x200, 0);
+    c.insert(0x300, 0);
+    auto victim = c.insert(0x400, 0);
+    ASSERT_TRUE(victim.has_value());
+    EXPECT_EQ(victim->line, 0x000u);
+}
+
 TEST(CacheArray, LruEviction)
 {
     CacheArray c(256, 4, 64); // One set, 4 ways.

@@ -259,6 +259,36 @@ TEST(DecodeCacheSmc, OwnStoreStatsMatchCacheOff)
     EXPECT_EQ(dumpFor(true), dumpFor(false));
 }
 
+TEST(DecodeCacheSmc, BypassHeavyLoopStatsMatchCacheOff)
+{
+    // Audit pin for the bail path: a straight-line loop bigger than the
+    // L1I keeps decode entries alive while fetchFastHit misses, so the
+    // core takes the find-hit/fast-miss bypass on most fetches. A
+    // failed fast attempt that leaked an LRU touch or an "cs.l1.hits"
+    // bump before the slow fetch re-ran the access would shift the
+    // stats dump against the cache-off run.
+    std::ostringstream src;
+    src << "_start:\n";
+    for (int i = 0; i < 6000; ++i) // 24 KiB of code vs a 16 KiB L1I.
+        src << "  addi t0, t0, 1\n";
+    src << "  j _start\n";
+
+    std::uint64_t bypasses = 0;
+    auto dumpFor = [&](bool cacheOn) {
+        platform::Prototype proto(smcConfig(cacheOn, 0));
+        proto.loadSource(src.str());
+        proto.runCores({0}, 40'000);
+        if (cacheOn)
+            bypasses = proto.core(0).decodeCache().stats().bypasses;
+        std::ostringstream os;
+        proto.stats().dump(os);
+        return os.str();
+    };
+    EXPECT_EQ(dumpFor(true), dumpFor(false));
+    EXPECT_GT(bypasses, 0u)
+        << "the loop never exercised the fast-miss bypass under audit";
+}
+
 TEST(DecodeCacheSmc, CrossHartPatchIsObserved)
 {
     for (std::uint32_t threads : {0u, 1u, 2u, 4u}) {

@@ -310,6 +310,38 @@ TEST(LockstepFuzz, DecodeCacheOffIsClean)
     EXPECT_TRUE(r.exitedCleanly);
 }
 
+TEST(LockstepFuzz, DataFastPathOnAndOffReachIdenticalFinalState)
+{
+    // Memory-heavy mix so the fast path actually fires, sequential and
+    // phased at 2/4 workers. Both variants run the identical program
+    // under the golden-model checker: zero divergences each, and equal
+    // commit counts pin the final architectural state as identical
+    // (every commit was already golden-verified). Both harts live on
+    // one node: with cross-hart sharing enabled, the phased engine only
+    // guarantees run-to-run determinism for node-confined footprints —
+    // cross-node miss races resolve in worker-interleaving order.
+    for (std::uint32_t workers : {0u, 2u, 4u}) {
+        FuzzConfig cfg;
+        cfg.spec = "1x1x2";
+        cfg.seed = 23;
+        cfg.count = 128;
+        cfg.mix = FuzzMix::kMem;
+        cfg.shared = true;
+        cfg.threads = workers;
+
+        cfg.dataFastPath = true;
+        FuzzResult on = runFuzz(cfg);
+        cfg.dataFastPath = false;
+        FuzzResult off = runFuzz(cfg);
+
+        EXPECT_FALSE(on.diverged) << "fastpath on, workers " << workers;
+        EXPECT_FALSE(off.diverged) << "fastpath off, workers " << workers;
+        EXPECT_TRUE(on.exitedCleanly) << "workers " << workers;
+        EXPECT_TRUE(off.exitedCleanly) << "workers " << workers;
+        EXPECT_EQ(on.commits, off.commits) << "workers " << workers;
+    }
+}
+
 TEST(LockstepFuzz, RunsAreDeterministic)
 {
     FuzzConfig cfg;

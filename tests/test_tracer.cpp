@@ -200,6 +200,28 @@ TEST(TraceIo, RejectsMalformedInput)
     EXPECT_THROW(readBinary(truncated), FatalError);
 }
 
+/** The --window predicate shared with trace_dump is half-open [A, B):
+ *  the start cycle is in, the end cycle is out, adjacent windows tile
+ *  a trace exactly, and an empty/inverted window selects nothing. */
+TEST(TraceIo, WindowPredicateIsHalfOpenOnBoundaryCycles)
+{
+    EXPECT_TRUE(cycleInWindow(10, 10, 20));  // from is inclusive
+    EXPECT_TRUE(cycleInWindow(19, 10, 20));  // last cycle inside
+    EXPECT_FALSE(cycleInWindow(20, 10, 20)); // to is exclusive
+    EXPECT_FALSE(cycleInWindow(9, 10, 20));
+
+    // Adjacent windows <A:B> <B:C> partition: every boundary cycle is
+    // claimed by exactly one of the two.
+    for (Cycles c = 8; c <= 22; ++c)
+        EXPECT_EQ(cycleInWindow(c, 8, 22),
+                  cycleInWindow(c, 8, 15) != cycleInWindow(c, 15, 22))
+            << "cycle " << c;
+
+    EXPECT_FALSE(cycleInWindow(10, 10, 10)); // empty window
+    EXPECT_FALSE(cycleInWindow(10, 20, 10)); // inverted window
+    EXPECT_TRUE(cycleInWindow(0, 0, 1));     // cycle 0 is reachable
+}
+
 TEST(TraceIo, ChromeJsonEmitsSlicesAndInstants)
 {
     TraceEvent slice = event(EventKind::kCacheMiss);

@@ -4,6 +4,7 @@
 Usage:
     check_bench.py <baseline.json> <bench-output-file>
     check_bench.py --trend <trend.jsonl> [--window N] [--threshold F]
+                   [--min-history N]
 
 Baseline mode
 -------------
@@ -33,7 +34,10 @@ metrics where smaller is better (times); the default is higher-is-better
 (throughputs, speedups). For every (bench, metric) series the newest point
 is compared against the rolling median of up to --window (default 5)
 preceding points; it fails when it regresses by more than --threshold
-(default 0.10, i.e. 10%). Series with no history pass.
+(default 0.10, i.e. 10%). Series with no history pass, and series with
+fewer than --min-history (default 3) preceding points are reported but
+not enforced: a 1-or-2-sample "median" is a single noisy run, and gating
+on it would fail pushes on startup noise right after a new metric lands.
 
 Exits 0 when every enforced check passes, 1 otherwise.
 """
@@ -144,13 +148,17 @@ def load_trend(path):
     return points
 
 
-def check_trend(points, window=5, threshold=0.10):
+def check_trend(points, window=5, threshold=0.10, min_history=3):
     """Returns the number of regressed series, printing one line each.
 
     For every (bench, metric) series, in file order, the newest point is
     compared against the median of up to ``window`` preceding points. A
     higher-is-better metric fails below median * (1 - threshold); a
     ``"better": "lower"`` metric fails above median * (1 + threshold).
+    A series with fewer than ``min_history`` preceding points degrades
+    gracefully: the comparison is printed for the record but never
+    enforced, because the median of one or two samples is just a noisy
+    run dressed up as a trend.
     """
     series = {}
     for point in points:
@@ -175,6 +183,11 @@ def check_trend(points, window=5, threshold=0.10):
             bound = median * (1 - threshold)
             ok = latest["value"] >= bound
             rel = ">="
+        if len(history) < min_history:
+            print(f"PASS {name}: {latest['value']} (only {len(history)} "
+                  f"of {min_history} history samples -- median "
+                  f"{median:.4g} reported, not enforced)")
+            continue
         print(f"{'PASS' if ok else 'FAIL'} {name}: {latest['value']} "
               f"{rel} {bound:.4g} (median {median:.4g} of last "
               f"{len(history)}, threshold {threshold:.0%})")
@@ -189,19 +202,23 @@ def main(argv):
         path = None
         window = 5
         threshold = 0.10
+        min_history = 3
         it = iter(args)
         for arg in it:
             if arg == "--window":
                 window = int(next(it, "5"))
             elif arg == "--threshold":
                 threshold = float(next(it, "0.10"))
+            elif arg == "--min-history":
+                min_history = int(next(it, "3"))
             elif path is None:
                 path = arg
             else:
                 raise SystemExit(__doc__)
         if path is None:
             raise SystemExit(__doc__)
-        failures = check_trend(load_trend(path), window, threshold)
+        failures = check_trend(load_trend(path), window, threshold,
+                               min_history)
     elif len(argv) == 3:
         baseline = json.load(open(argv[1]))
         result = load_result(argv[2])

@@ -20,6 +20,7 @@
  *                       sequential engine).
  *   --quantum <N>       Phased quantum in cycles (default 256).
  *   --no-decode-cache   Disable the decoded-instruction cache.
+ *   --no-data-fastpath  Disable the L1D hit fast path.
  *   --defect <D>        Arm a test-only defect: mulh | stale-decode.
  *                       Inverts the exit code: 0 = the checker caught
  *                       it (and prints the minimized repro), 1 = missed.
@@ -51,8 +52,8 @@ usage(const char *argv0)
         stderr,
         "usage: %s [--spec <FxNxT>] [--seed <N>] [--runs <N>] "
         "[--count <N>] [--mix <M>] [--shared] [--threads <N>] "
-        "[--quantum <N>] [--no-decode-cache] [--defect <D>] "
-        "[--minimize]\n",
+        "[--quantum <N>] [--no-decode-cache] [--no-data-fastpath] "
+        "[--defect <D>] [--minimize]\n",
         argv0);
     return 2;
 }
@@ -135,6 +136,8 @@ main(int argc, char **argv)
             cfg.quantum = n;
         } else if (arg == "--no-decode-cache") {
             cfg.decodeCache = false;
+        } else if (arg == "--no-data-fastpath") {
+            cfg.dataFastPath = false;
         } else if (arg == "--defect") {
             const char *v = value("--defect");
             if (v == nullptr)

@@ -40,7 +40,7 @@ printUsage()
                  "--litmus|--torture|--torture-sweep N "
                  "[--spec AxBxC] [--seed N] [--iters N] [--ops N]"
                  " [--lines N] [--threads N] [--quantum N] "
-                 "[--faulty] [--minimize]\n");
+                 "[--faulty] [--minimize] [--no-data-fastpath]\n");
 }
 
 struct Options
@@ -57,6 +57,7 @@ struct Options
     Cycles quantum = 0;
     bool faulty = false;
     bool minimize = false;
+    bool dataFastPath = true;
 };
 
 /** Strict numeric parse: the whole operand must be a number, and it
@@ -83,6 +84,7 @@ runLitmusSuite(const Options &opt)
     cfg.spec = opt.spec;
     cfg.seed = opt.seed;
     cfg.iterations = opt.iters;
+    cfg.dataFastPath = opt.dataFastPath;
     if (opt.threads > 0) {
         cfg.parallel.threads = opt.threads;
         cfg.parallel.quantum = opt.quantum ? opt.quantum : 63;
@@ -210,6 +212,7 @@ main(int argc, char **argv)
         else if (a == "--quantum") opt.quantum = parseU64(next());
         else if (a == "--faulty") opt.faulty = true;
         else if (a == "--minimize") opt.minimize = true;
+        else if (a == "--no-data-fastpath") opt.dataFastPath = false;
         else {
             std::fprintf(stderr, "unknown option %s\n", a.c_str());
             printUsage();

@@ -112,6 +112,34 @@ class TrendTest(unittest.TestCase):
         self.assertEqual(run_trend(trend_points([10.0])), 0)
         self.assertEqual(run_trend([]), 0)
 
+    def test_short_history_reports_without_enforcing(self):
+        # 1 and 2 preceding samples: a 50% regression is printed but
+        # never gates -- the "median" of so few points is one noisy run.
+        self.assertEqual(run_trend(trend_points([10.0, 5.0])), 0)
+        self.assertEqual(run_trend(trend_points([10.0, 10.0, 5.0])), 0)
+
+    def test_min_history_boundary_enforces(self):
+        # Exactly min_history (default 3) preceding samples: the gate
+        # turns on, so the same regression now fails ...
+        pts = trend_points([10.0, 10.0, 10.0, 5.0])
+        self.assertEqual(run_trend(pts), 1)
+        # ... and a healthy latest point still passes.
+        good = trend_points([10.0, 10.0, 10.0, 10.0])
+        self.assertEqual(run_trend(good), 0)
+
+    def test_min_history_override(self):
+        # --min-history 1 re-enables enforcement on a single sample;
+        # raising it above the history length disables the gate.
+        self.assertEqual(
+            run_trend(trend_points([10.0, 5.0]), min_history=1), 1)
+        pts = trend_points([10.0, 10.0, 10.0, 5.0])
+        self.assertEqual(run_trend(pts, min_history=4), 0)
+
+    def test_short_history_lower_is_better(self):
+        # The report-only degradation applies to both directions.
+        pts = trend_points([100.0, 100.0, 150.0], better="lower")
+        self.assertEqual(run_trend(pts), 0)
+
     def test_window_limits_history(self):
         # Old slow points must age out of the 5-point window: the median
         # is taken over the recent fast points, so the final slow point

@@ -13,7 +13,11 @@
  *                      JSON, loadable in chrome://tracing or Perfetto.
  *   --node <N>         Keep only events originating on node N.
  *   --component <LIST> Comma list of cache,noc,pcie,bridge,core.
- *   --window <A:B>     Keep only events with A <= cycle < B.
+ *   --window <A:B>     Keep only events in the half-open window
+ *                      [A, B): start inclusive, end exclusive, so
+ *                      adjacent windows <A:B> <B:C> tile a trace with
+ *                      no overlap. An event at exactly cycle B is
+ *                      dropped; A >= B selects nothing.
  *
  * Usage: trace_dump <trace.bin> [options]
  */
@@ -56,7 +60,10 @@ usage(const char *argv0)
 {
     std::fprintf(stderr,
                  "usage: %s <trace.bin> [--check] [--json <out>] "
-                 "[--node <N>] [--component <LIST>] [--window <A:B>]\n",
+                 "[--node <N>] [--component <LIST>] [--window <A:B>]\n"
+                 "  --window keeps events with A <= cycle < B "
+                 "(half-open: A inclusive,\n"
+                 "  B exclusive, so <A:B> <B:C> tile without overlap)\n",
                  argv0);
     return 2;
 }
@@ -139,7 +146,8 @@ parseOptions(int argc, char **argv, Options &opt)
                 !parseU64Strict(w.substr(0, colon).c_str(),
                                 opt.windowFrom) ||
                 !parseU64Strict(w.c_str() + colon + 1, opt.windowTo)) {
-                std::fprintf(stderr, "--window wants <from>:<to>\n");
+                std::fprintf(stderr, "--window wants <from>:<to> "
+                                     "(half-open: from <= cycle < to)\n");
                 return false;
             }
             opt.filterWindow = true;
@@ -166,7 +174,7 @@ keep(const Options &opt, const obs::TraceEvent &ev)
         (opt.componentMask & (1u << ev.component)) == 0)
         return false;
     if (opt.filterWindow &&
-        (ev.cycle < opt.windowFrom || ev.cycle >= opt.windowTo))
+        !obs::cycleInWindow(ev.cycle, opt.windowFrom, opt.windowTo))
         return false;
     return true;
 }
