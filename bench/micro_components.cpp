@@ -62,6 +62,19 @@ BM_MeshNetworkTick(benchmark::State &state)
 BENCHMARK(BM_MeshNetworkTick);
 
 void
+BM_MeshNetworkIdleTick(benchmark::State &state)
+{
+    // The uncore idle-skip fast path: a drained mesh ticks in O(1)
+    // (flits-in-flight early-out), so cycle-accurate spans between
+    // sparse packets cost almost nothing even when not bulk-skipped.
+    noc::MeshNetwork net(noc::MeshTopology(12));
+    for (auto _ : state)
+        net.tick();
+    benchmark::DoNotOptimize(net.now());
+}
+BENCHMARK(BM_MeshNetworkIdleTick);
+
+void
 BM_CacheArrayLookup(benchmark::State &state)
 {
     cache::CacheArray c(64 << 10, 4);
@@ -126,6 +139,20 @@ BM_EventQueueScheduleRun(benchmark::State &state)
     benchmark::DoNotOptimize(fired);
 }
 BENCHMARK(BM_EventQueueScheduleRun);
+
+void
+BM_EventQueueNextDeadline(benchmark::State &state)
+{
+    // Horizon query cost: nextDeadline() is consulted by every WFI wait
+    // iteration and every phased idle barrier, so it must stay a heap
+    // peek, not a scan.
+    sim::EventQueue eq;
+    for (int i = 0; i < 64; ++i)
+        eq.schedule(static_cast<Cycles>(1 + i * 7), [] {});
+    for (auto _ : state)
+        benchmark::DoNotOptimize(eq.nextDeadline());
+}
+BENCHMARK(BM_EventQueueNextDeadline);
 
 void
 BM_RiscvInterpreterMips(benchmark::State &state)

@@ -668,6 +668,12 @@ InterNodeBridge::sendIdle() const
     return true;
 }
 
+Cycles
+InterNodeBridge::nextDeadline() const
+{
+    return sendIdle() ? sim::kNoDeadline : eq_.nextDeadline();
+}
+
 void
 InterNodeBridge::saveState(snap::Writer &w) const
 {

@@ -169,6 +169,17 @@ class InterNodeBridge : public axi::Target
     bool sendIdle() const;
 
     /**
+     * Horizon query for idle skipping: the earliest cycle at which the
+     * bridge can make send-side progress, or sim::kNoDeadline when the
+     * send side is idle. Every bridge timer — the pump, retransmit
+     * backoff, credit polls, degraded-peer probes — is scheduled on the
+     * shared event queue, so a busy bridge's horizon is exactly the
+     * queue's next deadline; there is no private countdown that could
+     * fire sooner.
+     */
+    Cycles nextDeadline() const;
+
+    /**
      * Serializes the link layer: per-peer sender state (queues, credits,
      * sequence numbers, replay window, degraded flags), per-source
      * receiver state and the bridge counters. Checkpoints are taken at

@@ -338,6 +338,8 @@ reproCommand(const FuzzConfig &cfg)
         os << " --no-decode-cache";
     if (!cfg.dataFastPath)
         os << " --no-data-fastpath";
+    if (!cfg.idleSkip)
+        os << " --no-idle-skip";
     if (cfg.defect == riscv::CoreTestMutation::kMulhCorrupt)
         os << " --defect mulh";
     else if (cfg.defect == riscv::CoreTestMutation::kStaleDecode)
@@ -403,6 +405,7 @@ runFuzz(const FuzzConfig &cfg)
         platform::PrototypeConfig::parse(cfg.spec);
     pcfg.core.decodeCache.enabled = cfg.decodeCache;
     pcfg.core.dataFastPath = cfg.dataFastPath;
+    pcfg.uncore.idleSkip = cfg.idleSkip;
     pcfg.lockstep.enabled = true;
     if (cfg.shared)
         pcfg.lockstep.shared.emplace_back(kSharedBase, kSharedBytes);

@@ -62,6 +62,7 @@ struct FuzzConfig
     Cycles quantum = 256;      ///< Phased quantum (threads >= 1 only).
     bool decodeCache = true;
     bool dataFastPath = true; ///< L1D hit fast path (core.dataFastPath).
+    bool idleSkip = true;     ///< Uncore idle skip (uncore.idleSkip).
     riscv::CoreTestMutation defect = riscv::CoreTestMutation::kNone;
 };
 

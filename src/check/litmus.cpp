@@ -141,6 +141,7 @@ runLitmus(const LitmusTest &test, const LitmusConfig &cfg)
     pcfg.parallel = cfg.parallel;
     pcfg.check = cfg.check;
     pcfg.core.dataFastPath = cfg.dataFastPath;
+    pcfg.uncore.idleSkip = cfg.idleSkip;
 
     std::vector<GlobalTileId> harts =
         litmusPlacement(pcfg, test.threads.size());

@@ -82,6 +82,8 @@ struct LitmusConfig
      *  makes the fast path bail anyway; disable `check` to genuinely
      *  exercise it. */
     bool dataFastPath = true;
+    /** Uncore event-horizon idle skip (uncore.idleSkip). */
+    bool idleSkip = true;
     std::uint64_t maxInstructions = 200'000;
     /** Runs after program load, before the cores start (arm mutations,
      *  warm caches, ...). */

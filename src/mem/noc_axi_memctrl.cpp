@@ -174,6 +174,12 @@ NocAxiMemController::idle() const
     return buffer_.empty() && mshrsInUse_ == 0;
 }
 
+Cycles
+NocAxiMemController::nextDeadline() const
+{
+    return idle() ? sim::kNoDeadline : eq_.nextDeadline();
+}
+
 void
 NocAxiMemController::saveState(snap::Writer &w) const
 {

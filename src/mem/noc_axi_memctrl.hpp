@@ -76,6 +76,16 @@ class NocAxiMemController
     bool idle() const;
 
     /**
+     * Horizon query for idle skipping: the earliest cycle at which the
+     * controller can make progress, or sim::kNoDeadline when idle. All
+     * of the controller's timing — DRAM completions, response
+     * serialization — is scheduled on the shared event queue, so a
+     * non-idle controller's horizon is exactly the queue's next
+     * deadline; there is no private timer that could fire sooner.
+     */
+    Cycles nextDeadline() const;
+
+    /**
      * Serializes the AXI-ID free-list order (a permutation of usage
      * history) and counters. Checkpoints are quiescent, so the request
      * buffer and MSHR table are empty by construction (checked).

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "obs/tracer.hpp"
+#include "sim/event_queue.hpp"
 #include "sim/log.hpp"
 
 namespace smappic::noc
@@ -41,6 +42,8 @@ MeshNetwork::MeshNetwork(MeshTopology topo, std::uint32_t buffer_depth)
     }
     // One endpoint per tile plus the off-chip hub at the end.
     endpoints_.resize(topo_.tiles() + 1);
+    routerFlits_.assign(topo_.tiles(), 0);
+    inActive_.assign(topo_.tiles(), 0);
 }
 
 void
@@ -57,8 +60,11 @@ MeshNetwork::queuePacketFlits(Endpoint &ep, const Packet &pkt)
 {
     bool to_off_chip = pkt.dstTile == kOffChipTile ||
                        (hasLocalNode_ && pkt.dstNode != localNode_);
-    for (const Flit &f : serialize(pkt))
+    for (const Flit &f : serialize(pkt)) {
         ep.injectQueue.push_back(RoutedFlit{f, pkt.dstTile, to_off_chip});
+        ++flitsInFlight_;
+        ++injectableFlits_;
+    }
 }
 
 void
@@ -160,62 +166,117 @@ MeshNetwork::routeDir(std::uint32_t router, const RoutedFlit &f) const
 }
 
 void
+MeshNetwork::activate(std::uint32_t r)
+{
+    if (inActive_[r])
+        return;
+    inActive_[r] = 1;
+    active_.insert(std::lower_bound(active_.begin(), active_.end(), r), r);
+}
+
+void
+MeshNetwork::compactActive()
+{
+    auto keep = [this](std::uint32_t r) {
+        if (routerFlits_[r] > 0)
+            return true;
+        inActive_[r] = 0;
+        return false;
+    };
+    active_.erase(
+        std::partition(active_.begin(), active_.end(), keep),
+        active_.end());
+    // partition() can reorder the survivors; the worklist must visit
+    // routers in ascending index like the full sweep does.
+    std::sort(active_.begin(), active_.end());
+}
+
+void
+MeshNetwork::pushFlit(std::uint32_t router, Dir port, const RoutedFlit &f)
+{
+    routers_[router].in[static_cast<std::size_t>(port)].fifo.push_back(f);
+    ++routerFlits_[router];
+    activate(router);
+}
+
+void
+MeshNetwork::proposeRouter(std::uint32_t r)
+{
+    Router &router = routers_[r];
+    for (std::size_t o = 0; o < kNumDirs; ++o) {
+        Dir out = static_cast<Dir>(o);
+        std::optional<Dir> chosen;
+        if (router.outLock[o]) {
+            Dir in = *router.outLock[o];
+            if (!router.in[static_cast<std::size_t>(in)].fifo.empty())
+                chosen = in;
+        } else {
+            // Round-robin over inputs whose head flit starts a packet
+            // routed to this output.
+            for (std::size_t k = 0; k < kNumDirs; ++k) {
+                auto i = static_cast<std::size_t>(
+                    (router.rrNext[o] + k) % kNumDirs);
+                InputPort &port = router.in[i];
+                if (port.fifo.empty() || port.lockedOut)
+                    continue;
+                const RoutedFlit &front = port.fifo.front();
+                if (!front.flit.head)
+                    continue;
+                if (routeDir(r, front) != out)
+                    continue;
+                chosen = static_cast<Dir>(i);
+                router.rrNext[o] =
+                    static_cast<std::uint8_t>((i + 1) % kNumDirs);
+                break;
+            }
+        }
+        if (!chosen)
+            continue;
+
+        bool is_mesh_link = out != Dir::kLocal && hasNeighbor(r, out);
+        bool is_hub_link =
+            out == Dir::kNorth && r == 0 && !hasNeighbor(r, out);
+        if (is_mesh_link && router.credits[o] == 0)
+            continue;
+        if (!is_mesh_link && !is_hub_link && out != Dir::kLocal)
+            continue; // Route points off the mesh edge: drop-proof guard.
+        moves_.push_back(Move{r, *chosen, out});
+    }
+}
+
+void
 MeshNetwork::tick()
 {
-    // Phase A: propose at most one flit movement per output port, based on
-    // state at the start of the cycle.
-    std::vector<Move> moves;
-    for (std::uint32_t r = 0; r < routers_.size(); ++r) {
-        Router &router = routers_[r];
-        for (std::size_t o = 0; o < kNumDirs; ++o) {
-            Dir out = static_cast<Dir>(o);
-            std::optional<Dir> chosen;
-            if (router.outLock[o]) {
-                Dir in = *router.outLock[o];
-                if (!router.in[static_cast<std::size_t>(in)].fifo.empty())
-                    chosen = in;
-            } else {
-                // Round-robin over inputs whose head flit starts a packet
-                // routed to this output.
-                for (std::size_t k = 0; k < kNumDirs; ++k) {
-                    auto i = static_cast<std::size_t>(
-                        (router.rrNext[o] + k) % kNumDirs);
-                    InputPort &port = router.in[i];
-                    if (port.fifo.empty() || port.lockedOut)
-                        continue;
-                    const RoutedFlit &front = port.fifo.front();
-                    if (!front.flit.head)
-                        continue;
-                    if (routeDir(r, front) != out)
-                        continue;
-                    chosen = static_cast<Dir>(i);
-                    router.rrNext[o] =
-                        static_cast<std::uint8_t>((i + 1) % kNumDirs);
-                    break;
-                }
-            }
-            if (!chosen)
-                continue;
+    // Fully idle tick: nothing buffered anywhere, so no router, endpoint
+    // or injection step can act — only the clock moves. O(1).
+    if (flitsInFlight_ == 0 && !sweepTick_) {
+        ++now_;
+        return;
+    }
 
-            bool is_mesh_link = out != Dir::kLocal && hasNeighbor(r, out);
-            bool is_hub_link =
-                out == Dir::kNorth && r == 0 && !hasNeighbor(r, out);
-            if (is_mesh_link && router.credits[o] == 0)
-                continue;
-            if (!is_mesh_link && !is_hub_link && out != Dir::kLocal)
-                continue; // Route points off the mesh edge: drop-proof guard.
-            moves.push_back(Move{r, *chosen, out});
-        }
+    // Phase A: propose at most one flit movement per output port, based on
+    // state at the start of the cycle. A router whose input FIFOs are all
+    // empty proposes nothing and mutates no lock or round-robin state, so
+    // the active-router worklist (ascending, like the sweep) is exact.
+    moves_.clear();
+    if (sweepTick_) {
+        for (std::uint32_t r = 0; r < routers_.size(); ++r)
+            proposeRouter(r);
+    } else {
+        compactActive();
+        for (std::uint32_t r : active_)
+            proposeRouter(r);
     }
 
     // Phase B: commit all proposed moves.
-    for (const Move &m : moves) {
+    for (const Move &m : moves_) {
         Router &router = routers_[m.router];
         auto in_idx = static_cast<std::size_t>(m.inPort);
         auto out_idx = static_cast<std::size_t>(m.outPort);
         InputPort &in = router.in[in_idx];
         RoutedFlit flit = in.fifo.front();
         in.fifo.pop_front();
+        --routerFlits_[m.router];
         ++flitHops_;
         if (tracer_ && flit.flit.head) {
             obs::TraceEvent ev = obs::event(obs::EventKind::kNocHop);
@@ -256,6 +317,7 @@ MeshNetwork::tick()
             ep.assembling.push_back(flit.flit);
             if (flit.flit.tail) {
                 Packet pkt = deserialize(ep.assembling);
+                flitsInFlight_ -= ep.assembling.size();
                 ep.assembling.clear();
                 ++deliveredPackets_;
                 if (tracer_)
@@ -271,6 +333,7 @@ MeshNetwork::tick()
             hub.assembling.push_back(flit.flit);
             if (flit.flit.tail) {
                 Packet pkt = deserialize(hub.assembling);
+                flitsInFlight_ -= hub.assembling.size();
                 hub.assembling.clear();
                 ++deliveredPackets_;
                 if (tracer_)
@@ -280,31 +343,34 @@ MeshNetwork::tick()
             }
         } else {
             std::uint32_t nb = neighborIndex(m.router, m.outPort);
-            auto nb_in = static_cast<std::size_t>(opposite(m.outPort));
-            routers_[nb].in[nb_in].fifo.push_back(flit);
+            pushFlit(nb, opposite(m.outPort), flit);
             router.credits[out_idx] -= 1;
         }
     }
 
     // Injection: one flit per endpoint per cycle, as buffer space allows.
-    for (std::uint32_t t = 0; t < topo_.tiles(); ++t) {
-        Endpoint &ep = endpoints_[t];
-        if (ep.injectQueue.empty())
-            continue;
-        InputPort &local = routers_[t].in[static_cast<std::size_t>(
-            Dir::kLocal)];
-        if (local.fifo.size() < bufferDepth_) {
-            local.fifo.push_back(ep.injectQueue.front());
-            ep.injectQueue.pop_front();
+    if (injectableFlits_ > 0) {
+        for (std::uint32_t t = 0; t < topo_.tiles(); ++t) {
+            Endpoint &ep = endpoints_[t];
+            if (ep.injectQueue.empty())
+                continue;
+            InputPort &local = routers_[t].in[static_cast<std::size_t>(
+                Dir::kLocal)];
+            if (local.fifo.size() < bufferDepth_) {
+                pushFlit(t, Dir::kLocal, ep.injectQueue.front());
+                ep.injectQueue.pop_front();
+                --injectableFlits_;
+            }
         }
-    }
-    Endpoint &hub = endpoints_[topo_.tiles()];
-    if (!hub.injectQueue.empty()) {
-        InputPort &north =
-            routers_[0].in[static_cast<std::size_t>(Dir::kNorth)];
-        if (north.fifo.size() < bufferDepth_) {
-            north.fifo.push_back(hub.injectQueue.front());
-            hub.injectQueue.pop_front();
+        Endpoint &hub = endpoints_[topo_.tiles()];
+        if (!hub.injectQueue.empty()) {
+            InputPort &north =
+                routers_[0].in[static_cast<std::size_t>(Dir::kNorth)];
+            if (north.fifo.size() < bufferDepth_) {
+                pushFlit(0, Dir::kNorth, hub.injectQueue.front());
+                hub.injectQueue.pop_front();
+                --injectableFlits_;
+            }
         }
     }
 
@@ -318,20 +384,19 @@ MeshNetwork::run(Cycles cycles)
         tick();
 }
 
-bool
-MeshNetwork::idle() const
+Cycles
+MeshNetwork::nextBusyCycle() const
 {
-    for (const auto &r : routers_) {
-        for (const auto &p : r.in) {
-            if (!p.fifo.empty())
-                return false;
-        }
-    }
-    for (const auto &ep : endpoints_) {
-        if (!ep.injectQueue.empty() || !ep.assembling.empty())
-            return false;
-    }
-    return true;
+    return flitsInFlight_ > 0 ? now_ : sim::kNoDeadline;
+}
+
+void
+MeshNetwork::advance(Cycles target)
+{
+    panicIf(flitsInFlight_ != 0,
+            "bulk advance over a mesh with flits in flight");
+    panicIf(target < now_, "mesh clock cannot rewind");
+    now_ = target;
 }
 
 void

@@ -100,8 +100,37 @@ class MeshNetwork
     /** Runs @p cycles ticks. */
     void run(Cycles cycles);
 
-    /** True when no flit is buffered or in flight anywhere. */
-    bool idle() const;
+    /** True when no flit is buffered or in flight anywhere. O(1): the
+     *  network keeps a flits-in-flight count across inject queues,
+     *  router FIFOs and reassembly buffers. */
+    bool idle() const { return flitsInFlight_ == 0; }
+
+    /**
+     * Horizon query for idle skipping: the earliest cycle at which the
+     * network can move a flit — now() while any flit is in flight (the
+     * mesh is self-timed: a buffered flit can move every cycle), or
+     * sim::kNoDeadline when idle. New work only arrives via inject()/
+     * injectFromOffChip(), which re-arm the horizon immediately.
+     */
+    Cycles nextBusyCycle() const;
+
+    /**
+     * Bulk clock advance over a provably inert span: sets now() to
+     * @p target without ticking. Exactly equivalent to target - now()
+     * tick() calls while idle — an idle tick mutates nothing but the
+     * cycle counter. Panics when the network is not idle or @p target
+     * is in the past.
+     */
+    void advance(Cycles target);
+
+    /**
+     * Test hook: forces the original full-router sweep in tick() instead
+     * of the active-router worklist. The two are exactly equivalent — a
+     * router with empty input FIFOs proposes nothing and mutates no
+     * round-robin or lock state — and the randomized equivalence test
+     * pins that by diffing delivery order, traces and stats.
+     */
+    void setSweepTick(bool sweep) { sweepTick_ = sweep; }
 
     /** Current network cycle. */
     Cycles now() const { return now_; }
@@ -162,6 +191,18 @@ class MeshNetwork
     Dir routeDir(std::uint32_t router, const RoutedFlit &f) const;
     void queuePacketFlits(Endpoint &ep, const Packet &pkt);
 
+    /** Phase A for one router: proposes at most one flit movement per
+     *  output port into moves_, based on state at the cycle start. */
+    void proposeRouter(std::uint32_t r);
+    /** Adds @p r to the active-router worklist (keeps it sorted so the
+     *  worklist visits routers in the same ascending order as the full
+     *  sweep — proposal order is commit order). */
+    void activate(std::uint32_t r);
+    /** Drops worklist entries whose router drained since the last tick. */
+    void compactActive();
+    /** FIFO push with worklist/occupancy bookkeeping. */
+    void pushFlit(std::uint32_t router, Dir port, const RoutedFlit &f);
+
     MeshTopology topo_;
     std::uint32_t bufferDepth_;
     std::vector<Router> routers_;
@@ -175,6 +216,15 @@ class MeshNetwork
     Cycles now_ = 0;
     std::uint64_t deliveredPackets_ = 0;
     std::uint64_t flitHops_ = 0;
+
+    // Activity tracking: tick() visits only routers that can move a flit.
+    std::vector<std::uint32_t> routerFlits_; ///< Flits across a router's FIFOs.
+    std::vector<std::uint8_t> inActive_;     ///< Worklist membership.
+    std::vector<std::uint32_t> active_;      ///< Sorted active routers.
+    std::uint64_t flitsInFlight_ = 0; ///< Inject + FIFO + reassembly flits.
+    std::uint64_t injectableFlits_ = 0; ///< Flits waiting in inject queues.
+    bool sweepTick_ = false;            ///< Test hook: full-sweep tick().
+    std::vector<Move> moves_;           ///< Phase A scratch (reused).
 };
 
 } // namespace smappic::noc

@@ -59,8 +59,19 @@ class NodeChipset
      */
     void tick();
 
-    /** Runs until all networks drain and the queue empties (bounded). */
+    /**
+     * Runs until all networks drain and the queue empties (bounded).
+     * With idle skip on (default), spans where every mesh is drained and
+     * the next device event is cycles away are crossed in one bulk clock
+     * advance instead of cycle-by-cycle ticking — exactly equivalent,
+     * since an idle mesh tick only moves the clock and events still fire
+     * at their scheduled cycles, in their scheduled order.
+     */
     bool runUntilIdle(Cycles max_cycles = 100000);
+
+    /** Gates the runUntilIdle() bulk advance (PrototypeConfig::
+     *  uncore.idleSkip equivalent for standalone chipsets). */
+    void setIdleSkip(bool on) { idleSkip_ = on; }
 
     noc::MeshNetwork &network(noc::NocIndex idx)
     {
@@ -85,6 +96,7 @@ class NodeChipset
 
     std::array<std::unique_ptr<noc::MeshNetwork>, noc::kNumNocs> nets_;
     Cycles clock_ = 0;
+    bool idleSkip_ = true;
     std::uint64_t toMemory_ = 0;
     std::uint64_t toBridge_ = 0;
     std::uint64_t fromOffChip_ = 0;

@@ -669,6 +669,56 @@ Prototype::loadSourceReplicated(const std::string &source)
     return prog;
 }
 
+namespace
+{
+/** Cumulative device-time budget for one WFI wait episode: a core that
+ *  sees no interrupt within this many cycles is reported as kWfi (or
+ *  parked permanently by runCores). Virtual cycles, so the bound is
+ *  identical with idle skipping on and off. */
+constexpr Cycles kWfiWaitBudget = 1'000'000;
+} // namespace
+
+bool
+Prototype::waitForWake(const std::function<bool()> &woke)
+{
+    Cycles waited = 0;
+    while (waited < kWfiWaitBudget) {
+        if (woke())
+            return true;
+        // Next horizon, as deltas from the two (independent) clocks: the
+        // earliest armed mtimecmp and the earliest queued event. Between
+        // here and the nearer of the two, advancing time is pure
+        // bookkeeping — no wire can flip, no event can fire.
+        Cycles delta = sim::kNoDeadline;
+        std::uint64_t tnext = clint_->nextTimerCycle();
+        if (tnext != sim::kNoDeadline)
+            delta = std::min(delta, tnext - clint_->mtime());
+        Cycles enext = eq_.nextDeadline();
+        if (enext != sim::kNoDeadline)
+            delta = std::min(delta,
+                             enext > eq_.now() ? enext - eq_.now()
+                                               : Cycles{1});
+        if (delta == sim::kNoDeadline)
+            return woke(); // Nothing can ever fire again.
+        delta = std::min(delta, kWfiWaitBudget - waited);
+        if (cfg_.uncore.idleSkip) {
+            clint_->setTime(clint_->mtime() + delta);
+            eq_.runUntil(eq_.now() + delta);
+        } else {
+            // Reference path: poll every cycle. woke() cannot flip
+            // strictly inside the span (no event fires there), so the
+            // per-cycle polls are redundant — which is the point: this
+            // is the honest slow baseline the fast path must replicate.
+            for (Cycles i = 0; i < delta && !woke(); ++i) {
+                clint_->setTime(clint_->mtime() + 1);
+                eq_.runUntil(eq_.now() + 1);
+            }
+        }
+        waited += delta;
+    }
+    return woke();
+}
+
 riscv::HaltReason
 Prototype::runCore(GlobalTileId gid, std::uint64_t max_instructions)
 {
@@ -686,13 +736,7 @@ Prototype::runCore(GlobalTileId gid, std::uint64_t max_instructions)
             return r;
         if (r == riscv::HaltReason::kWfi) {
             // Let device time advance until an interrupt shows up.
-            bool woke = false;
-            for (int spin = 0; spin < 10000 && !woke; ++spin) {
-                clint_->setTime(clint_->mtime() + 100);
-                eq_.runUntil(eq_.now() + 100);
-                woke = c.interruptPending();
-            }
-            if (!woke)
+            if (!waitForWake([&] { return c.interruptPending(); }))
                 return riscv::HaltReason::kWfi;
         }
     }
@@ -712,26 +756,56 @@ Prototype::runCores(const std::vector<GlobalTileId> &gids,
         GlobalTileId gid;
         std::uint64_t executed = 0;
         bool done = false;
+        bool parked = false; ///< In wfi, waiting for an interrupt.
     };
     std::vector<State> states;
     states.reserve(gids.size());
     for (GlobalTileId g : gids)
-        states.push_back(State{g, 0, false});
+        states.push_back(State{g, 0, false, false});
 
-    bool progress = true;
-    while (progress) {
-        progress = false;
-        // Pick the live core with the smallest local clock.
+    while (true) {
+        // Un-park any core whose interrupt arrived — another core's MSIP
+        // doorbell, a device, or a timer crossing from the wait below.
+        for (auto &s : states) {
+            if (s.parked && core(s.gid).interruptPending())
+                s.parked = false;
+        }
+        // Pick the runnable core with the smallest local clock. A parked
+        // core is skipped but stays live: its siblings keep running and
+        // may wake it, which the historical all-wfi predicate (only able
+        // to classify the core that just halted) got wrong — one core in
+        // wfi used to stall the whole run even with others still active.
         State *next = nullptr;
+        bool any_live = false;
         for (auto &s : states) {
             if (s.done)
+                continue;
+            any_live = true;
+            if (s.parked)
                 continue;
             if (!next ||
                 core(s.gid).cycles() < core(next->gid).cycles())
                 next = &s;
         }
-        if (!next)
+        if (!any_live)
             break;
+        if (!next) {
+            // Every live core is parked in wfi: fast-forward device time
+            // to the next wake horizon. A core that nothing can ever
+            // wake is finished.
+            if (!waitForWake([&] {
+                    for (auto &s : states) {
+                        if (!s.done && core(s.gid).interruptPending())
+                            return true;
+                    }
+                    return false;
+                })) {
+                for (auto &s : states)
+                    s.done = s.done || s.parked;
+                break;
+            }
+            continue;
+        }
         auto &c = core(next->gid);
         std::uint64_t chunk = std::min<std::uint64_t>(
             100, max_instructions_each - next->executed);
@@ -741,7 +815,6 @@ Prototype::runCores(const std::vector<GlobalTileId> &gids,
         }
         riscv::HaltReason r = c.run(chunk);
         next->executed += chunk;
-        progress = true;
         Cycles maxc = 0;
         for (auto &s : states)
             maxc = std::max(maxc, core(s.gid).cycles());
@@ -750,22 +823,8 @@ Prototype::runCores(const std::vector<GlobalTileId> &gids,
         if (r == riscv::HaltReason::kExited ||
             r == riscv::HaltReason::kEbreak)
             next->done = true;
-        if (r == riscv::HaltReason::kWfi) {
-            // Another core may wake it; if every live core is in wfi,
-            // advance device time.
-            bool all_wfi = true;
-            for (auto &s : states) {
-                if (!s.done && !(core(s.gid).instret() > 0 &&
-                                 s.gid == next->gid))
-                    all_wfi = false;
-            }
-            if (all_wfi) {
-                clint_->setTime(clint_->mtime() + 1000);
-                eq_.runUntil(eq_.now() + 1000);
-                if (!c.interruptPending())
-                    next->done = true;
-            }
-        }
+        if (r == riscv::HaltReason::kWfi && !c.interruptPending())
+            next->parked = true;
     }
 }
 
@@ -1067,6 +1126,61 @@ Prototype::runCoresPhased(const std::vector<GlobalTileId> &gids,
         if (barrierProbe_)
             barrierProbe_(boundary);
 
+        // Event-horizon idle skip (uncore.idleSkip): after an epoch with
+        // no progress, every barrier strictly before the next horizon is
+        // provably inert — node phases run nothing (all runnable cores
+        // sit at or past the boundary), drain() finds an empty mailbox,
+        // setTime()/runUntil() cross no deadline, the watchdog observes
+        // below every per-node deadline and no checkpoint mark passes.
+        // Jump straight to the first barrier that can observe anything,
+        // charging the skipped barriers to the idle-epoch budget so the
+        // give-up point replicates exactly. Disabled whenever a barrier
+        // has a side channel the horizon cannot see: an armed wedge
+        // rule consumes injector RNG per barrier, and a barrier probe
+        // is an arbitrary observer.
+        if (cfg_.uncore.idleSkip && !progress && !barrierProbe_ &&
+            !(wedge_armed && !wedge_disarmed) && router_.pending() == 0) {
+            Cycles horizon = sim::kNoDeadline;
+            for (auto &node : ns) {
+                for (auto &s : node.cores) {
+                    if (!s.done && !s.parked)
+                        horizon = std::min(horizon,
+                                           core(s.gid).cycles() + 1);
+                }
+            }
+            std::uint64_t tnext = clint_->nextTimerCycle();
+            horizon = std::min<Cycles>(horizon, tnext);
+            horizon = std::min(horizon, eq_.nextDeadline());
+            if (cfg_.snapshot.enabled())
+                horizon = std::min(horizon, next_snap);
+            if (watchdog.config().enabled())
+                horizon = std::min(horizon, watchdog.nextDeadline());
+            // Barriers the idle-epoch budget still allows before the
+            // run gives up; >= 1 or the check above would have fired.
+            std::uint64_t avail = idle_limit - idle_epochs;
+            if (horizon == sim::kNoDeadline ||
+                horizon > boundary + avail * quantum) {
+                // No wake source, or one past the give-up point: the
+                // run ends idle. Replicate the off-path's final barrier
+                // exactly — time advanced to it (both calls are wire/
+                // event no-ops below the horizon), budget exhausted.
+                boundary += avail * quantum;
+                clint_->setTime(boundary);
+                eq_.runUntil(boundary);
+                idle_epochs = idle_limit;
+                return false;
+            }
+            if (horizon > boundary + quantum) {
+                // First barrier at or past the horizon; the barriers
+                // strictly between would each have idled.
+                std::uint64_t k =
+                    (horizon - boundary + quantum - 1) / quantum;
+                idle_epochs += k - 1;
+                boundary += k * quantum;
+                return true;
+            }
+        }
+
         boundary += quantum;
         return true;
     };
@@ -1121,9 +1235,9 @@ Prototype::configFingerprint() const
     // FNV-1a over the fields that shape serialized state. A checkpoint
     // from a differently shaped prototype must be rejected up front;
     // the worker-thread count is excluded on purpose, as are
-    // core.decodeCache and core.dataFastPath (transient,
-    // checkpoint-invisible state — any setting must accept any
-    // setting's checkpoints).
+    // core.decodeCache, core.dataFastPath and uncore.idleSkip
+    // (transient, checkpoint-invisible state — any setting must accept
+    // any setting's checkpoints).
     std::uint64_t h = 0xcbf29ce484222325ULL;
     auto mix = [&h](std::uint64_t v) {
         for (int i = 0; i < 8; ++i) {

@@ -105,6 +105,26 @@ struct PrototypeConfig
         bool dataFastPath = true;
     };
     CoreTuning core;
+    /** Host-side uncore tuning that is observably invisible to the
+     *  guest (the uncore counterpart of CoreTuning). */
+    struct UncoreTuning
+    {
+        /**
+         * Event-horizon idle skipping for the uncore. WFI waits
+         * fast-forward shared device time (CLINT mtime + the event
+         * queue, in lockstep) straight to the next timer/event horizon
+         * instead of polling cycle by cycle, and the phased engine
+         * jumps runs of provably inert quantum barriers to the first
+         * barrier at which any component could change observable state.
+         * On by default under the same contract as the core fast paths:
+         * a skipped cycle is one in which nothing could have happened,
+         * so stats, traces and checkpoints are byte-identical either
+         * way — deliberately excluded from configFingerprint() so
+         * checkpoints interchange freely between on and off.
+         */
+        bool idleSkip = true;
+    };
+    UncoreTuning uncore;
     /** Transient-fault schedule injected into the substrate (PCIe fabric,
      *  bridges, DRAM path). Empty = no injector is built, zero cost. */
     sim::FaultPlan faultPlan;
@@ -314,6 +334,20 @@ class Prototype
     /** Phased engine behind runCores() when config().parallel is active. */
     void runCoresPhased(const std::vector<GlobalTileId> &gids,
                         std::uint64_t max_instructions_each);
+
+    /**
+     * Advances shared device time (CLINT mtime and the event queue, in
+     * lockstep) until @p woke returns true, the cumulative wait reaches
+     * the WFI wait budget, or no horizon remains (no armed timer and an
+     * empty event queue — nothing can ever fire). Nothing observable can
+     * change strictly between two horizons, so with uncore.idleSkip on
+     * the span is crossed in one jump; off, it is walked cycle by cycle
+     * with @p woke polled each cycle. Both paths cross every horizon at
+     * the same mtime/queue times and therefore fire the same events and
+     * wire transitions in the same order.
+     * @return The final value of @p woke.
+     */
+    bool waitForWake(const std::function<bool()> &woke);
 
     /** Drains the mailbox and every pending device event, advancing
      *  virtual time. @return False when more than @p max_events events

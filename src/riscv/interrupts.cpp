@@ -1,5 +1,8 @@
 #include "riscv/interrupts.hpp"
 
+#include <algorithm>
+
+#include "sim/event_queue.hpp"
 #include "sim/log.hpp"
 #include "snap/state_io.hpp"
 
@@ -76,6 +79,17 @@ ClintController::evaluateTimers()
 {
     for (std::uint32_t h = 0; h < harts(); ++h)
         setWire(mtip_, h, kIrqMti, mtime_ >= mtimecmp_[h]);
+}
+
+std::uint64_t
+ClintController::nextTimerCycle() const
+{
+    std::uint64_t next = sim::kNoDeadline;
+    for (std::uint64_t cmp : mtimecmp_) {
+        if (cmp > mtime_)
+            next = std::min(next, cmp);
+    }
+    return next;
 }
 
 void

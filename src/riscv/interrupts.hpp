@@ -56,6 +56,16 @@ class ClintController
     /** Raises/clears an external interrupt line toward @p hart. */
     void setExternal(std::uint32_t hart, bool level);
 
+    /**
+     * Horizon query for idle skipping: the smallest MTIME value at which
+     * any hart's timer wire can rise, i.e. min over harts of MTIMECMP
+     * values strictly above the current MTIME; sim::kNoDeadline when no
+     * timer is armed. Covers *all* harts — any wire flip emits an
+     * interrupt packet (and stats), so skipping past one would be
+     * observable even for harts outside the current run.
+     */
+    std::uint64_t nextTimerCycle() const;
+
     bool msip(std::uint32_t hart) const { return msip_.at(hart); }
     bool mtip(std::uint32_t hart) const { return mtip_.at(hart); }
     bool meip(std::uint32_t hart) const { return meip_.at(hart); }

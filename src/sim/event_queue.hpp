@@ -23,6 +23,11 @@ namespace smappic::sim
 /** Callable fired by the event queue at its scheduled cycle. */
 using EventFn = std::function<void()>;
 
+/** "No pending deadline" sentinel shared by every horizon query (the
+ *  event queue, the CLINT timer, the watchdog, the NoC) so idle-skip
+ *  code can min() horizons without special cases. */
+inline constexpr Cycles kNoDeadline = ~Cycles{0};
+
 /** Single-clock discrete-event queue. */
 class EventQueue
 {
@@ -45,6 +50,17 @@ class EventQueue
 
     /** Timestamp of the earliest pending event. @pre !empty(). */
     Cycles nextEventTime() const { return heap_.top().when; }
+
+    /**
+     * Horizon query for idle skipping: the earliest cycle at which the
+     * queue can change state, or kNoDeadline when no event is pending.
+     * Unlike nextEventTime() this is total — safe to min() blindly.
+     */
+    Cycles
+    nextDeadline() const
+    {
+        return heap_.empty() ? kNoDeadline : heap_.top().when;
+    }
 
     /** Restore-time clock jump: sets now without running anything.
      *  Requires an empty queue (pending closures cannot be preserved

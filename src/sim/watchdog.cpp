@@ -1,5 +1,8 @@
 #include "sim/watchdog.hpp"
 
+#include <algorithm>
+
+#include "sim/event_queue.hpp"
 #include "sim/log.hpp"
 
 namespace smappic::sim
@@ -63,6 +66,17 @@ void
 Watchdog::rebase()
 {
     primed_ = false;
+}
+
+Cycles
+Watchdog::nextDeadline() const
+{
+    if (!cfg_.enabled() || !primed_)
+        return kNoDeadline;
+    Cycles next = kNoDeadline;
+    for (Cycles mark : lastProgress_)
+        next = std::min(next, mark + cfg_.stallCycles);
+    return next;
 }
 
 } // namespace smappic::sim

@@ -84,6 +84,17 @@ class Watchdog
      *  committed counts are derived from). */
     void rebase();
 
+    /**
+     * Horizon query for idle skipping: the earliest cycle at which an
+     * observe() could fire a stall verdict, assuming no node commits in
+     * the meantime — min over nodes of lastProgress + stallCycles.
+     * kNoDeadline when disabled or not yet primed (the priming observe
+     * never fires). Observes strictly below this deadline with unchanged
+     * committed counts are pure checks, so a barrier skip that lands on
+     * the deadline reproduces the unskipped verdict sequence exactly.
+     */
+    Cycles nextDeadline() const;
+
     /** Records one completed rollback. */
     void noteRecovery() { ++recoveries_; }
 

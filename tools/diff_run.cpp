@@ -21,6 +21,7 @@
  *   --quantum <N>       Phased quantum in cycles (default 256).
  *   --no-decode-cache   Disable the decoded-instruction cache.
  *   --no-data-fastpath  Disable the L1D hit fast path.
+ *   --no-idle-skip      Disable the uncore event-horizon idle skip.
  *   --defect <D>        Arm a test-only defect: mulh | stale-decode.
  *                       Inverts the exit code: 0 = the checker caught
  *                       it (and prints the minimized repro), 1 = missed.
@@ -53,7 +54,7 @@ usage(const char *argv0)
         "usage: %s [--spec <FxNxT>] [--seed <N>] [--runs <N>] "
         "[--count <N>] [--mix <M>] [--shared] [--threads <N>] "
         "[--quantum <N>] [--no-decode-cache] [--no-data-fastpath] "
-        "[--defect <D>] [--minimize]\n",
+        "[--no-idle-skip] [--defect <D>] [--minimize]\n",
         argv0);
     return 2;
 }
@@ -138,6 +139,8 @@ main(int argc, char **argv)
             cfg.decodeCache = false;
         } else if (arg == "--no-data-fastpath") {
             cfg.dataFastPath = false;
+        } else if (arg == "--no-idle-skip") {
+            cfg.idleSkip = false;
         } else if (arg == "--defect") {
             const char *v = value("--defect");
             if (v == nullptr)

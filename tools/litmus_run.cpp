@@ -40,7 +40,8 @@ printUsage()
                  "--litmus|--torture|--torture-sweep N "
                  "[--spec AxBxC] [--seed N] [--iters N] [--ops N]"
                  " [--lines N] [--threads N] [--quantum N] "
-                 "[--faulty] [--minimize] [--no-data-fastpath]\n");
+                 "[--faulty] [--minimize] [--no-data-fastpath] "
+                 "[--no-idle-skip]\n");
 }
 
 struct Options
@@ -58,6 +59,7 @@ struct Options
     bool faulty = false;
     bool minimize = false;
     bool dataFastPath = true;
+    bool idleSkip = true;
 };
 
 /** Strict numeric parse: the whole operand must be a number, and it
@@ -85,6 +87,7 @@ runLitmusSuite(const Options &opt)
     cfg.seed = opt.seed;
     cfg.iterations = opt.iters;
     cfg.dataFastPath = opt.dataFastPath;
+    cfg.idleSkip = opt.idleSkip;
     if (opt.threads > 0) {
         cfg.parallel.threads = opt.threads;
         cfg.parallel.quantum = opt.quantum ? opt.quantum : 63;
@@ -213,6 +216,7 @@ main(int argc, char **argv)
         else if (a == "--faulty") opt.faulty = true;
         else if (a == "--minimize") opt.minimize = true;
         else if (a == "--no-data-fastpath") opt.dataFastPath = false;
+        else if (a == "--no-idle-skip") opt.idleSkip = false;
         else {
             std::fprintf(stderr, "unknown option %s\n", a.c_str());
             printUsage();
